@@ -1,0 +1,119 @@
+// Shared scaffolding for the figure-reproduction benchmarks.
+//
+// Environment knobs (all optional):
+//   SPLICE_BENCH_REPS    repetitions per configuration (paper: 30; default 5)
+//   SPLICE_BENCH_PUBLIC  distinct node specs in the synthetic public cache
+//                        (paper: >20000; default 2000 to fit a single-core
+//                        container — raise for paper scale)
+//   SPLICE_BENCH_ROOTS   comma-separated subset of RADIUSS roots to run
+//                        (default: the per-figure selection)
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/concretize/concretizer.hpp"
+#include "src/workload/caches.hpp"
+#include "src/workload/radiuss.hpp"
+
+namespace splice::bench {
+
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+}
+
+inline std::vector<std::string> env_roots(const std::vector<std::string>& dflt) {
+  const char* v = std::getenv("SPLICE_BENCH_ROOTS");
+  if (v == nullptr || *v == '\0') return dflt;
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char* p = v;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+      if (*p == '\0') break;
+    } else {
+      cur.push_back(*p);
+    }
+  }
+  return out;
+}
+
+/// Online mean/stddev accumulator keyed by (series, label).
+class Samples {
+ public:
+  void add(const std::string& series, const std::string& label, double seconds) {
+    data_[series][label].push_back(seconds);
+  }
+
+  struct Stat {
+    double mean = 0, stddev = 0, min = 0, max = 0;
+    std::size_t n = 0;
+  };
+
+  Stat stat(const std::string& series, const std::string& label) const {
+    Stat s;
+    auto sit = data_.find(series);
+    if (sit == data_.end()) return s;
+    auto lit = sit->second.find(label);
+    if (lit == sit->second.end()) return s;
+    const auto& v = lit->second;
+    s.n = v.size();
+    if (v.empty()) return s;
+    s.min = *std::min_element(v.begin(), v.end());
+    s.max = *std::max_element(v.begin(), v.end());
+    for (double x : v) s.mean += x;
+    s.mean /= static_cast<double>(v.size());
+    for (double x : v) s.stddev += (x - s.mean) * (x - s.mean);
+    s.stddev = v.size() > 1 ? std::sqrt(s.stddev / static_cast<double>(v.size() - 1)) : 0;
+    return s;
+  }
+
+  /// Mean of per-label means for one series (the paper's "across all specs"
+  /// aggregation).
+  double series_mean(const std::string& series) const {
+    auto sit = data_.find(series);
+    if (sit == data_.end() || sit->second.empty()) return 0;
+    double total = 0;
+    for (const auto& [label, v] : sit->second) {
+      double m = 0;
+      for (double x : v) m += x;
+      total += m / static_cast<double>(v.size());
+    }
+    return total / static_cast<double>(sit->second.size());
+  }
+
+  std::vector<std::string> labels(const std::string& series) const {
+    std::vector<std::string> out;
+    auto sit = data_.find(series);
+    if (sit == data_.end()) return out;
+    for (const auto& [label, v] : sit->second) out.push_back(label);
+    return out;
+  }
+
+ private:
+  std::map<std::string, std::map<std::string, std::vector<double>>> data_;
+};
+
+/// Time one call.
+template <typename F>
+double time_call(F&& f) {
+  auto t0 = std::chrono::steady_clock::now();
+  f();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+inline double pct_increase(double base, double value) {
+  return base > 0 ? (value - base) / base * 100.0 : 0.0;
+}
+
+}  // namespace splice::bench

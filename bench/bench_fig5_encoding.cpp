@@ -1,0 +1,126 @@
+// Figure 5 (RQ1): overhead of the new reusable-spec encoding.
+//
+// Concretize every RADIUSS root under the old encoding (direct
+// imposed_constraint facts, "old spack") and the new one (hash_attr
+// indirection, "splice spack"), with splicing DISABLED in both, against the
+// local and the synthetic public buildcache.  The paper reports the new
+// encoding costing +4.7% (local) and +7.1% (public) on average.
+//
+// Each (cache, encoding, root) cell runs SPLICE_BENCH_REPS times through
+// google-benchmark (fixed single-iteration repetitions, aggregates
+// reported) and feeds the paper-style summary printed at the end.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hpp"
+
+namespace {
+
+using namespace splice;
+using namespace splice::bench;
+using concretize::Concretizer;
+using concretize::ConcretizerOptions;
+using concretize::Request;
+using concretize::ReuseEncoding;
+
+struct Setup {
+  repo::Repository repo = workload::radiuss_repo();
+  std::vector<spec::Spec> local;
+  std::vector<spec::Spec> pub;
+  std::size_t reps = env_size("SPLICE_BENCH_REPS", 5);
+  std::vector<std::string> roots = env_roots(workload::radiuss_roots());
+
+  Setup() {
+    local = workload::local_cache_specs(repo);
+    pub = workload::public_cache_specs(
+        repo, env_size("SPLICE_BENCH_PUBLIC", 2000));
+  }
+};
+
+Setup* setup = nullptr;
+Samples samples;
+
+ConcretizerOptions options_for(bool indirect) {
+  ConcretizerOptions o;
+  o.encoding = indirect ? ReuseEncoding::Indirect : ReuseEncoding::Direct;
+  o.enable_splicing = false;
+  return o;
+}
+
+void run_cell(benchmark::State& state, const std::string& cache_name,
+              const std::string& encoding_name, bool indirect,
+              const std::string& root) {
+  const auto& cache_specs =
+      cache_name == "local" ? setup->local : setup->pub;
+  for (auto _ : state) {
+    // The concretizer is rebuilt per run: fact compilation is part of the
+    // measured pipeline, as in the paper's end-to-end timings.
+    Concretizer c(setup->repo, options_for(indirect));
+    for (const auto& s : cache_specs) c.add_reusable(s);
+    double seconds = time_call([&] {
+      benchmark::DoNotOptimize(c.concretize(Request(root)));
+    });
+    samples.add(cache_name + "/" + encoding_name, root, seconds);
+    state.SetIterationTime(seconds);
+  }
+}
+
+void print_summary() {
+  std::printf("\n=== Figure 5: encoding overhead (old spack vs splice spack, "
+              "splicing disabled) ===\n");
+  std::printf("%-16s %-14s %-14s %-14s %-10s\n", "root", "old/local",
+              "new/local", "old/public", "new/public");
+  for (const std::string& root : setup->roots) {
+    auto ol = samples.stat("local/old", root);
+    auto nl = samples.stat("local/new", root);
+    auto op = samples.stat("public/old", root);
+    auto np = samples.stat("public/new", root);
+    std::printf("%-16s %8.3fs     %8.3fs     %8.3fs     %8.3fs\n", root.c_str(),
+                ol.mean, nl.mean, op.mean, np.mean);
+  }
+  double local_old = samples.series_mean("local/old");
+  double local_new = samples.series_mean("local/new");
+  double pub_old = samples.series_mean("public/old");
+  double pub_new = samples.series_mean("public/new");
+  std::printf("\nAverage concretization time (mean of per-spec means):\n");
+  std::printf("  local cache : old %.3fs, new %.3fs  -> +%.1f%% "
+              "(paper: +4.7%%)\n",
+              local_old, local_new, pct_increase(local_old, local_new));
+  std::printf("  public cache: old %.3fs, new %.3fs  -> +%.1f%% "
+              "(paper: +7.1%%)\n",
+              pub_old, pub_new, pct_increase(pub_old, pub_new));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Setup s;
+  setup = &s;
+  std::printf("fig5: %zu roots, reps=%zu, local=%zu specs, public=%zu specs\n",
+              s.roots.size(), s.reps, workload::distinct_nodes(s.local),
+              workload::distinct_nodes(s.pub));
+
+  for (const std::string& cache : {"local", "public"}) {
+    for (bool indirect : {false, true}) {
+      std::string enc = indirect ? "new" : "old";
+      for (const std::string& root : s.roots) {
+        std::string name = "fig5/" + cache + "/" + enc + "/" + root;
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [cache, enc, indirect, root](benchmark::State& st) {
+              run_cell(st, cache, enc, indirect, root);
+            })
+            ->Iterations(1)
+            ->Repetitions(static_cast<int>(s.reps))
+            ->ReportAggregatesOnly(true)
+            ->UseManualTime()
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_summary();
+  return 0;
+}

@@ -1,0 +1,158 @@
+// Figure 7 (RQ4): scaling with the number of splice candidates.
+//
+// As §6.4: create up to 100 copies of the mpiabi mock package differing
+// only in name, each able to splice into mpich@3.4.3.  Concretize the
+// MPI-dependent RADIUSS roots against the local buildcache, requiring that
+// solutions do NOT depend on mpich (but without pinning which replica is
+// chosen), with the concretizer given access to increasingly large subsets
+// of the replicas.  The paper reports +74.2% average concretization time
+// from 10 to 100 replicas, and little effect on non-MPI specs.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+
+#include "bench/bench_common.hpp"
+
+namespace {
+
+using namespace splice;
+using namespace splice::bench;
+using concretize::Concretizer;
+using concretize::ConcretizerOptions;
+using concretize::Request;
+using concretize::ReuseEncoding;
+
+std::vector<std::size_t> replica_counts() {
+  std::size_t max = env_size("SPLICE_BENCH_FIG7_MAX", 100);
+  std::vector<std::size_t> counts;
+  for (std::size_t c : {std::size_t{10}, std::size_t{25}, std::size_t{50},
+                        std::size_t{75}, std::size_t{100}}) {
+    if (c <= max) counts.push_back(c);
+  }
+  return counts;
+}
+
+struct Setup {
+  std::size_t reps = env_size("SPLICE_BENCH_REPS", 5);
+  std::vector<std::size_t> counts = replica_counts();
+  std::vector<std::string> roots = env_roots([] {
+    auto r = workload::mpi_dependent_roots();
+    r.push_back("py-shroud");
+    return r;
+  }());
+  // One repository + cache per replica count (packages differ).
+  std::map<std::size_t, repo::Repository> repos;
+  std::map<std::size_t, std::vector<spec::Spec>> locals;
+
+  Setup() {
+    for (std::size_t c : counts) {
+      repos.emplace(c, workload::radiuss_repo(c));
+      // mpich-built stacks only: with an openmpi alternative in the cache
+      // the solver would satisfy "not mpich" by wholesale reuse instead of
+      // splicing, which is not the scenario §6.4 measures.
+      std::vector<spec::Spec> specs = workload::local_cache_specs(repos.at(c));
+      std::vector<spec::Spec> mpich_only;
+      for (auto& s : specs) {
+        if (s.find("openmpi") == nullptr) mpich_only.push_back(std::move(s));
+      }
+      locals.emplace(c, std::move(mpich_only));
+    }
+  }
+};
+
+Setup* setup = nullptr;
+Samples samples;
+
+void run_cell(benchmark::State& state, std::size_t replicas,
+              const std::string& root) {
+  const auto& repo = setup->repos.at(replicas);
+  const auto& cache_specs = setup->locals.at(replicas);
+  ConcretizerOptions opts;
+  opts.encoding = ReuseEncoding::Indirect;
+  opts.enable_splicing = true;
+  // "We require that concretized specs do not depend on mpich, but do not
+  // constrain which of the replicas the concretizer chooses."
+  Request request(root);
+  request.forbidden.push_back("mpich");
+  bool expect_splice = workload::depends_on_mpi(root);
+  for (auto _ : state) {
+    Concretizer c(repo, opts);
+    for (const auto& s : cache_specs) c.add_reusable(s);
+    concretize::ConcretizeResult result;
+    double seconds = time_call([&] { result = c.concretize(request); });
+    if (expect_splice && !result.used_splice()) {
+      std::fprintf(stderr, "fig7: no spliced solution for %s at %zu replicas\n",
+                   root.c_str(), replicas);
+      std::abort();
+    }
+    samples.add("n" + std::to_string(replicas), root, seconds);
+    state.SetIterationTime(seconds);
+  }
+}
+
+void print_summary() {
+  std::printf("\n=== Figure 7: concretization time vs number of splice "
+              "candidates (local cache) ===\n");
+  std::printf("%-16s", "root");
+  for (std::size_t c : setup->counts) std::printf(" %8zu", c);
+  std::printf("\n");
+  for (const std::string& root : setup->roots) {
+    std::printf("%-16s", root.c_str());
+    for (std::size_t c : setup->counts) {
+      std::printf(" %7.3fs", samples.stat("n" + std::to_string(c), root).mean);
+    }
+    std::printf("%s\n", workload::depends_on_mpi(root) ? "" : "  (control)");
+  }
+  // Aggregate % increase from the smallest to the largest count over the
+  // MPI-dependent subset.
+  if (setup->counts.size() >= 2) {
+    Samples mpi_only;
+    for (const std::string& root : setup->roots) {
+      if (!workload::depends_on_mpi(root)) continue;
+      for (std::size_t c : setup->counts) {
+        std::string series = "n" + std::to_string(c);
+        auto st = samples.stat(series, root);
+        if (st.n > 0) mpi_only.add(series, root, st.mean);
+      }
+    }
+    std::size_t lo_n = setup->counts.front();
+    std::size_t hi_n = setup->counts.back();
+    double lo = mpi_only.series_mean("n" + std::to_string(lo_n));
+    double hi = mpi_only.series_mean("n" + std::to_string(hi_n));
+    std::printf("\nAverage over MPI-dependent specs: %zu replicas %.3fs -> "
+                "%zu replicas %.3fs: +%.1f%% (paper, 10->100: +74.2%%)\n",
+                lo_n, lo, hi_n, hi, pct_increase(lo, hi));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Setup s;
+  setup = &s;
+  std::printf("fig7: %zu roots, reps=%zu, replica counts:", s.roots.size(),
+              s.reps);
+  for (std::size_t c : s.counts) std::printf(" %zu", c);
+  std::printf("\n");
+
+  for (std::size_t c : s.counts) {
+    for (const std::string& root : s.roots) {
+      std::string name =
+          "fig7/replicas:" + std::to_string(c) + "/" + root;
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [c, root](benchmark::State& st) { run_cell(st, c, root); })
+          ->Iterations(1)
+          ->Repetitions(static_cast<int>(s.reps))
+          ->ReportAggregatesOnly(true)
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_summary();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Table 1 companion: spec syntax parsing and core spec-operation
+// microbenchmarks.  Every sigil row of the paper's Table 1 is exercised by
+// the parsed corpus; satisfies/hash costs bound what the concretizer's fact
+// compiler pays per reusable spec.
+#include <benchmark/benchmark.h>
+
+#include "src/spec/spec.hpp"
+
+namespace {
+
+using splice::spec::Spec;
+
+const char* kCorpus[] = {
+    "hdf5@1.14.5",
+    "hdf5+cxx",
+    "hdf5~mpi",
+    "hdf5 ^zlib",
+    "hdf5%clang",
+    "hdf5 target=icelake",
+    "hdf5 api=default",
+    "example@1.0.0 +bzip os=centos8 target=skylake"
+    " ^bzip2@1.0.8 ~debug+pic+shared ^zlib@1.2.11 +optimize+pic+shared"
+    " ^mpich@3.1 pmi=pmix",
+    "trilinos@13.4.1+mpi+openmp ^mpich@3.4.3 ^openblas threads=openmp"
+    " ^metis+int64 %cmake@3.23:",
+};
+
+void BM_SpecParse(benchmark::State& state) {
+  std::size_t i = 0;
+  for (auto _ : state) {
+    Spec s = Spec::parse(kCorpus[i % std::size(kCorpus)]);
+    benchmark::DoNotOptimize(s.nodes().size());
+    ++i;
+  }
+}
+BENCHMARK(BM_SpecParse);
+
+Spec make_concrete_chain(int n) {
+  Spec s = Spec::make("root");
+  s.root().versions =
+      splice::spec::VersionConstraint::exactly(splice::spec::Version::parse("1.0"));
+  s.root().os = "linux";
+  s.root().target = "x86_64";
+  for (int i = 1; i <= n; ++i) {
+    splice::spec::SpecNode node;
+    node.name = "dep" + std::to_string(i);
+    node.versions = splice::spec::VersionConstraint::exactly(
+        splice::spec::Version::parse("1." + std::to_string(i)));
+    node.os = "linux";
+    node.target = "x86_64";
+    std::size_t idx = s.add_node(std::move(node));
+    s.add_dep(idx - 1, idx, splice::spec::DepType::Link);
+  }
+  s.finalize_concrete();
+  return s;
+}
+
+void BM_DagHash(benchmark::State& state) {
+  Spec s = make_concrete_chain(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    s.finalize_concrete();
+    benchmark::DoNotOptimize(s.dag_hash());
+  }
+}
+BENCHMARK(BM_DagHash)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_Satisfies(benchmark::State& state) {
+  Spec have = make_concrete_chain(16);
+  Spec want = Spec::parse("root@1.0 ^dep8@1.8 ^dep16");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(have.satisfies(want));
+  }
+}
+BENCHMARK(BM_Satisfies);
+
+void BM_JsonRoundTrip(benchmark::State& state) {
+  Spec s = make_concrete_chain(16);
+  for (auto _ : state) {
+    Spec back = Spec::from_json(s.to_json());
+    benchmark::DoNotOptimize(back.dag_hash());
+  }
+}
+BENCHMARK(BM_JsonRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// The dependency-update scenario (paper §2.2, §4): update a deep dependency
+// without "rebuilding the world".
+//
+//   $ ./dependency_update
+//
+// A stack imageapp -> libpng -> zlib is installed against zlib 1.2.13.  The
+// zlib developers release 1.3.1 and declare (via can_splice) that it is
+// ABI-compatible with 1.2.13.  Requesting the stack with the new zlib
+// rebuilds exactly one package; every dependent is patched in place.
+#include <cstdio>
+
+#include "src/binary/buildcache.hpp"
+#include "src/binary/database.hpp"
+#include "src/binary/installer.hpp"
+#include "src/concretize/concretizer.hpp"
+
+using namespace splice;
+
+int main() {
+  std::printf("== dependency update without rebuild-the-world ==\n\n");
+
+  repo::Repository repo;
+  repo.add(repo::PackageDef("zlib")
+               .version("1.3.1")
+               .version("1.2.13")
+               // The zlib developers vouch: 1.3.1 can replace 1.2.13.
+               .can_splice("zlib@1.2.13", "@1.3.1"));
+  repo.add(repo::PackageDef("libpng").version("1.6.40").depends_on("zlib"));
+  repo.add(repo::PackageDef("imageapp")
+               .version("1.0")
+               .depends_on("libpng")
+               .depends_on("zlib"));
+  repo.validate();
+
+  auto scratch = std::filesystem::temp_directory_path() / "splice-update-demo";
+  std::filesystem::remove_all(scratch);
+  binary::BuildCache cache(scratch / "cache");
+  binary::InstalledDatabase db{binary::InstallLayout(scratch / "store")};
+  binary::Installer inst(db);
+
+  // Install the old stack.
+  concretize::Concretizer base(repo);
+  spec::Spec old_stack =
+      base.concretize(concretize::Request("imageapp ^zlib@1.2.13")).spec;
+  inst.install_from_source(old_stack);
+  inst.push_to_cache(old_stack, cache);
+  std::printf("installed stack:\n%s\n", old_stack.tree().c_str());
+
+  // Without splicing: a new zlib forces rebuilding the entire stack.
+  {
+    concretize::ConcretizerOptions opts;
+    opts.encoding = concretize::ReuseEncoding::Indirect;
+    opts.enable_splicing = false;
+    concretize::Concretizer c(repo, opts);
+    c.add_reusable(old_stack);
+    auto r = c.concretize(concretize::Request("imageapp ^zlib@1.3.1"));
+    std::printf("WITHOUT splicing, updating zlib needs %zu rebuilds:",
+                r.build_names.size());
+    for (const auto& b : r.build_names) std::printf(" %s", b.c_str());
+    std::printf("  <- the cascading rebuild problem\n\n");
+  }
+
+  // With splicing: one build.
+  concretize::ConcretizerOptions opts;
+  opts.encoding = concretize::ReuseEncoding::Indirect;
+  opts.enable_splicing = true;
+  concretize::Concretizer c(repo, opts);
+  c.add_reusable(old_stack);
+  auto updated = c.concretize(concretize::Request("imageapp ^zlib@1.3.1"));
+  std::printf("WITH splicing, updating zlib needs %zu rebuild(s):",
+              updated.build_names.size());
+  for (const auto& b : updated.build_names) std::printf(" %s", b.c_str());
+  std::printf("\n\nupdated solution:\n%s\n", updated.spec.tree().c_str());
+
+  // Execute: build the new zlib, rewire libpng and imageapp.
+  for (std::size_t i = 0; i < updated.spec.nodes().size(); ++i) {
+    if (updated.spec.nodes()[i].name == "zlib") {
+      inst.install_from_source(updated.spec.subdag(i));
+    }
+  }
+  auto report = inst.rewire(updated.spec, cache);
+  std::printf("install: %zu rewired, %zu reused, %zu built\n", report.rewired,
+              report.reused, report.built);
+  inst.verify_runnable(updated.spec);
+  std::printf("loader check: the updated stack runs against zlib %s.\n",
+              updated.spec.find("zlib")->concrete_version()->str().c_str());
+
+  std::filesystem::remove_all(scratch);
+  return 0;
+}

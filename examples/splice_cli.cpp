@@ -1,0 +1,206 @@
+// splice_cli: a miniature Spack-like command-line driver over the RADIUSS
+// workload repository, tying every subsystem together.
+//
+//   splice_cli <store-dir> <command> [args...]
+//
+//   commands:
+//     list                         installed specs in the store
+//     find <spec>                  installed specs matching a constraint
+//     concretize <spec> [--splice] solve and print the concrete tree
+//     install <spec>               concretize + build from source
+//     push <cache-dir>             publish every installed spec
+//     cache-list <cache-dir>       what a buildcache contains
+//     deploy <spec> <cache-dir>    concretize against the cache with
+//                                  splicing enabled, install by rewiring,
+//                                  and run the loader check
+//     suggest                      ABI discovery over installed binaries
+//
+// Example session (two "machines" sharing a cache):
+//   splice_cli /tmp/host1 install "laghos ^mpich"
+//   splice_cli /tmp/host1 push /tmp/cache
+//   splice_cli /tmp/host2 install "mpiabi"
+//   splice_cli /tmp/host2 deploy "laghos ^mpiabi" /tmp/cache
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/abi/discovery.hpp"
+#include "src/binary/buildcache.hpp"
+#include "src/binary/database.hpp"
+#include "src/binary/installer.hpp"
+#include "src/concretize/concretizer.hpp"
+#include "src/support/error.hpp"
+#include "src/workload/radiuss.hpp"
+
+using namespace splice;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: splice_cli <store-dir> <command> [args...]\n"
+               "  list | find <spec> | concretize <spec> [--splice] |\n"
+               "  install <spec> | push <cache> | cache-list <cache> |\n"
+               "  deploy <spec> <cache> | suggest\n");
+  return 2;
+}
+
+concretize::ConcretizerOptions splice_options() {
+  concretize::ConcretizerOptions o;
+  o.encoding = concretize::ReuseEncoding::Indirect;
+  o.enable_splicing = true;
+  return o;
+}
+
+struct Cli {
+  repo::Repository repo = workload::radiuss_repo();
+  binary::InstalledDatabase db;
+  binary::Installer installer;
+
+  explicit Cli(const std::string& store)
+      : db(binary::InstallLayout(store)),
+        installer(db, workload::radiuss_abi_surface) {}
+
+  int list() {
+    auto records = db.all();
+    std::printf("%zu installed specs in %s\n", records.size(),
+                db.layout().root().c_str());
+    for (const auto* rec : records) {
+      std::printf("  [%s] %s%s\n", rec->spec.dag_hash().substr(0, 8).c_str(),
+                  rec->spec.root().name.c_str(),
+                  rec->spec.is_spliced() ? "  (spliced)" : "");
+    }
+    return 0;
+  }
+
+  int find(const std::string& text) {
+    spec::Spec constraint = spec::Spec::parse(text);
+    auto hits = db.query(constraint);
+    std::printf("%zu installed specs satisfy '%s'\n", hits.size(), text.c_str());
+    for (const auto* rec : hits) {
+      std::printf("  [%s] %s\n", rec->spec.dag_hash().substr(0, 8).c_str(),
+                  rec->spec.str().c_str());
+    }
+    return 0;
+  }
+
+  concretize::ConcretizeResult solve(const std::string& text, bool with_splice,
+                                     const binary::BuildCache* cache) {
+    concretize::Concretizer c(repo, with_splice
+                                        ? splice_options()
+                                        : concretize::ConcretizerOptions{});
+    for (const auto* rec : db.all()) c.add_reusable(rec->spec);
+    if (cache != nullptr) {
+      for (const auto* s : cache->specs()) c.add_reusable(*s);
+    }
+    return c.concretize(concretize::Request(text));
+  }
+
+  int concretize_cmd(const std::string& text, bool with_splice) {
+    auto result = solve(text, with_splice, nullptr);
+    std::printf("%s", result.spec.tree().c_str());
+    std::printf("\n%zu to build, %zu reused, %zu spliced  (%.3fs: ground "
+                "%.3fs, solve %.3fs)\n",
+                result.build_names.size(), result.reused_hashes.size(),
+                result.splices.size(), result.stats.total_seconds(),
+                result.stats.ground_seconds, result.stats.solve_seconds);
+    for (const auto& s : result.splices) {
+      std::printf("splice: %s: %s -> %s\n", s.parent_name.c_str(),
+                  s.replaced_name.c_str(), s.replacement_name.c_str());
+    }
+    return 0;
+  }
+
+  int install(const std::string& text) {
+    auto result = solve(text, false, nullptr);
+    auto report = installer.install_from_source(result.spec);
+    installer.verify_runnable(result.spec);
+    std::printf("installed %s: %zu built, %zu reused, %llu bytes\n",
+                result.spec.root().name.c_str(), report.built, report.reused,
+                static_cast<unsigned long long>(report.bytes_written));
+    return 0;
+  }
+
+  int push(const std::string& cache_dir) {
+    binary::BuildCache cache{cache_dir};
+    for (const auto* rec : db.all()) {
+      installer.push_to_cache(rec->spec, cache);
+    }
+    std::printf("buildcache %s now holds %zu specs\n", cache_dir.c_str(),
+                cache.size());
+    return 0;
+  }
+
+  int cache_list(const std::string& cache_dir) {
+    binary::BuildCache cache{cache_dir};
+    std::printf("%zu cached specs in %s\n", cache.size(), cache_dir.c_str());
+    for (const auto* s : cache.specs()) {
+      std::printf("  [%s] %s\n", s->dag_hash().substr(0, 8).c_str(),
+                  s->str().c_str());
+    }
+    return 0;
+  }
+
+  int deploy(const std::string& text, const std::string& cache_dir) {
+    binary::BuildCache cache{cache_dir};
+    auto result = solve(text, true, &cache);
+    std::printf("%s", result.spec.tree().c_str());
+    if (!result.build_names.empty()) {
+      std::printf("\nbuilding from source:");
+      for (const auto& b : result.build_names) std::printf(" %s", b.c_str());
+      std::printf("\n");
+      for (std::size_t i = 0; i < result.spec.nodes().size(); ++i) {
+        const auto& n = result.spec.nodes()[i];
+        bool needs_build =
+            std::find(result.build_names.begin(), result.build_names.end(),
+                      n.name) != result.build_names.end();
+        if (needs_build) installer.install_from_source(result.spec.subdag(i));
+      }
+    }
+    auto report = installer.rewire(result.spec, cache);
+    installer.verify_runnable(result.spec);
+    std::printf("deployed: %zu rewired, %zu relocated, %zu reused, %zu "
+                "built; loader check OK\n",
+                report.rewired, report.relocated, report.reused, report.built);
+    return 0;
+  }
+
+  int suggest() {
+    abi::AbiDiscovery discovery;
+    discovery.scan_database(db);
+    auto suggestions = discovery.suggest();
+    std::printf("scanned %zu binaries; %zu can_splice suggestions:\n",
+                discovery.num_binaries(), suggestions.size());
+    for (const auto& s : suggestions) {
+      std::printf("  %s: %s   %% %s\n", s.replacement_package.c_str(),
+                  s.directive_text().c_str(), s.rationale.c_str());
+    }
+    return 0;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  std::string store = argv[1];
+  std::string cmd = argv[2];
+  try {
+    Cli cli(store);
+    if (cmd == "list") return cli.list();
+    if (cmd == "find" && argc >= 4) return cli.find(argv[3]);
+    if (cmd == "concretize" && argc >= 4) {
+      bool with_splice = argc >= 5 && std::strcmp(argv[4], "--splice") == 0;
+      return cli.concretize_cmd(argv[3], with_splice);
+    }
+    if (cmd == "install" && argc >= 4) return cli.install(argv[3]);
+    if (cmd == "push" && argc >= 4) return cli.push(argv[3]);
+    if (cmd == "cache-list" && argc >= 4) return cli.cache_list(argv[3]);
+    if (cmd == "deploy" && argc >= 5) return cli.deploy(argv[3], argv[4]);
+    if (cmd == "suggest") return cli.suggest();
+    return usage();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,105 @@
+#include "src/abi/discovery.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "src/support/error.hpp"
+
+namespace splice::abi {
+
+using binary::MockBinary;
+using spec::Spec;
+
+AbiComparison compare_exports(const MockBinary& a, const MockBinary& b) {
+  std::set<std::string> ea(a.exports.begin(), a.exports.end());
+  std::set<std::string> eb(b.exports.begin(), b.exports.end());
+  AbiComparison out;
+  std::set_intersection(ea.begin(), ea.end(), eb.begin(), eb.end(),
+                        std::back_inserter(out.shared));
+  std::set_difference(ea.begin(), ea.end(), eb.begin(), eb.end(),
+                      std::back_inserter(out.only_in_a));
+  std::set_difference(eb.begin(), eb.end(), ea.begin(), ea.end(),
+                      std::back_inserter(out.only_in_b));
+  return out;
+}
+
+std::string SpliceSuggestion::directive_text() const {
+  std::string out = "can_splice(\"" + target + "\"";
+  if (!when.empty()) out += ", when=\"" + when + "\"";
+  out += ")";
+  return out;
+}
+
+void AbiDiscovery::scan_database(const binary::InstalledDatabase& db) {
+  for (const binary::InstallRecord* rec : db.all()) {
+    auto lib = db.layout().lib_path(rec->spec.root());
+    std::ifstream in(lib, std::ios::binary);
+    if (!in) continue;  // metadata without artifact
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    add_binary(rec->spec, MockBinary::parse(ss.str()));
+  }
+}
+
+void AbiDiscovery::scan_buildcache(const binary::BuildCache& cache) {
+  for (const Spec* s : cache.specs()) {
+    std::string bytes;
+    try {
+      bytes = cache.fetch_binary(s->dag_hash());
+    } catch (const BinaryError&) {
+      continue;  // index-only entry
+    }
+    add_binary(*s, MockBinary::parse(bytes));
+  }
+}
+
+void AbiDiscovery::add_binary(const Spec& node_spec, MockBinary bin) {
+  if (!node_spec.is_concrete()) {
+    throw Error("abi discovery: spec is not concrete: " + node_spec.str());
+  }
+  entries_.push_back(Entry{node_spec, std::move(bin)});
+}
+
+std::vector<SpliceSuggestion> AbiDiscovery::suggest() const {
+  std::vector<SpliceSuggestion> out;
+  std::set<std::string> seen;
+  for (const Entry& candidate : entries_) {
+    for (const Entry& target : entries_) {
+      const auto& cn = candidate.spec.root();
+      const auto& tn = target.spec.root();
+      // Same binary configuration: nothing to gain.
+      if (cn.name == tn.name &&
+          cn.concrete_version() == tn.concrete_version()) {
+        continue;
+      }
+      AbiComparison cmp = compare_exports(candidate.bin, target.bin);
+      if (!cmp.a_covers_b() || cmp.shared.empty()) continue;
+
+      SpliceSuggestion s;
+      s.replacement_package = cn.name;
+      s.when = "@" + cn.concrete_version()->str();
+      s.target = tn.name + "@" + tn.concrete_version()->str();
+      s.rationale = "exports cover target (" +
+                    std::to_string(cmp.shared.size()) + " shared symbols" +
+                    (cmp.only_in_a.empty()
+                         ? ", identical surface)"
+                         : ", +" + std::to_string(cmp.only_in_a.size()) +
+                               " extra)");
+      std::string key = s.replacement_package + "|" + s.when + "|" + s.target;
+      if (seen.insert(key).second) out.push_back(std::move(s));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpliceSuggestion& a, const SpliceSuggestion& b) {
+              if (a.replacement_package != b.replacement_package) {
+                return a.replacement_package < b.replacement_package;
+              }
+              if (a.when != b.when) return a.when < b.when;
+              return a.target < b.target;
+            });
+  return out;
+}
+
+}  // namespace splice::abi

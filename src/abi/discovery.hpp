@@ -1,0 +1,82 @@
+// Automated ABI discovery: the paper's future work (§8), prototyped.
+//
+// "Currently, ABI compatibility must be specified by package developers
+//  manually adding can_splice to their package classes. ... In the future,
+//  we will develop methods for automating ABI discovery."
+//
+// This module inspects *binaries* — the installed store and/or buildcache
+// artifacts — instead of trusting declarations: it compares exported symbol
+// surfaces between package configurations and proposes can_splice
+// directives wherever one binary provably exports (a superset of) another's
+// ABI.  The analogue for real ELF objects is libabigail-style symbol and
+// type-layout diffing; our mock binaries carry the symbol surface directly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/binary/buildcache.hpp"
+#include "src/binary/database.hpp"
+#include "src/binary/mockbin.hpp"
+#include "src/spec/spec.hpp"
+
+namespace splice::abi {
+
+/// Result of comparing two export surfaces.
+struct AbiComparison {
+  std::vector<std::string> shared;
+  std::vector<std::string> only_in_a;
+  std::vector<std::string> only_in_b;
+
+  /// a's binary can stand in for b's: every symbol b exports, a exports too.
+  bool a_covers_b() const { return only_in_b.empty(); }
+  bool b_covers_a() const { return only_in_a.empty(); }
+  bool identical() const { return only_in_a.empty() && only_in_b.empty(); }
+};
+
+AbiComparison compare_exports(const binary::MockBinary& a,
+                              const binary::MockBinary& b);
+
+/// A proposed can_splice directive.
+struct SpliceSuggestion {
+  std::string replacement_package;  ///< package that would declare it
+  std::string when;                 ///< constraint on the replacement ("@v")
+  std::string target;               ///< spec text of what it can replace
+  std::string rationale;            ///< evidence from the binary comparison
+
+  /// Render as the packaging-DSL call.
+  std::string directive_text() const;
+};
+
+/// Scans stores/caches for ABI-compatible replacement opportunities.
+class AbiDiscovery {
+ public:
+  AbiDiscovery() = default;
+
+  /// Add every binary of an installed store.
+  void scan_database(const binary::InstalledDatabase& db);
+
+  /// Add every binary artifact of a buildcache (index-only entries are
+  /// skipped).
+  void scan_buildcache(const binary::BuildCache& cache);
+
+  /// Add one binary with its spec (the granular entry point).
+  void add_binary(const spec::Spec& node_spec, binary::MockBinary bin);
+
+  std::size_t num_binaries() const { return entries_.size(); }
+
+  /// Pairwise analysis: for each ordered pair of distinct configurations
+  /// where the candidate's exports cover the target's, emit a suggestion.
+  /// Pairs of the same package at the same version are skipped (nothing to
+  /// splice).  Deterministic order, deduplicated.
+  std::vector<SpliceSuggestion> suggest() const;
+
+ private:
+  struct Entry {
+    spec::Spec spec;  // single-node or sub-DAG; root describes the binary
+    binary::MockBinary bin;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace splice::abi

@@ -1,0 +1,20 @@
+// Umbrella header for the mini-ASP engine.
+//
+// The engine reproduces the Clingo subset Spack's concretizer relies on:
+// first-order rules with negation and comparisons, bounded choice rules,
+// and prioritized #minimize statements, solved to optimal stable models.
+//
+//   Program p = parse_program(R"(
+//     node("example").
+//     1 { version(N, V) : version_declared(N, V) } 1 :- node(N).
+//     #minimize { 1@1, N, V : version(N, V), version_weight(N, V, W) }.
+//   )");
+//   SolveResult r = solve_program(p);
+//   if (r.sat) { ... r.model.atoms ... }
+#pragma once
+
+#include "src/asp/ground.hpp"    // IWYU pragma: export
+#include "src/asp/parser.hpp"    // IWYU pragma: export
+#include "src/asp/program.hpp"   // IWYU pragma: export
+#include "src/asp/solve.hpp"     // IWYU pragma: export
+#include "src/asp/term.hpp"      // IWYU pragma: export

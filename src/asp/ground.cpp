@@ -1,0 +1,569 @@
+#include "src/asp/ground.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+#include "src/support/error.hpp"
+#include "src/support/hash.hpp"
+
+namespace splice::asp {
+
+AtomId GroundProgram::intern_atom(Term t) {
+  auto it = ids_.find(t);
+  if (it != ids_.end()) return it->second;
+  auto id = static_cast<AtomId>(atoms_.size());
+  atoms_.push_back(t);
+  ids_.emplace(t, id);
+  return id;
+}
+
+std::optional<AtomId> GroundProgram::find_atom(Term t) const {
+  auto it = ids_.find(t);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+namespace {
+
+/// Per-signature store of ground atoms with lazily built, incrementally
+/// maintained argument indexes (a full rebuild per add would make growing
+/// derived predicates quadratic).
+class AtomStore {
+ public:
+  /// Register a ground atom; returns true if new.
+  bool add(Term atom) {
+    if (!set_.insert(atom).second) return false;
+    auto& pred = preds_[atom.signature()];
+    pred.atoms.push_back(atom);
+    for (auto& [argpos, index] : pred.indexes) {
+      index.map[atom.args()[argpos].id()].push_back(atom);
+      ++index.size_at_build;
+    }
+    return true;
+  }
+
+  bool contains(Term atom) const { return set_.count(atom) > 0; }
+  std::size_t size() const { return set_.size(); }
+
+  /// All atoms with the given signature.
+  const std::vector<Term>& all(const std::string& sig) const {
+    static const std::vector<Term> kEmpty;
+    auto it = preds_.find(sig);
+    return it == preds_.end() ? kEmpty : it->second.atoms;
+  }
+
+  /// Atoms with the given signature whose argument `argpos` equals `value`.
+  /// Only valid for Fun atoms.  Index built on first use per (sig, argpos),
+  /// then kept up to date by add().
+  const std::vector<Term>& lookup(const std::string& sig, std::size_t argpos,
+                                  Term value) {
+    static const std::vector<Term> kEmpty;
+    auto it = preds_.find(sig);
+    if (it == preds_.end()) return kEmpty;
+    Pred& pred = it->second;
+    auto& index = pred.indexes[argpos];
+    if (index.size_at_build != pred.atoms.size()) {
+      index.map.clear();
+      for (Term a : pred.atoms) {
+        index.map[a.args()[argpos].id()].push_back(a);
+      }
+      index.size_at_build = pred.atoms.size();
+    }
+    auto vit = index.map.find(value.id());
+    return vit == index.map.end() ? kEmpty : vit->second;
+  }
+
+ private:
+  struct ArgIndex {
+    std::unordered_map<std::uint32_t, std::vector<Term>> map;
+    std::size_t size_at_build = 0;
+  };
+  struct Pred {
+    std::vector<Term> atoms;
+    std::unordered_map<std::size_t, ArgIndex> indexes;
+  };
+  std::unordered_set<Term, TermHash> set_;
+  std::unordered_map<std::string, Pred> preds_;
+};
+
+/// Key for deduplicating ground rule instances.
+std::uint64_t instance_key(const Term& head, const std::vector<Literal>& body) {
+  Hasher h;
+  h.field_u64(head.valid() ? head.id() : 0xffffffffu);
+  for (const Literal& l : body) {
+    h.field_u64(l.atom.id());
+    h.field_u64(l.positive ? 1 : 0);
+  }
+  return h.lo() ^ h.hi();
+}
+
+/// A fully instantiated (ground) rule awaiting negation resolution.
+struct Instance {
+  const Rule* rule;
+  Term head;                    // ground head atom (Atom rules)
+  std::vector<Literal> body;    // ground literals, pos and neg
+  std::vector<GChoiceElem> choice_elements;  // filled later for choices
+};
+
+class Grounder {
+ public:
+  explicit Grounder(const Program& program) : program_(program) {}
+
+  GroundProgram run() {
+    auto t0 = std::chrono::steady_clock::now();
+    prepare_rules();
+    fixpoint();
+    GroundProgram out;
+    emit(out);
+    auto t1 = std::chrono::steady_clock::now();
+    out.stats.possible_atoms = possible_.size();
+    out.stats.certain_atoms = certain_.size();
+    out.stats.rules = out.rules.size();
+    out.stats.choices = out.choices.size();
+    out.stats.iterations = iterations_;
+    out.stats.seconds = std::chrono::duration<double>(t1 - t0).count();
+    return out;
+  }
+
+ private:
+  // -- preparation ---------------------------------------------------------
+
+  struct PreparedRule {
+    const Rule* rule;
+    // Positive body literals in join order; element 0 is re-pointed at the
+    // delta during semi-naive rounds.
+    std::vector<const Literal*> pos;
+    std::vector<const Literal*> neg;
+  };
+
+  void prepare_rules() {
+    for (const Rule& r : program_.rules()) {
+      PreparedRule pr;
+      pr.rule = &r;
+      for (const Literal& l : r.body) {
+        (l.positive ? pr.pos : pr.neg).push_back(&l);
+      }
+      order_join(pr.pos);
+      prepared_.push_back(std::move(pr));
+    }
+  }
+
+  /// Greedy join ordering: start from the literal with the fewest variables,
+  /// then repeatedly take the literal sharing the most already-bound
+  /// variables (ties: fewer unbound variables first).
+  static void order_join(std::vector<const Literal*>& lits) {
+    if (lits.size() < 2) return;
+    std::vector<const Literal*> ordered;
+    std::vector<Term> bound;
+    std::vector<bool> used(lits.size(), false);
+    auto var_count = [](const Literal* l) {
+      std::vector<Term> vs;
+      collect_vars(l->atom, vs);
+      return vs.size();
+    };
+    for (std::size_t step = 0; step < lits.size(); ++step) {
+      std::size_t best = SIZE_MAX;
+      long best_shared = 0;
+      std::size_t best_unbound = 0;
+      for (std::size_t i = 0; i < lits.size(); ++i) {
+        if (used[i]) continue;
+        std::vector<Term> vs;
+        collect_vars(lits[i]->atom, vs);
+        long shared = 0;
+        std::size_t unbound = 0;
+        for (Term v : vs) {
+          if (std::find(bound.begin(), bound.end(), v) != bound.end()) {
+            ++shared;
+          } else {
+            ++unbound;
+          }
+        }
+        if (step == 0) {  // seed with the most constrained literal
+          shared = -static_cast<long>(var_count(lits[i]));
+          unbound = 0;
+        }
+        if (best == SIZE_MAX || shared > best_shared ||
+            (shared == best_shared && unbound < best_unbound)) {
+          best = i;
+          best_shared = shared;
+          best_unbound = unbound;
+        }
+      }
+      used[best] = true;
+      ordered.push_back(lits[best]);
+      collect_vars(lits[best]->atom, bound);
+    }
+    lits = std::move(ordered);
+  }
+
+  // -- fixpoint ------------------------------------------------------------
+
+  void fixpoint() {
+    // Seed: ground facts (rules with empty bodies and ground heads are the
+    // common case and are special-cased for speed).
+    std::vector<Term> delta;
+    for (PreparedRule& pr : prepared_) {
+      const Rule& r = *pr.rule;
+      if (!r.body.empty()) continue;
+      if (r.head.kind == Head::Kind::Atom && r.head.atom.is_ground() &&
+          r.comparisons.empty() && pr.neg.empty()) {
+        if (store_.add(r.head.atom)) delta.push_back(r.head.atom);
+        certain_.insert(r.head.atom);
+        possible_.insert(r.head.atom);
+        pr.rule = nullptr;  // consumed
+      }
+    }
+
+    bool first_round = true;
+    while (true) {
+      ++iterations_;
+      // Bucket the delta by predicate signature: a pivot literal can only
+      // match atoms of its own predicate, so this avoids scanning the whole
+      // delta per rule.
+      std::unordered_map<std::string, std::vector<Term>> delta_by_sig;
+      for (Term d : delta) delta_by_sig[d.signature()].push_back(d);
+
+      std::vector<Term> next_delta;
+      for (PreparedRule& pr : prepared_) {
+        if (pr.rule == nullptr) continue;
+        if (pr.pos.empty()) {
+          if (first_round) instantiate(pr, Bindings(), 0, nullptr, next_delta);
+          continue;
+        }
+        if (first_round) {
+          Bindings b;
+          instantiate(pr, b, 0, nullptr, next_delta);
+        } else {
+          // Semi-naive: some positive literal must match the delta.  Try each
+          // literal position as the pivot.
+          for (std::size_t pivot = 0; pivot < pr.pos.size(); ++pivot) {
+            auto bucket = delta_by_sig.find(pr.pos[pivot]->atom.signature());
+            if (bucket == delta_by_sig.end()) continue;
+            for (Term d : bucket->second) {
+              Bindings b;
+              if (!match(pr.pos[pivot]->atom, d, b)) continue;
+              instantiate_skip(pr, b, 0, pivot, next_delta);
+            }
+          }
+        }
+      }
+      if (next_delta.empty()) break;
+      delta = std::move(next_delta);
+      first_round = false;
+    }
+  }
+
+  /// Backtracking join over pr.pos[i..]; `skip` marks a literal already
+  /// matched (the semi-naive pivot).
+  void instantiate_skip(PreparedRule& pr, Bindings& b, std::size_t i,
+                        std::size_t skip, std::vector<Term>& next_delta) {
+    if (i == pr.pos.size()) {
+      finish_instance(pr, b, next_delta);
+      return;
+    }
+    if (i == skip) {
+      instantiate_skip(pr, b, i + 1, skip, next_delta);
+      return;
+    }
+    match_literal(pr.pos[i]->atom, b, [&](Bindings& nb) {
+      instantiate_skip(pr, nb, i + 1, skip, next_delta);
+    });
+  }
+
+  void instantiate(PreparedRule& pr, Bindings b, std::size_t i,
+                   const Term* /*unused*/, std::vector<Term>& next_delta) {
+    instantiate_skip(pr, b, i, SIZE_MAX, next_delta);
+  }
+
+  /// Enumerate ground atoms matching `pattern` under `b`, invoking `k` with
+  /// the extended bindings for each.
+  template <typename K>
+  void match_literal(Term pattern, Bindings& b, K&& k) {
+    Term inst = substitute(pattern, b);
+    if (inst.is_ground()) {
+      if (store_.contains(inst)) k(b);
+      return;
+    }
+    std::string sig = inst.signature();
+    const std::vector<Term>* candidates = nullptr;
+    if (inst.kind() == TermKind::Fun) {
+      // Pick a ground argument position to use as index key, if any.
+      for (std::size_t p = 0; p < inst.args().size(); ++p) {
+        if (inst.args()[p].is_ground()) {
+          candidates = &store_.lookup(sig, p, inst.args()[p]);
+          break;
+        }
+      }
+    }
+    if (candidates == nullptr) candidates = &store_.all(sig);
+    // Copy: the continuation may add atoms to the store, reallocating the
+    // candidate vector mid-iteration (self-recursive predicates).
+    std::vector<Term> local(candidates->begin(), candidates->end());
+    std::size_t mark = b.size();
+    for (Term cand : local) {
+      if (match(inst, cand, b)) k(b);
+      b.truncate(mark);
+    }
+  }
+
+  void finish_instance(PreparedRule& pr, Bindings& b,
+                       std::vector<Term>& next_delta) {
+    const Rule& r = *pr.rule;
+    // Evaluate comparisons.
+    for (const Comparison& c : r.comparisons) {
+      Comparison g{c.op, substitute(c.lhs, b), substitute(c.rhs, b)};
+      if (!eval_comparison(g)) return;
+    }
+    // Ground negative literals.
+    std::vector<Literal> body;
+    body.reserve(r.body.size());
+    bool all_pos_certain = true;
+    for (const Literal* l : pr.pos) {
+      Term g = substitute(l->atom, b);
+      body.push_back({g, true});
+      if (!certain_.count(g)) all_pos_certain = false;
+    }
+    for (const Literal* l : pr.neg) {
+      Term g = substitute(l->atom, b);
+      if (!g.is_ground()) {
+        throw AspError("negative literal not ground after join: " +
+                       g.str_repr());
+      }
+      body.push_back({g, false});
+    }
+
+    switch (r.head.kind) {
+      case Head::Kind::Atom: {
+        Term head = substitute(r.head.atom, b);
+        std::uint64_t key = instance_key(head, body);
+        if (!seen_instances_.insert(key).second) return;
+        if (store_.add(head)) next_delta.push_back(head);
+        possible_.insert(head);
+        if (all_pos_certain && pr.neg.empty()) certain_.insert(head);
+        instances_.push_back(Instance{&r, head, std::move(body), {}});
+        break;
+      }
+      case Head::Kind::None: {
+        std::uint64_t key = instance_key(Term(), body);
+        if (!seen_instances_.insert(key).second) return;
+        instances_.push_back(Instance{&r, Term(), std::move(body), {}});
+        break;
+      }
+      case Head::Kind::Choice: {
+        // Ground each element's condition against the current store.
+        Instance inst{&r, Term(), std::move(body), {}};
+        for (const ChoiceElement& e : r.head.elements) {
+          ground_choice_element(e, b, inst);
+        }
+        std::uint64_t key = instance_key(Term(), inst.body);
+        Hasher h;
+        for (const GChoiceElem& ge : inst.choice_elements) {
+          h.field_u64(ge.atom);
+        }
+        key ^= h.lo();
+        if (!seen_instances_.insert(key).second) return;
+        for (const GChoiceElem& ge : inst.choice_elements) {
+          Term atom = pending_choice_atoms_[ge.atom];
+          if (store_.add(atom)) next_delta.push_back(atom);
+          possible_.insert(atom);
+        }
+        choice_instances_.push_back(std::move(inst));
+        break;
+      }
+    }
+  }
+
+  /// Enumerate matches of a choice element's positive condition, emitting one
+  /// GChoiceElem per match.  Atom ids here index pending_choice_atoms_ (the
+  /// final GroundProgram ids are assigned at emission).
+  void ground_choice_element(const ChoiceElement& e, Bindings& b,
+                             Instance& inst) {
+    std::vector<const Literal*> pos;
+    std::vector<const Literal*> neg;
+    for (const Literal& l : e.condition) (l.positive ? pos : neg).push_back(&l);
+
+    std::size_t mark = b.size();
+    enumerate_condition(pos, 0, b, [&]() {
+      Term atom = substitute(e.atom, b);
+      if (!atom.is_ground()) {
+        throw AspError("choice element atom not ground: " + atom.str_repr());
+      }
+      GChoiceElem ge;
+      ge.atom = static_cast<AtomId>(pending_choice_atoms_.size());
+      pending_choice_atoms_.push_back(atom);
+      for (const Literal* l : pos) {
+        ge.condition.push_back(
+            {static_cast<AtomId>(pending_cond_atoms_.size()), true});
+        pending_cond_atoms_.push_back(substitute(l->atom, b));
+      }
+      for (const Literal* l : neg) {
+        Term g = substitute(l->atom, b);
+        ge.condition.push_back(
+            {static_cast<AtomId>(pending_cond_atoms_.size()), false});
+        pending_cond_atoms_.push_back(g);
+      }
+      inst.choice_elements.push_back(std::move(ge));
+    });
+    b.truncate(mark);
+  }
+
+  template <typename K>
+  void enumerate_condition(const std::vector<const Literal*>& pos,
+                           std::size_t i, Bindings& b, K&& k) {
+    if (i == pos.size()) {
+      k();
+      return;
+    }
+    match_literal(pos[i]->atom, b,
+                  [&](Bindings&) { enumerate_condition(pos, i + 1, b, k); });
+  }
+
+  // -- emission ------------------------------------------------------------
+
+  /// Resolve a symbolic ground literal against the final possible/certain
+  /// sets.  Returns: 1 literal true (drop it), -1 literal false (drop rule),
+  /// 0 keep.
+  int resolve(const Literal& l) const {
+    bool poss = possible_.count(l.atom) > 0;
+    bool cert = certain_.count(l.atom) > 0;
+    if (l.positive) {
+      if (cert) return 1;
+      if (!poss) return -1;
+      return 0;
+    }
+    if (cert) return -1;
+    if (!poss) return 1;
+    return 0;
+  }
+
+  /// Resolve a full body; returns false when the body is unsatisfiable.
+  bool resolve_body(const std::vector<Literal>& in, GroundProgram& out,
+                    std::vector<GLit>& lits) const {
+    for (const Literal& l : in) {
+      int r = resolve(l);
+      if (r == -1) return false;
+      if (r == 1) continue;
+      lits.push_back({out.intern_atom(l.atom), l.positive});
+    }
+    return true;
+  }
+
+  void emit(GroundProgram& out) {
+    for (Term t : certain_) out.facts.push_back(out.intern_atom(t));
+
+    for (const Instance& inst : instances_) {
+      const Rule& r = *inst.rule;
+      std::vector<GLit> body;
+      if (!resolve_body(inst.body, out, body)) continue;
+      if (r.head.kind == Head::Kind::Atom) {
+        if (certain_.count(inst.head) > 0) continue;  // already a fact
+        if (body.empty()) {
+          // Fully simplified (e.g. negation over impossible atoms): the
+          // head is unconditionally true — emit a fact, not a rule.  This
+          // keeps the indirect reuse encoding's recovery layer out of the
+          // SAT solver when splicing is off.
+          certain_.insert(inst.head);
+          out.facts.push_back(out.intern_atom(inst.head));
+          continue;
+        }
+        GRule gr;
+        gr.has_head = true;
+        gr.head = out.intern_atom(inst.head);
+        gr.body = std::move(body);
+        out.rules.push_back(std::move(gr));
+      } else {
+        GRule gr;
+        gr.has_head = false;
+        gr.body = std::move(body);
+        out.rules.push_back(std::move(gr));
+      }
+    }
+
+    for (const Instance& inst : choice_instances_) {
+      const Rule& r = *inst.rule;
+      std::vector<GLit> body;
+      if (!resolve_body(inst.body, out, body)) continue;
+      GChoice gc;
+      gc.lower = r.head.lower;
+      gc.upper = r.head.upper;
+      gc.body = std::move(body);
+      for (const GChoiceElem& pe : inst.choice_elements) {
+        GChoiceElem ge;
+        ge.atom = out.intern_atom(pending_choice_atoms_[pe.atom]);
+        bool dead = false;
+        for (const GLit& cl : pe.condition) {
+          Literal sym{pending_cond_atoms_[cl.atom], cl.positive};
+          int res = resolve(sym);
+          if (res == -1) {
+            dead = true;
+            break;
+          }
+          if (res == 1) continue;
+          ge.condition.push_back({out.intern_atom(sym.atom), sym.positive});
+        }
+        if (!dead) gc.elements.push_back(std::move(ge));
+      }
+      out.choices.push_back(std::move(gc));
+    }
+
+    emit_minimize(out);
+  }
+
+  void emit_minimize(GroundProgram& out) {
+    // Ground each minimize element's condition, then group by
+    // (weight, priority, tuple) so duplicate tuples contribute once.
+    std::map<std::tuple<std::int64_t, std::int64_t, std::string>,
+             std::vector<std::vector<GLit>>>
+        groups;
+    for (const MinimizeElement& m : program_.minimizes()) {
+      std::vector<const Literal*> pos;
+      std::vector<const Literal*> neg;
+      for (const Literal& l : m.condition) (l.positive ? pos : neg).push_back(&l);
+      Bindings b;
+      enumerate_condition(pos, 0, b, [&]() {
+        std::vector<Literal> cond;
+        for (const Literal* l : pos) cond.push_back({substitute(l->atom, b), true});
+        for (const Literal* l : neg) cond.push_back({substitute(l->atom, b), false});
+        std::vector<GLit> lits;
+        if (!resolve_body(cond, out, lits)) return;
+        Term wt = substitute(m.weight, b);
+        if (wt.kind() != TermKind::Int || wt.int_value() < 0) {
+          throw AspError("minimize weight must ground to a non-negative integer, got " +
+                         wt.str_repr());
+        }
+        std::string tuple;
+        for (Term t : m.tuple) tuple += substitute(t, b).str_repr() + ",";
+        groups[{wt.int_value(), m.priority, tuple}].push_back(std::move(lits));
+      });
+    }
+    for (auto& [key, conds] : groups) {
+      GMinTerm term;
+      term.weight = std::get<0>(key);
+      term.priority = std::get<1>(key);
+      term.tuple_repr = std::get<2>(key);
+      // A tuple with any empty (trivially true) condition is a constant cost;
+      // it still participates so that reported costs match ASP semantics.
+      term.conditions = std::move(conds);
+      out.minimize.push_back(std::move(term));
+    }
+  }
+
+  const Program& program_;
+  std::vector<PreparedRule> prepared_;
+  AtomStore store_;
+  std::unordered_set<Term, TermHash> possible_;
+  std::unordered_set<Term, TermHash> certain_;
+  std::unordered_set<std::uint64_t> seen_instances_;
+  std::vector<Instance> instances_;
+  std::vector<Instance> choice_instances_;
+  std::vector<Term> pending_choice_atoms_;
+  std::vector<Term> pending_cond_atoms_;
+  std::size_t iterations_ = 0;
+};
+
+}  // namespace
+
+GroundProgram ground(const Program& program) { return Grounder(program).run(); }
+
+}  // namespace splice::asp

@@ -1,0 +1,103 @@
+// Grounding: instantiate a non-ground Program into a propositional
+// GroundProgram.
+//
+// The grounder runs bottom-up, semi-naive evaluation over the positive part
+// of the program: it maintains an over-approximation of the derivable atoms
+// ("possible"), instantiates rule bodies against it with indexed joins, and
+// iterates to a fixpoint.  Negative literals are kept symbolic during the
+// fixpoint and resolved afterwards against the final possible set:
+//
+//   * `not a` where `a` is not possible  -> literal is true, dropped;
+//   * `not a` where `a` is certain       -> rule instance is dropped;
+//   * otherwise the literal survives into the ground program.
+//
+// Atoms derivable by facts (and by negation-free rules from facts) are
+// tracked as "certain" and emitted as unit facts, which keeps the SAT
+// translation small: the bulk of a concretizer instance is fact data
+// (pkg_fact / hash_attr) that never reaches the solver as clauses.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/asp/program.hpp"
+#include "src/asp/term.hpp"
+
+namespace splice::asp {
+
+using AtomId = std::uint32_t;
+
+/// Ground literal: atom id + sign.
+struct GLit {
+  AtomId atom;
+  bool positive;
+};
+
+/// Ground normal rule or integrity constraint (has_head == false).
+struct GRule {
+  bool has_head = false;
+  AtomId head = 0;
+  std::vector<GLit> body;
+};
+
+struct GChoiceElem {
+  AtomId atom;
+  std::vector<GLit> condition;  // ground residual condition (rarely nonempty)
+};
+
+/// Ground bounded choice rule.
+struct GChoice {
+  std::optional<std::int64_t> lower;
+  std::optional<std::int64_t> upper;
+  std::vector<GChoiceElem> elements;
+  std::vector<GLit> body;
+};
+
+/// Ground objective term: contributes `weight` at `priority` when any of its
+/// condition conjunctions is satisfied.  Conditions are grouped per distinct
+/// (weight, priority, tuple) as ASP weak-constraint semantics require.
+struct GMinTerm {
+  std::int64_t weight;
+  std::int64_t priority;
+  std::vector<std::vector<GLit>> conditions;
+  std::string tuple_repr;  // for diagnostics
+};
+
+struct GroundStats {
+  std::size_t possible_atoms = 0;
+  std::size_t certain_atoms = 0;
+  std::size_t rules = 0;
+  std::size_t choices = 0;
+  std::size_t iterations = 0;
+  double seconds = 0;
+};
+
+/// The propositional program handed to the translation/solving layer.
+class GroundProgram {
+ public:
+  AtomId intern_atom(Term t);
+  Term atom_term(AtomId id) const { return atoms_[id]; }
+  std::size_t num_atoms() const { return atoms_.size(); }
+  /// Lookup an existing atom id; nullopt if the term never appeared.
+  std::optional<AtomId> find_atom(Term t) const;
+
+  std::vector<AtomId> facts;  // unconditionally true
+  std::vector<GRule> rules;
+  std::vector<GChoice> choices;
+  std::vector<GMinTerm> minimize;
+  GroundStats stats;
+
+ private:
+  std::vector<Term> atoms_;
+  std::unordered_map<Term, AtomId, TermHash> ids_;
+};
+
+/// Ground `program`.  Throws AspError on programs outside the supported
+/// fragment (unsafe rules are rejected earlier, at Program construction).
+GroundProgram ground(const Program& program);
+
+}  // namespace splice::asp

@@ -1,0 +1,491 @@
+#include "src/asp/sat.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace splice::asp::sat {
+
+namespace {
+/// Luby restart sequence: 1,1,2,1,1,2,4,... (MiniSat's formulation).
+std::uint64_t luby(std::uint64_t x) {
+  std::uint64_t size = 1, seq = 0;
+  while (size < x + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != x) {
+    size = (size - 1) >> 1;
+    --seq;
+    x = x % size;
+  }
+  return 1ULL << seq;
+}
+constexpr std::uint64_t kRestartUnit = 64;
+constexpr double kVarDecay = 0.95;
+}  // namespace
+
+Solver::Solver() = default;
+
+Var Solver::new_var() {
+  auto v = static_cast<Var>(assigns_.size());
+  assigns_.push_back(Value::Undef);
+  level_.push_back(0);
+  reason_.push_back(kNoReason);
+  activity_.push_back(0);
+  phase_.push_back(false);
+  model_.push_back(false);
+  seen_.push_back(false);
+  heap_pos_.push_back(0xffffffffu);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  pb_watches_.emplace_back();
+  pb_watches_.emplace_back();
+  heap_insert(v);
+  return v;
+}
+
+bool Solver::add_clause(std::vector<Lit> lits) {
+  if (unsat_) return false;
+  // Simplify against the level-0 assignment.
+  std::sort(lits.begin(), lits.end());
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  std::vector<Lit> out;
+  for (Lit l : lits) {
+    if (std::find(out.begin(), out.end(), negate(l)) != out.end()) {
+      return true;  // tautology
+    }
+    Value v = value(l);
+    if (v == Value::True && level_[var_of(l)] == 0) return true;  // satisfied
+    if (v == Value::False && level_[var_of(l)] == 0) continue;    // falsified
+    out.push_back(l);
+  }
+  if (out.empty()) {
+    unsat_ = true;
+    return false;
+  }
+  if (out.size() == 1) {
+    if (!enqueue(out[0], kNoReason) || propagate() != kNoReason) {
+      unsat_ = true;
+      return false;
+    }
+    return true;
+  }
+  attach_clause(std::move(out), false, /*watch=*/true);
+  return true;
+}
+
+bool Solver::add_pb_le(std::vector<std::pair<Lit, std::int64_t>> terms,
+                       std::int64_t bound) {
+  if (unsat_) return false;
+  PbConstraint pb;
+  pb.bound = bound;
+  for (auto& [l, w] : terms) {
+    assert(w > 0);
+    Value v = value(l);
+    if (v == Value::False && level_[var_of(l)] == 0) continue;  // never counts
+    if (v == Value::True && level_[var_of(l)] == 0) {
+      pb.bound -= w;  // always counts
+      continue;
+    }
+    pb.terms.emplace_back(l, w);
+    pb.max_weight = std::max(pb.max_weight, w);
+  }
+  if (pb.bound < 0) {
+    unsat_ = true;
+    return false;
+  }
+  auto idx = static_cast<std::uint32_t>(pbs_.size());
+  for (std::uint32_t i = 0; i < pb.terms.size(); ++i) {
+    pb_watches_[pb.terms[i].first].push_back(PbWatch{idx, i});
+  }
+  std::vector<Lit> to_negate;
+  for (auto [l, w] : pb.terms) {
+    if (w > pb.bound) to_negate.push_back(negate(l));
+  }
+  pbs_.push_back(std::move(pb));
+  for (Lit nl : to_negate) {
+    if (!enqueue(nl, kNoReason)) {
+      unsat_ = true;
+      return false;
+    }
+  }
+  if (propagate() != kNoReason) {
+    unsat_ = true;
+    return false;
+  }
+  return true;
+}
+
+Solver::ClauseRef Solver::attach_clause(std::vector<Lit> lits, bool learned,
+                                        bool watch) {
+  assert(lits.size() >= 2 || !watch);
+  auto ref = static_cast<ClauseRef>(clauses_.size());
+  Clause c;
+  c.lits = std::move(lits);
+  c.learned = learned;
+  c.activity = var_inc_;
+  c.dead = !watch;  // unwatched clauses exist only as analyze() inputs
+  if (watch) {
+    watches_[c.lits[0]].push_back(ref);
+    watches_[c.lits[1]].push_back(ref);
+  }
+  clauses_.push_back(std::move(c));
+  if (learned) ++stats_.learned;
+  return ref;
+}
+
+bool Solver::enqueue(Lit l, ClauseRef reason) {
+  Value v = value(l);
+  if (v == Value::True) return true;
+  if (v == Value::False) return false;
+  Var x = var_of(l);
+  assigns_[x] = is_pos(l) ? Value::True : Value::False;
+  level_[x] = static_cast<std::uint32_t>(trail_lim_.size());
+  reason_[x] = reason;
+  phase_[x] = is_pos(l);
+  trail_.push_back(l);
+  // PB bookkeeping is symmetric with backtrack(): every literal on the trail
+  // has had its weights added exactly once.
+  for (PbWatch w : pb_watches_[l]) {
+    pbs_[w.pb].sum += pbs_[w.pb].terms[w.term].second;
+  }
+  return true;
+}
+
+Solver::ClauseRef Solver::propagate() {
+  while (qhead_ < trail_.size()) {
+    Lit p = trail_[qhead_++];
+    ++stats_.propagations;
+    Lit false_lit = negate(p);
+    std::vector<ClauseRef>& wl = watches_[false_lit];
+    std::size_t i = 0, j = 0;
+    ClauseRef confl = kNoReason;
+    while (i < wl.size()) {
+      ClauseRef ref = wl[i++];
+      Clause& c = clauses_[ref];
+      if (c.dead) continue;
+      if (c.lits[0] == false_lit) std::swap(c.lits[0], c.lits[1]);
+      assert(c.lits[1] == false_lit);
+      if (value(c.lits[0]) == Value::True) {
+        wl[j++] = ref;
+        continue;
+      }
+      bool moved = false;
+      for (std::size_t k = 2; k < c.lits.size(); ++k) {
+        if (value(c.lits[k]) != Value::False) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[c.lits[1]].push_back(ref);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      wl[j++] = ref;
+      if (!enqueue(c.lits[0], ref)) {
+        confl = ref;
+        break;
+      }
+    }
+    if (confl != kNoReason) {
+      while (i < wl.size()) wl[j++] = wl[i++];
+      wl.resize(j);
+      return confl;
+    }
+    wl.resize(j);
+
+    ClauseRef pb_confl = propagate_pb(p);
+    if (pb_confl != kNoReason) return pb_confl;
+  }
+  return kNoReason;
+}
+
+std::vector<Lit> Solver::pb_conflict_clause(const PbConstraint& pb) const {
+  std::vector<Lit> out;
+  for (auto [l, w] : pb.terms) {
+    if (value(l) == Value::True && level_[var_of(l)] > 0) {
+      out.push_back(negate(l));
+    }
+  }
+  return out;
+}
+
+Solver::ClauseRef Solver::propagate_pb(Lit p) {
+  for (PbWatch w : pb_watches_[p]) {
+    PbConstraint& pb = pbs_[w.pb];
+    if (pb.sum > pb.bound) {
+      std::vector<Lit> confl = pb_conflict_clause(pb);
+      if (confl.empty()) {
+        // Violation entirely from level-0 assignments: the instance is
+        // unsatisfiable outright.
+        unsat_ = true;
+        return attach_clause({p, negate(p)}, true, /*watch=*/false);
+      }
+      // All literals of the conflict clause are currently false; it is
+      // entailed by the PB constraint and handed to analyze() unwatched.
+      return attach_clause(std::move(confl), true, /*watch=*/false);
+    }
+    // Strengthen: any unassigned term that would overflow must be false.
+    std::int64_t slack = pb.bound - pb.sum;
+    if (slack < pb.max_weight) {
+      for (auto [l, tw] : pb.terms) {
+        if (tw > slack && value(l) == Value::Undef) {
+          std::vector<Lit> reason = pb_conflict_clause(pb);
+          reason.insert(reason.begin(), negate(l));
+          ClauseRef ref = kNoReason;
+          if (reason.size() >= 2) {
+            ref = attach_clause(std::move(reason), true, /*watch=*/true);
+          }
+          enqueue(negate(l), ref);
+        }
+      }
+    }
+  }
+  return kNoReason;
+}
+
+void Solver::analyze(ClauseRef confl, std::vector<Lit>& learnt,
+                     std::uint32_t& bt_level) {
+  learnt.clear();
+  learnt.push_back(0);  // placeholder for the asserting literal
+  std::uint32_t counter = 0;
+  Lit p = 0;
+  bool p_valid = false;
+  std::size_t idx = trail_.size();
+  std::uint32_t cur_level = static_cast<std::uint32_t>(trail_lim_.size());
+  std::vector<Var> to_clear;
+
+  ClauseRef reason_ref = confl;
+  while (true) {
+    assert(reason_ref != kNoReason);
+    Clause& c = clauses_[reason_ref];
+    if (c.learned) c.activity += var_inc_;
+    std::size_t start = p_valid ? 1 : 0;
+    for (std::size_t k = start; k < c.lits.size(); ++k) {
+      Lit q = c.lits[k];
+      Var v = var_of(q);
+      if (!seen_[v] && level_[v] > 0) {
+        seen_[v] = true;
+        to_clear.push_back(v);
+        bump_var(v);
+        if (level_[v] >= cur_level) {
+          ++counter;
+        } else {
+          learnt.push_back(q);
+        }
+      }
+    }
+    while (!seen_[var_of(trail_[idx - 1])]) --idx;
+    p = trail_[--idx];
+    p_valid = true;
+    seen_[var_of(p)] = false;
+    reason_ref = reason_[var_of(p)];
+    if (--counter == 0) break;
+    // Reason clauses keep their implied literal at position 0; restore that
+    // invariant defensively in case watch maintenance reordered it.
+    if (reason_ref != kNoReason) {
+      Clause& rc = clauses_[reason_ref];
+      for (std::size_t k = 0; k < rc.lits.size(); ++k) {
+        if (rc.lits[k] == p) {
+          std::swap(rc.lits[0], rc.lits[k]);
+          break;
+        }
+      }
+    }
+  }
+  learnt[0] = negate(p);
+
+  bt_level = 0;
+  if (learnt.size() > 1) {
+    std::size_t max_i = 1;
+    for (std::size_t k = 2; k < learnt.size(); ++k) {
+      if (level_[var_of(learnt[k])] > level_[var_of(learnt[max_i])]) max_i = k;
+    }
+    std::swap(learnt[1], learnt[max_i]);
+    bt_level = level_[var_of(learnt[1])];
+  }
+  for (Var v : to_clear) seen_[v] = false;
+}
+
+void Solver::backtrack(std::uint32_t target) {
+  if (trail_lim_.size() <= target) return;
+  std::size_t lim = trail_lim_[target];
+  for (std::size_t i = trail_.size(); i-- > lim;) {
+    Lit p = trail_[i];
+    Var v = var_of(p);
+    for (PbWatch w : pb_watches_[p]) {
+      pbs_[w.pb].sum -= pbs_[w.pb].terms[w.term].second;
+    }
+    assigns_[v] = Value::Undef;
+    reason_[v] = kNoReason;
+    if (heap_pos_[v] == 0xffffffffu) heap_insert(v);
+  }
+  trail_.resize(lim);
+  trail_lim_.resize(target);
+  qhead_ = trail_.size();
+}
+
+void Solver::bump_var(Var v) {
+  activity_[v] += var_inc_;
+  if (activity_[v] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  if (heap_pos_[v] != 0xffffffffu) heap_up(heap_pos_[v]);
+}
+
+void Solver::decay_activity() { var_inc_ /= kVarDecay; }
+
+Lit Solver::pick_branch() {
+  while (!heap_empty()) {
+    Var v = heap_pop();
+    if (assigns_[v] == Value::Undef) {
+      return mk_lit(v, phase_[v]);
+    }
+  }
+  return 0xffffffffu;
+}
+
+void Solver::reduce_db() {
+  // Called at level 0 only.  Keep the more active half of learned clauses.
+  std::vector<ClauseRef> learned;
+  for (ClauseRef i = 0; i < clauses_.size(); ++i) {
+    if (clauses_[i].learned && !clauses_[i].dead && clauses_[i].lits.size() > 2) {
+      learned.push_back(i);
+    }
+  }
+  if (learned.size() < num_learned_limit_) return;
+  std::sort(learned.begin(), learned.end(), [&](ClauseRef a, ClauseRef b) {
+    return clauses_[a].activity < clauses_[b].activity;
+  });
+  std::size_t kill = learned.size() / 2;
+  for (std::size_t i = 0; i < kill; ++i) {
+    clauses_[learned[i]].dead = true;
+    ++stats_.deleted;
+  }
+  for (auto& wl : watches_) wl.clear();
+  for (ClauseRef i = 0; i < clauses_.size(); ++i) {
+    Clause& c = clauses_[i];
+    if (c.dead) continue;
+    watches_[c.lits[0]].push_back(i);
+    watches_[c.lits[1]].push_back(i);
+  }
+  num_learned_limit_ += num_learned_limit_ / 2;
+}
+
+Solver::Result Solver::solve() {
+  if (unsat_) return Result::Unsat;
+  backtrack(0);
+  if (propagate() != kNoReason) {
+    unsat_ = true;
+    return Result::Unsat;
+  }
+
+  std::uint64_t conflicts_since_restart = 0;
+  std::uint64_t restart_limit = kRestartUnit * luby(stats_.restarts);
+
+  while (true) {
+    ClauseRef confl = propagate();
+    if (confl != kNoReason) {
+      ++stats_.conflicts;
+      ++conflicts_since_restart;
+      if (trail_lim_.empty() || unsat_) {
+        unsat_ = true;
+        return Result::Unsat;
+      }
+      std::vector<Lit> learnt;
+      std::uint32_t bt_level = 0;
+      analyze(confl, learnt, bt_level);
+      backtrack(bt_level);
+      if (learnt.size() == 1) {
+        if (!enqueue(learnt[0], kNoReason)) {
+          unsat_ = true;
+          return Result::Unsat;
+        }
+      } else {
+        ClauseRef ref = attach_clause(std::move(learnt), true, /*watch=*/true);
+        if (!enqueue(clauses_[ref].lits[0], ref)) {
+          unsat_ = true;
+          return Result::Unsat;
+        }
+      }
+      decay_activity();
+      continue;
+    }
+
+    if (conflicts_since_restart >= restart_limit) {
+      ++stats_.restarts;
+      conflicts_since_restart = 0;
+      restart_limit = kRestartUnit * luby(stats_.restarts);
+      backtrack(0);
+      reduce_db();
+      continue;
+    }
+
+    Lit next = pick_branch();
+    if (next == 0xffffffffu) {
+      for (Var v = 0; v < assigns_.size(); ++v) {
+        model_[v] = (assigns_[v] == Value::True);
+      }
+      backtrack(0);
+      return Result::Sat;
+    }
+    ++stats_.decisions;
+    trail_lim_.push_back(static_cast<std::uint32_t>(trail_.size()));
+    enqueue(next, kNoReason);
+  }
+}
+
+// ---- variable order heap --------------------------------------------------
+
+void Solver::heap_insert(Var v) {
+  heap_pos_[v] = static_cast<std::uint32_t>(heap_.size());
+  heap_.push_back(v);
+  heap_up(heap_.size() - 1);
+}
+
+Var Solver::heap_pop() {
+  Var top = heap_[0];
+  heap_pos_[top] = 0xffffffffu;
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_pos_[heap_[0]] = 0;
+    heap_down(0);
+  }
+  return top;
+}
+
+void Solver::heap_up(std::size_t i) {
+  Var v = heap_[i];
+  while (i > 0) {
+    std::size_t parent = (i - 1) / 2;
+    if (activity_[heap_[parent]] >= activity_[v]) break;
+    heap_[i] = heap_[parent];
+    heap_pos_[heap_[i]] = static_cast<std::uint32_t>(i);
+    i = parent;
+  }
+  heap_[i] = v;
+  heap_pos_[v] = static_cast<std::uint32_t>(i);
+}
+
+void Solver::heap_down(std::size_t i) {
+  Var v = heap_[i];
+  while (true) {
+    std::size_t left = 2 * i + 1;
+    if (left >= heap_.size()) break;
+    std::size_t best = left;
+    std::size_t right = left + 1;
+    if (right < heap_.size() &&
+        activity_[heap_[right]] > activity_[heap_[left]]) {
+      best = right;
+    }
+    if (activity_[heap_[best]] <= activity_[v]) break;
+    heap_[i] = heap_[best];
+    heap_pos_[heap_[i]] = static_cast<std::uint32_t>(i);
+    i = best;
+  }
+  heap_[i] = v;
+  heap_pos_[v] = static_cast<std::uint32_t>(i);
+}
+
+}  // namespace splice::asp::sat

@@ -1,0 +1,145 @@
+// CDCL SAT solver with pseudo-Boolean (cardinality/weighted-sum) propagators.
+//
+// This is the model-search core under the ASP translation: Clark completion
+// produces clauses, choice-rule bounds and #minimize bounds become
+// linear-sum-at-most constraints handled natively by PbConstraint
+// propagators (no encoding blowup).  The solver implements the standard
+// modern recipe: two-watched-literal propagation, first-UIP conflict
+// analysis, VSIDS decision heuristic with phase saving, Luby restarts, and
+// activity-based learned-clause reduction.
+//
+// Incremental use: clauses and PB constraints may be added between solve()
+// calls (only at decision level 0, which solve() restores on return); the
+// optimization driver uses this to tighten objective bounds, and the ASP
+// driver to add loop nogoods from unfounded-set checks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace splice::asp::sat {
+
+using Var = std::uint32_t;
+/// Literal encoding: 2*var for the positive literal, 2*var+1 for negative.
+using Lit = std::uint32_t;
+
+inline Lit mk_lit(Var v, bool positive) { return 2 * v + (positive ? 0 : 1); }
+inline Var var_of(Lit l) { return l >> 1; }
+inline bool is_pos(Lit l) { return (l & 1) == 0; }
+inline Lit negate(Lit l) { return l ^ 1; }
+
+enum class Value : std::uint8_t { Undef, True, False };
+
+struct SatStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learned = 0;
+  std::uint64_t deleted = 0;
+};
+
+class Solver {
+ public:
+  Solver();
+
+  Var new_var();
+  std::size_t num_vars() const { return assigns_.size(); }
+
+  /// Add a clause (disjunction).  Returns false if the solver became
+  /// trivially UNSAT (empty clause / conflicting units at level 0).
+  bool add_clause(std::vector<Lit> lits);
+
+  /// Add a constraint sum{ weight[i] : lits[i] true } <= bound.
+  /// Weights must be positive.
+  bool add_pb_le(std::vector<std::pair<Lit, std::int64_t>> terms,
+                 std::int64_t bound);
+
+  enum class Result { Sat, Unsat };
+  Result solve();
+
+  /// Model access; valid after solve() returned Sat.  Unconstrained
+  /// variables read as false.
+  bool model_value(Var v) const { return model_[v]; }
+
+  const SatStats& stats() const { return stats_; }
+
+  /// True once the clause database is known unsatisfiable.
+  bool in_conflict() const { return unsat_; }
+
+ private:
+  using ClauseRef = std::uint32_t;
+  static constexpr ClauseRef kNoReason = 0xffffffffu;
+
+  struct Clause {
+    std::vector<Lit> lits;
+    double activity = 0;
+    bool learned = false;
+    bool dead = false;
+  };
+
+  struct PbConstraint {
+    std::vector<std::pair<Lit, std::int64_t>> terms;
+    std::int64_t bound = 0;
+    std::int64_t sum = 0;        // weight of currently-true terms
+    std::int64_t max_weight = 0;
+  };
+
+  struct PbWatch {
+    std::uint32_t pb;
+    std::uint32_t term;
+  };
+
+  Value value(Lit l) const {
+    Value v = assigns_[var_of(l)];
+    if (v == Value::Undef) return Value::Undef;
+    bool t = (v == Value::True);
+    return (t == is_pos(l)) ? Value::True : Value::False;
+  }
+
+  bool enqueue(Lit l, ClauseRef reason);
+  ClauseRef propagate();
+  ClauseRef propagate_pb(Lit assigned_true);
+  void analyze(ClauseRef confl, std::vector<Lit>& learnt, std::uint32_t& bt_level);
+  void backtrack(std::uint32_t level);
+  void bump_var(Var v);
+  void decay_activity();
+  Lit pick_branch();
+  void reduce_db();
+  ClauseRef attach_clause(std::vector<Lit> lits, bool learned, bool watch);
+  std::vector<Lit> pb_conflict_clause(const PbConstraint& pb) const;
+
+  // heap of variables ordered by activity
+  void heap_insert(Var v);
+  Var heap_pop();
+  void heap_up(std::size_t i);
+  void heap_down(std::size_t i);
+  bool heap_empty() const { return heap_.empty(); }
+
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<ClauseRef>> watches_;  // indexed by falsified literal
+  std::vector<std::vector<PbWatch>> pb_watches_;  // indexed by true literal
+  std::vector<PbConstraint> pbs_;
+
+  std::vector<Value> assigns_;
+  std::vector<std::uint32_t> level_;
+  std::vector<ClauseRef> reason_;
+  std::vector<Lit> trail_;
+  std::vector<std::uint32_t> trail_lim_;
+  std::size_t qhead_ = 0;
+
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  std::vector<bool> phase_;
+  std::vector<std::uint32_t> heap_;      // heap of vars
+  std::vector<std::uint32_t> heap_pos_;  // var -> heap index or npos
+
+  std::vector<bool> model_;
+  std::vector<bool> seen_;
+  bool unsat_ = false;
+
+  std::uint64_t num_learned_limit_ = 4096;
+  SatStats stats_;
+};
+
+}  // namespace splice::asp::sat

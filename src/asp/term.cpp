@@ -1,0 +1,250 @@
+#include "src/asp/term.hpp"
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/support/error.hpp"
+
+namespace splice::asp {
+
+namespace {
+
+struct TermData {
+  TermKind kind;
+  bool ground;
+  std::int64_t int_value = 0;   // Int
+  std::string name;             // Sym/Str/Var/Fun name
+  std::vector<Term> args;       // Fun
+};
+
+struct Key {
+  TermKind kind;
+  std::int64_t int_value;
+  std::string_view name;
+  std::span<const Term> args;
+
+  bool operator==(const Key& o) const {
+    if (kind != o.kind || int_value != o.int_value || name != o.name ||
+        args.size() != o.args.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (args[i] != o.args[i]) return false;
+    }
+    return true;
+  }
+};
+
+struct KeyHash {
+  std::size_t operator()(const Key& k) const noexcept {
+    std::size_t h = static_cast<std::size_t>(k.kind) * 0x9e3779b97f4a7c15ULL;
+    h ^= std::hash<std::int64_t>{}(k.int_value) + (h << 6);
+    h ^= std::hash<std::string_view>{}(k.name) + (h << 6);
+    for (Term t : k.args) h = h * 1099511628211ULL + t.id();
+    return h;
+  }
+};
+
+// Global interning table.  Append-only; TermData addresses are NOT stable
+// (vector may grow) so accessors copy what they need under the lock-free
+// assumption that entries themselves never mutate after insertion.  The
+// engine is single-threaded per solve, but interning is guarded anyway.
+class Table {
+ public:
+  static Table& instance() {
+    static Table t;
+    return t;
+  }
+
+  std::uint32_t intern(TermKind kind, std::int64_t iv, std::string_view name,
+                       std::span<const Term> args) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Key key{kind, iv, name, args};
+    auto it = index_.find(key);
+    if (it != index_.end()) return it->second;
+    TermData data;
+    data.kind = kind;
+    data.int_value = iv;
+    data.name = std::string(name);
+    data.args.assign(args.begin(), args.end());
+    data.ground = kind != TermKind::Var;
+    for (Term a : data.args) data.ground = data.ground && a.is_ground();
+    auto id = static_cast<std::uint32_t>(terms_.size());
+    terms_.push_back(std::make_unique<TermData>(std::move(data)));
+    const TermData& stored = *terms_.back();
+    index_.emplace(Key{stored.kind, stored.int_value, stored.name, stored.args}, id);
+    return id;
+  }
+
+  const TermData& get(std::uint32_t id) const {
+    // No lock: entries are immutable once inserted and unique_ptr targets are
+    // address-stable across vector growth.
+    return *terms_[id];
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::unique_ptr<TermData>> terms_;
+  std::unordered_map<Key, std::uint32_t, KeyHash> index_;
+};
+
+const TermData& data(const Term& t) {
+  if (!t.valid()) throw AspError("dereference of invalid Term handle");
+  return Table::instance().get(t.id());
+}
+
+}  // namespace
+
+Term Term::integer(std::int64_t value) {
+  return Term(Table::instance().intern(TermKind::Int, value, {}, {}));
+}
+
+Term Term::sym(std::string_view name) {
+  return Term(Table::instance().intern(TermKind::Sym, 0, name, {}));
+}
+
+Term Term::str(std::string_view text) {
+  return Term(Table::instance().intern(TermKind::Str, 0, text, {}));
+}
+
+Term Term::var(std::string_view name) {
+  return Term(Table::instance().intern(TermKind::Var, 0, name, {}));
+}
+
+Term Term::fun(std::string_view name, std::span<const Term> args) {
+  return Term(Table::instance().intern(TermKind::Fun, 0, name, args));
+}
+
+Term Term::fun(std::string_view name, std::initializer_list<Term> args) {
+  return fun(name, std::span<const Term>(args.begin(), args.size()));
+}
+
+TermKind Term::kind() const { return data(*this).kind; }
+bool Term::is_ground() const { return data(*this).ground; }
+std::int64_t Term::int_value() const { return data(*this).int_value; }
+std::string_view Term::name() const { return data(*this).name; }
+std::span<const Term> Term::args() const { return data(*this).args; }
+
+std::string Term::signature() const {
+  const TermData& d = data(*this);
+  std::size_t arity = d.kind == TermKind::Fun ? d.args.size() : 0;
+  return d.name + "/" + std::to_string(arity);
+}
+
+std::string Term::str_repr() const {
+  const TermData& d = data(*this);
+  switch (d.kind) {
+    case TermKind::Int: return std::to_string(d.int_value);
+    case TermKind::Sym:
+    case TermKind::Var: return d.name;
+    case TermKind::Str: return "\"" + d.name + "\"";
+    case TermKind::Fun: {
+      std::string out = d.name;
+      out.push_back('(');
+      for (std::size_t i = 0; i < d.args.size(); ++i) {
+        if (i) out.push_back(',');
+        out += d.args[i].str_repr();
+      }
+      out.push_back(')');
+      return out;
+    }
+  }
+  return "?";
+}
+
+int Term::compare(Term a, Term b) {
+  if (a == b) return 0;
+  const TermData& da = data(a);
+  const TermData& db = data(b);
+  if (da.kind != db.kind) {
+    return static_cast<int>(da.kind) < static_cast<int>(db.kind) ? -1 : 1;
+  }
+  switch (da.kind) {
+    case TermKind::Int:
+      return da.int_value < db.int_value ? -1 : (da.int_value > db.int_value ? 1 : 0);
+    case TermKind::Sym:
+    case TermKind::Str:
+    case TermKind::Var: {
+      int c = da.name.compare(db.name);
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    case TermKind::Fun: {
+      int c = da.name.compare(db.name);
+      if (c != 0) return c < 0 ? -1 : 1;
+      if (da.args.size() != db.args.size()) {
+        return da.args.size() < db.args.size() ? -1 : 1;
+      }
+      for (std::size_t i = 0; i < da.args.size(); ++i) {
+        int ac = compare(da.args[i], db.args[i]);
+        if (ac != 0) return ac;
+      }
+      return 0;
+    }
+  }
+  return 0;
+}
+
+Term Bindings::lookup(Term var) const {
+  for (const auto& [v, t] : entries_) {
+    if (v == var) return t;
+  }
+  return Term();
+}
+
+bool Bindings::bind(Term var, Term value) {
+  Term existing = lookup(var);
+  if (existing.valid()) return existing == value;
+  entries_.emplace_back(var, value);
+  return true;
+}
+
+Term substitute(Term t, const Bindings& b) {
+  if (t.is_ground()) return t;
+  switch (t.kind()) {
+    case TermKind::Var: {
+      Term bound = b.lookup(t);
+      return bound.valid() ? bound : t;
+    }
+    case TermKind::Fun: {
+      std::vector<Term> args;
+      args.reserve(t.args().size());
+      for (Term a : t.args()) args.push_back(substitute(a, b));
+      return Term::fun(t.name(), args);
+    }
+    default: return t;
+  }
+}
+
+bool match(Term pattern, Term value, Bindings& b) {
+  if (pattern == value) return true;
+  switch (pattern.kind()) {
+    case TermKind::Var: return b.bind(pattern, value);
+    case TermKind::Fun:
+      if (value.kind() != TermKind::Fun || pattern.name() != value.name() ||
+          pattern.args().size() != value.args().size()) {
+        return false;
+      }
+      for (std::size_t i = 0; i < pattern.args().size(); ++i) {
+        if (!match(pattern.args()[i], value.args()[i], b)) return false;
+      }
+      return true;
+    default: return false;  // distinct constants
+  }
+}
+
+void collect_vars(Term t, std::vector<Term>& out) {
+  if (t.is_ground()) return;
+  if (t.kind() == TermKind::Var) {
+    for (Term v : out) {
+      if (v == t) return;
+    }
+    out.push_back(t);
+    return;
+  }
+  if (t.kind() == TermKind::Fun) {
+    for (Term a : t.args()) collect_vars(a, out);
+  }
+}
+
+}  // namespace splice::asp

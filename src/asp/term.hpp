@@ -1,0 +1,110 @@
+// Hash-consed terms for the mini-ASP engine.
+//
+// Terms model the full first-order vocabulary the concretizer encoding needs:
+// integers, symbolic constants (`mpich`), quoted strings ("1.4.2"), variables
+// (`Hash`), and compound function terms (`node("example")`).  Every distinct
+// term is interned exactly once in a global table, so equality is an integer
+// comparison and terms are trivially copyable 32-bit handles — the grounder
+// manipulates millions of them.
+//
+// The interning table is append-only and guarded by a mutex; lookups of an
+// existing term take a shared lock.  Handles are stable for the lifetime of
+// the process.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace splice::asp {
+
+enum class TermKind : std::uint8_t {
+  Int,   ///< integer constant
+  Sym,   ///< symbolic constant: lowercase identifier, e.g. `mpich`
+  Str,   ///< quoted string constant, e.g. "3.4.3" (distinct from Sym)
+  Var,   ///< variable, e.g. `Hash` (uppercase identifier)
+  Fun,   ///< compound term, e.g. node("example")
+};
+
+/// An interned term handle.  Default-constructed handles are invalid and
+/// must not be dereferenced; valid handles come from the factory functions.
+class Term {
+ public:
+  Term() = default;
+
+  static Term integer(std::int64_t value);
+  static Term sym(std::string_view name);
+  static Term str(std::string_view text);
+  static Term var(std::string_view name);
+  static Term fun(std::string_view name, std::span<const Term> args);
+  static Term fun(std::string_view name, std::initializer_list<Term> args);
+
+  bool valid() const { return id_ != kInvalid; }
+  std::uint32_t id() const { return id_; }
+
+  TermKind kind() const;
+  bool is_ground() const;  ///< contains no variables
+
+  std::int64_t int_value() const;        ///< requires kind() == Int
+  std::string_view name() const;         ///< Sym/Var/Fun name, Str text
+  std::span<const Term> args() const;    ///< Fun arguments; empty otherwise
+
+  /// Predicate signature "name/arity" used for indexing; for non-Fun atoms
+  /// this is "name/0".
+  std::string signature() const;
+
+  /// Render in ASP syntax (strings quoted, functions parenthesized).
+  std::string str_repr() const;
+
+  /// Total order: by kind, then value; used for canonical sorting.
+  static int compare(Term a, Term b);
+
+  friend bool operator==(Term a, Term b) { return a.id_ == b.id_; }
+  friend bool operator!=(Term a, Term b) { return a.id_ != b.id_; }
+  friend bool operator<(Term a, Term b) { return compare(a, b) < 0; }
+
+ private:
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+  explicit Term(std::uint32_t id) : id_(id) {}
+
+  std::uint32_t id_ = kInvalid;
+
+  friend class TermTable;
+};
+
+struct TermHash {
+  std::size_t operator()(Term t) const noexcept { return t.id(); }
+};
+
+/// Substitution mapping variable terms to ground terms.  Small-vector-style
+/// flat map: bindings are few (< 16 per rule) so linear scans win.
+class Bindings {
+ public:
+  /// Returns the binding for `var` or an invalid Term.
+  Term lookup(Term var) const;
+  /// Bind `var` to `value`; returns false if already bound to something else.
+  bool bind(Term var, Term value);
+  void clear() { entries_.clear(); }
+  std::size_t size() const { return entries_.size(); }
+  /// Truncate to the first `n` bindings (backtracking in the grounder).
+  void truncate(std::size_t n) { entries_.resize(n); }
+
+ private:
+  std::vector<std::pair<Term, Term>> entries_;
+};
+
+/// Apply `b` to `t`, replacing bound variables.  Unbound variables are left
+/// in place (the caller checks groundness where required).
+Term substitute(Term t, const Bindings& b);
+
+/// First-order matching of a possibly-variable `pattern` against a ground
+/// `value`, extending `b`.  Returns false (and may leave partial bindings;
+/// caller truncates) when the match fails.
+bool match(Term pattern, Term value, Bindings& b);
+
+/// Collect the distinct variables occurring in `t`, in first-occurrence order.
+void collect_vars(Term t, std::vector<Term>& out);
+
+}  // namespace splice::asp

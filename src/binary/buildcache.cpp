@@ -1,0 +1,120 @@
+#include "src/binary/buildcache.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/support/error.hpp"
+
+namespace splice::binary {
+
+namespace {
+std::string read_file(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) throw BinaryError("cannot read " + p.string());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_file(const std::filesystem::path& p, const std::string& data) {
+  std::filesystem::create_directories(p.parent_path());
+  std::ofstream out(p, std::ios::binary | std::ios::trunc);
+  if (!out) throw BinaryError("cannot write " + p.string());
+  out << data;
+}
+}  // namespace
+
+BuildCache::BuildCache(std::filesystem::path dir) : dir_(std::move(dir)) {
+  std::filesystem::create_directories(dir_);
+  load();
+}
+
+void BuildCache::push(const spec::Spec& concrete_subdag,
+                      const std::string& binary_bytes) {
+  if (!concrete_subdag.is_concrete()) {
+    throw BinaryError("buildcache: refusing non-concrete spec " +
+                      concrete_subdag.str());
+  }
+  const std::string& hash = concrete_subdag.dag_hash();
+  write_file(dir_ / "specs" / (hash + ".spec.json"),
+             concrete_subdag.to_json().dump_pretty());
+  if (!binary_bytes.empty()) {
+    write_file(dir_ / "blobs" / (hash + ".bin"), binary_bytes);
+  }
+  specs_.insert_or_assign(hash, concrete_subdag);
+  has_blob_[hash] = !binary_bytes.empty();
+
+  // Rewrite the index.
+  json::Array entries;
+  for (const auto& [h, blob] : has_blob_) {
+    json::Value e;
+    e["hash"] = h;
+    e["has_blob"] = blob;
+    entries.push_back(std::move(e));
+  }
+  json::Value doc;
+  doc["version"] = 1;
+  doc["entries"] = json::Value(std::move(entries));
+  write_file(dir_ / "index.json", doc.dump());
+}
+
+const spec::Spec* BuildCache::find_spec(const std::string& hash) const {
+  auto it = specs_.find(hash);
+  return it == specs_.end() ? nullptr : &it->second;
+}
+
+std::string BuildCache::fetch_binary(const std::string& hash) const {
+  auto it = has_blob_.find(hash);
+  if (it == has_blob_.end()) {
+    throw BinaryError("buildcache: no entry for " + hash);
+  }
+  if (!it->second) {
+    throw BinaryError("buildcache: entry " + hash +
+                      " is index-only (no binary artifact)");
+  }
+  return read_file(dir_ / "blobs" / (hash + ".bin"));
+}
+
+std::vector<const spec::Spec*> BuildCache::specs() const {
+  std::vector<const spec::Spec*> out;
+  out.reserve(specs_.size());
+  for (const auto& [hash, s] : specs_) out.push_back(&s);
+  return out;
+}
+
+std::vector<const spec::Spec*> BuildCache::query(
+    const spec::Spec& constraint) const {
+  std::vector<const spec::Spec*> out;
+  for (const auto& [hash, s] : specs_) {
+    if (s.root().name == constraint.root().name && s.satisfies(constraint)) {
+      out.push_back(&s);
+    }
+  }
+  return out;
+}
+
+void BuildCache::load() {
+  auto index = dir_ / "index.json";
+  if (!std::filesystem::exists(index)) return;
+  json::Value doc = json::parse(read_file(index));
+  const json::Value* entries = doc.find("entries");
+  if (entries == nullptr) throw BinaryError("buildcache index: missing entries");
+  for (const json::Value& e : entries->as_array()) {
+    const json::Value* hash_field = e.find("hash");
+    const json::Value* blob_field = e.find("has_blob");
+    if (hash_field == nullptr || blob_field == nullptr) {
+      throw BinaryError("buildcache index: malformed entry");
+    }
+    const std::string& hash = hash_field->as_string();
+    spec::Spec s = spec::Spec::from_json(
+        json::parse(read_file(dir_ / "specs" / (hash + ".spec.json"))));
+    if (s.dag_hash() != hash) {
+      throw BinaryError("buildcache: spec file for " + hash +
+                        " hashes to " + s.dag_hash() + " (corrupt entry)");
+    }
+    specs_.emplace(hash, std::move(s));
+    has_blob_[hash] = blob_field->as_bool();
+  }
+}
+
+}  // namespace splice::binary

@@ -1,0 +1,62 @@
+// Buildcaches: Spack's distributable stores of prebuilt binaries
+// (paper §6.1.3).
+//
+// A buildcache maps concrete specs (with full dependency DAGs) to the binary
+// artifact of their root node.  The concretizer reads the spec index to
+// decide what can be reused; the installer fetches artifacts and relocates
+// them into a local install tree.  On disk:
+//
+//   <dir>/index.json                    list of cached spec hashes
+//   <dir>/specs/<hash>.spec.json        full concrete sub-DAG
+//   <dir>/blobs/<hash>.bin              the mock binary, as built
+//
+// Entries may be "index-only" (spec without artifact): the public Spack
+// cache analogue used by concretizer-scale benchmarks, where only the spec
+// metadata matters.
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/spec/spec.hpp"
+
+namespace splice::binary {
+
+class BuildCache {
+ public:
+  /// Open (or create) a buildcache directory.
+  explicit BuildCache(std::filesystem::path dir);
+
+  const std::filesystem::path& dir() const { return dir_; }
+
+  /// Add an entry: the concrete sub-DAG for one installed node plus its
+  /// binary bytes (empty => index-only entry).
+  void push(const spec::Spec& concrete_subdag, const std::string& binary_bytes);
+
+  bool contains(const std::string& hash) const { return specs_.count(hash) > 0; }
+  std::size_t size() const { return specs_.size(); }
+
+  /// The cached spec for a hash; nullptr when absent.
+  const spec::Spec* find_spec(const std::string& hash) const;
+
+  /// Fetch the binary artifact; throws BinaryError when absent or index-only.
+  std::string fetch_binary(const std::string& hash) const;
+
+  /// All cached specs (the concretizer's reusable-spec input).
+  std::vector<const spec::Spec*> specs() const;
+
+  /// Entries whose spec satisfies a constraint.
+  std::vector<const spec::Spec*> query(const spec::Spec& constraint) const;
+
+ private:
+  void load();
+
+  std::filesystem::path dir_;
+  std::map<std::string, spec::Spec> specs_;
+  std::map<std::string, bool> has_blob_;
+};
+
+}  // namespace splice::binary

@@ -1,0 +1,110 @@
+#include "src/binary/database.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/support/error.hpp"
+
+namespace splice::binary {
+
+namespace {
+std::string read_file(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) throw BinaryError("cannot read " + p.string());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_file(const std::filesystem::path& p, const std::string& data) {
+  std::filesystem::create_directories(p.parent_path());
+  std::ofstream out(p, std::ios::binary | std::ios::trunc);
+  if (!out) throw BinaryError("cannot write " + p.string());
+  out << data;
+}
+}  // namespace
+
+InstalledDatabase::InstalledDatabase(InstallLayout layout)
+    : layout_(std::move(layout)) {
+  load();
+}
+
+void InstalledDatabase::add(const spec::Spec& concrete_subdag,
+                            const std::filesystem::path& prefix,
+                            bool explicit_install) {
+  if (!concrete_subdag.is_concrete()) {
+    throw BinaryError("database: refusing to record non-concrete spec " +
+                      concrete_subdag.str());
+  }
+  InstallRecord rec{concrete_subdag, prefix, explicit_install};
+  records_.insert_or_assign(concrete_subdag.dag_hash(), std::move(rec));
+  save();
+}
+
+const InstallRecord* InstalledDatabase::get(const std::string& hash) const {
+  auto it = records_.find(hash);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+void InstalledDatabase::remove(const std::string& hash) {
+  records_.erase(hash);
+  save();
+}
+
+std::vector<const InstallRecord*> InstalledDatabase::query(
+    const spec::Spec& constraint) const {
+  std::vector<const InstallRecord*> out;
+  for (const auto& [hash, rec] : records_) {
+    if (rec.spec.root().name == constraint.root().name &&
+        rec.spec.satisfies(constraint)) {
+      out.push_back(&rec);
+    }
+  }
+  return out;
+}
+
+std::vector<const InstallRecord*> InstalledDatabase::all() const {
+  std::vector<const InstallRecord*> out;
+  out.reserve(records_.size());
+  for (const auto& [hash, rec] : records_) out.push_back(&rec);
+  return out;
+}
+
+void InstalledDatabase::save() const {
+  json::Array entries;
+  for (const auto& [hash, rec] : records_) {
+    json::Value e;
+    e["spec"] = rec.spec.to_json();
+    e["prefix"] = rec.prefix.string();
+    e["explicit"] = rec.explicit_install;
+    entries.push_back(std::move(e));
+  }
+  json::Value doc;
+  doc["version"] = 1;
+  doc["installs"] = json::Value(std::move(entries));
+  write_file(layout_.db_dir() / "index.json", doc.dump_pretty());
+}
+
+void InstalledDatabase::load() {
+  auto index = layout_.db_dir() / "index.json";
+  if (!std::filesystem::exists(index)) return;
+  json::Value doc = json::parse(read_file(index));
+  const json::Value* installs = doc.find("installs");
+  if (installs == nullptr) throw BinaryError("database index: missing installs");
+  for (const json::Value& e : installs->as_array()) {
+    const json::Value* spec_field = e.find("spec");
+    const json::Value* prefix_field = e.find("prefix");
+    const json::Value* explicit_field = e.find("explicit");
+    if (spec_field == nullptr || prefix_field == nullptr ||
+        explicit_field == nullptr) {
+      throw BinaryError("database index: malformed install record");
+    }
+    spec::Spec s = spec::Spec::from_json(*spec_field);
+    InstallRecord rec{std::move(s), prefix_field->as_string(),
+                      explicit_field->as_bool()};
+    std::string hash = rec.spec.dag_hash();
+    records_.emplace(std::move(hash), std::move(rec));
+  }
+}
+
+}  // namespace splice::binary

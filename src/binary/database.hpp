@@ -1,0 +1,54 @@
+// The installed-spec database: which concrete specs are present in an
+// install tree, where, and with what provenance.  Persisted as JSON under
+// <root>/.splice-db/index.json (Spack's database.json analogue).
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/binary/layout.hpp"
+#include "src/spec/spec.hpp"
+
+namespace splice::binary {
+
+struct InstallRecord {
+  spec::Spec spec;  ///< full concrete sub-DAG rooted at the installed node
+  std::filesystem::path prefix;
+  bool explicit_install = false;
+
+  const std::string& hash() const { return spec.dag_hash(); }
+};
+
+class InstalledDatabase {
+ public:
+  /// Open (or create) the database for an install layout; loads the index
+  /// if one exists.
+  explicit InstalledDatabase(InstallLayout layout);
+
+  const InstallLayout& layout() const { return layout_; }
+
+  void add(const spec::Spec& concrete_subdag, const std::filesystem::path& prefix,
+           bool explicit_install = false);
+  bool has(const std::string& hash) const { return records_.count(hash) > 0; }
+  const InstallRecord* get(const std::string& hash) const;
+  void remove(const std::string& hash);
+
+  /// Every record whose spec satisfies the constraint.
+  std::vector<const InstallRecord*> query(const spec::Spec& constraint) const;
+  std::vector<const InstallRecord*> all() const;
+  std::size_t size() const { return records_.size(); }
+
+  /// Persist the index; called automatically by add/remove.
+  void save() const;
+
+ private:
+  void load();
+
+  InstallLayout layout_;
+  std::map<std::string, InstallRecord> records_;
+};
+
+}  // namespace splice::binary

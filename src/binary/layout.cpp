@@ -1,0 +1,20 @@
+#include "src/binary/layout.hpp"
+
+#include "src/support/error.hpp"
+
+namespace splice::binary {
+
+std::filesystem::path InstallLayout::prefix(const spec::SpecNode& node) const {
+  if (node.hash.empty() || !node.concrete_version()) {
+    throw BinaryError("install prefix requested for non-concrete node " +
+                      node.name);
+  }
+  return root_ / (node.name + "-" + node.concrete_version()->str() + "-" +
+                  node.hash);
+}
+
+std::filesystem::path InstallLayout::lib_path(const spec::SpecNode& node) const {
+  return prefix(node) / "lib" / ("lib" + node.name + ".so");
+}
+
+}  // namespace splice::binary

@@ -1,0 +1,34 @@
+// Install layout: where concrete specs live on disk.
+//
+// Mirrors Spack's directory layout: every package installs into its own
+// prefix under a user-chosen root, named <name>-<version>-<hash> so that any
+// number of configurations coexist.  All dependency references inside
+// binaries are absolute paths into sibling prefixes (RPATHs, paper §3.4).
+#pragma once
+
+#include <filesystem>
+
+#include "src/spec/spec.hpp"
+
+namespace splice::binary {
+
+class InstallLayout {
+ public:
+  explicit InstallLayout(std::filesystem::path root) : root_(std::move(root)) {}
+
+  const std::filesystem::path& root() const { return root_; }
+
+  /// <root>/<name>-<version>-<hash>.  Requires a concrete (hashed) node.
+  std::filesystem::path prefix(const spec::SpecNode& node) const;
+
+  /// The node's shared library inside its prefix: <prefix>/lib/lib<name>.so
+  std::filesystem::path lib_path(const spec::SpecNode& node) const;
+
+  /// The database directory under the root.
+  std::filesystem::path db_dir() const { return root_ / ".splice-db"; }
+
+ private:
+  std::filesystem::path root_;
+};
+
+}  // namespace splice::binary

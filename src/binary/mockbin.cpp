@@ -1,0 +1,160 @@
+#include "src/binary/mockbin.hpp"
+
+#include <charconv>
+
+#include "src/support/error.hpp"
+#include "src/support/hash.hpp"
+#include "src/support/strings.hpp"
+
+namespace splice::binary {
+
+namespace {
+constexpr std::string_view kMagic = "SPLICEBIN 1\n";
+
+std::string_view take_line(std::string_view& rest) {
+  std::size_t nl = rest.find('\n');
+  if (nl == std::string_view::npos) {
+    throw BinaryError("mock binary: truncated (missing newline)");
+  }
+  std::string_view line = rest.substr(0, nl);
+  rest.remove_prefix(nl + 1);
+  return line;
+}
+
+std::pair<std::string_view, std::string_view> split_tag(std::string_view line) {
+  std::size_t sp = line.find(' ');
+  if (sp == std::string_view::npos) return {line, {}};
+  return {line.substr(0, sp), line.substr(sp + 1)};
+}
+}  // namespace
+
+std::string MockBinary::serialize() const {
+  std::string out(kMagic);
+  out += "NAME " + name + "\n";
+  out += "VERSION " + version + "\n";
+  out += "HASH " + hash + "\n";
+  out += "SONAME " + soname + "\n";
+  for (const std::string& r : rpaths) out += "RPATH " + r + "\n";
+  for (const NeededEntry& n : needed) {
+    out += "NEEDED " + n.name + " " + n.hash + " " + n.path + " " +
+           join(n.symbols, ",") + "\n";
+  }
+  for (const std::string& s : exports) out += "EXPORT " + s + "\n";
+  out += "CODE " + std::to_string(code.size()) + "\n";
+  out += code;
+  return out;
+}
+
+MockBinary MockBinary::parse(const std::string& bytes) {
+  std::string_view rest(bytes);
+  if (rest.substr(0, kMagic.size()) != kMagic) {
+    throw BinaryError("mock binary: bad magic");
+  }
+  rest.remove_prefix(kMagic.size());
+  MockBinary b;
+  bool saw_code = false;
+  while (!rest.empty() && !saw_code) {
+    std::string_view line = take_line(rest);
+    auto [tag, value] = split_tag(line);
+    if (tag == "NAME") {
+      b.name = std::string(value);
+    } else if (tag == "VERSION") {
+      b.version = std::string(value);
+    } else if (tag == "HASH") {
+      b.hash = std::string(value);
+    } else if (tag == "SONAME") {
+      b.soname = std::string(value);
+    } else if (tag == "RPATH") {
+      b.rpaths.emplace_back(value);
+    } else if (tag == "NEEDED") {
+      auto fields = split_ws(value);
+      if (fields.size() < 3 || fields.size() > 4) {
+        throw BinaryError("mock binary: malformed NEEDED record");
+      }
+      NeededEntry n;
+      n.name = fields[0];
+      n.hash = fields[1];
+      n.path = fields[2];
+      if (fields.size() == 4) n.symbols = split(fields[3], ',');
+      b.needed.push_back(std::move(n));
+    } else if (tag == "EXPORT") {
+      b.exports.emplace_back(value);
+    } else if (tag == "CODE") {
+      std::size_t len = 0;
+      auto [p, ec] = std::from_chars(value.data(), value.data() + value.size(), len);
+      if (ec != std::errc() || p != value.data() + value.size()) {
+        throw BinaryError("mock binary: bad CODE length");
+      }
+      if (rest.size() != len) {
+        throw BinaryError("mock binary: CODE length mismatch (" +
+                          std::to_string(len) + " declared, " +
+                          std::to_string(rest.size()) + " present)");
+      }
+      b.code = std::string(rest);
+      saw_code = true;
+    } else {
+      throw BinaryError("mock binary: unknown section '" + std::string(tag) + "'");
+    }
+  }
+  if (!saw_code) throw BinaryError("mock binary: missing CODE section");
+  if (b.name.empty() || b.hash.empty()) {
+    throw BinaryError("mock binary: missing NAME/HASH");
+  }
+  return b;
+}
+
+std::vector<std::string> abi_symbols(const std::string& surface) {
+  return {surface + "_init", surface + "_call", surface + "_finalize",
+          surface + "_types"};
+}
+
+std::string make_code_blob(const std::string& seed,
+                           const std::vector<std::string>& embedded,
+                           std::size_t size) {
+  // Deterministic printable filler from a hash chain.
+  static const char alphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789+/";
+  std::string out;
+  out.reserve(size + 64);
+  std::uint64_t state = stable_hash_u64(seed);
+  while (out.size() < size) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    for (int i = 0; i < 8; ++i) {
+      out.push_back(alphabet[(state >> (8 * i)) & 63]);
+    }
+  }
+  out.resize(size);
+  // Plant the embedded path strings at deterministic offsets, each preceded
+  // by a NUL as in real string tables.
+  std::size_t pos = 16;
+  for (const std::string& path : embedded) {
+    std::string planted = '\0' + path + '\0';
+    if (pos + planted.size() >= out.size()) {
+      out.append(planted);  // blob too small: grow it
+    } else {
+      out.replace(pos, planted.size(), planted);
+    }
+    pos += planted.size() + 24;
+  }
+  return out;
+}
+
+std::string rewrite_paths(
+    std::string bytes,
+    const std::vector<std::pair<std::string, std::string>>& mapping) {
+  // Parse -> field-wise rewrite -> reserialize.  Structured sections get
+  // exact replacement; the code blob gets byte-level replacement, the same
+  // operation Spack applies to real binaries (with patchelf handling the
+  // length changes that our reserialization absorbs).
+  MockBinary b = MockBinary::parse(bytes);
+  auto apply = [&](std::string& s) {
+    for (const auto& [from, to] : mapping) s = replace_all(std::move(s), from, to);
+  };
+  apply(b.soname);
+  for (std::string& r : b.rpaths) apply(r);
+  for (NeededEntry& n : b.needed) apply(n.path);
+  apply(b.code);
+  return b.serialize();
+}
+
+}  // namespace splice::binary

@@ -1,0 +1,68 @@
+// Mock binary format: a stand-in for ELF shared objects.
+//
+// The paper's relocation and rewiring machinery (§3.4, §4.2) operates on
+// real binaries via string patching and patchelf.  We reproduce the code
+// path with a small structured format that embeds the same artifacts real
+// binaries do:
+//
+//   * a SONAME path (its own install location),
+//   * RPATH entries (absolute prefixes of link-run dependencies),
+//   * NEEDED records (dependency name, hash, library path, and the symbols
+//     imported from it — the ABI surface actually consumed), and
+//   * a code blob with install-prefix strings embedded mid-stream, exactly
+//     the situation Spack's binary relocation has to patch.
+//
+// Relocation and rewiring are byte-level path rewrites over the serialized
+// form, as in Spack; parse() validates structure afterwards, which gives the
+// tests a strong corruption oracle.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace splice::binary {
+
+struct NeededEntry {
+  std::string name;     ///< dependency package name
+  std::string hash;     ///< dependency DAG hash
+  std::string path;     ///< absolute path of the dependency's library
+  std::vector<std::string> symbols;  ///< symbols imported from it
+};
+
+struct MockBinary {
+  std::string name;
+  std::string version;
+  std::string hash;
+  std::string soname;                 ///< this binary's own install path
+  std::vector<std::string> rpaths;    ///< dependency prefixes
+  std::vector<NeededEntry> needed;
+  std::vector<std::string> exports;   ///< symbols this binary provides
+  std::string code;                   ///< opaque bytes with embedded paths
+
+  /// Serialize to the on-disk byte format.
+  std::string serialize() const;
+
+  /// Parse; throws BinaryError on malformed/corrupt input.
+  static MockBinary parse(const std::string& bytes);
+};
+
+/// The exported symbol set of an ABI surface.  Providers of the same
+/// interface (e.g. every MPI implementation) share a surface string and thus
+/// export identical symbols — the precondition for splicing them.
+std::vector<std::string> abi_symbols(const std::string& surface);
+
+/// Deterministic pseudo-code blob for a package, with `embedded` path
+/// strings planted mid-stream (as real compilers embed prefixes).
+std::string make_code_blob(const std::string& seed,
+                           const std::vector<std::string>& embedded,
+                           std::size_t size);
+
+/// Byte-level path rewriting: replace every occurrence of each mapping's
+/// first path with its second, over the full serialized binary.  This is the
+/// single primitive both relocation (same library, new location) and
+/// rewiring (new library, paper §4.2) reduce to.
+std::string rewrite_paths(
+    std::string bytes,
+    const std::vector<std::pair<std::string, std::string>>& mapping);
+
+}  // namespace splice::binary

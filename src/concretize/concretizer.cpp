@@ -1,0 +1,718 @@
+#include "src/concretize/concretizer.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "src/support/error.hpp"
+
+namespace splice::concretize {
+
+using asp::CmpOp;
+using asp::Literal;
+using asp::Program;
+using asp::Rule;
+using asp::Term;
+using repo::PackageDef;
+using spec::DepType;
+using spec::Spec;
+using spec::SpecNode;
+
+namespace {
+
+// ---- term helpers ---------------------------------------------------------
+
+Term str_(std::string_view s) { return Term::str(s); }
+Term node_(std::string_view p) { return Term::fun("node", {str_(p)}); }
+
+Term attr_(std::string_view a, std::initializer_list<Term> args) {
+  std::vector<Term> all{str_(a)};
+  all.insert(all.end(), args.begin(), args.end());
+  return Term::fun("attr", all);
+}
+
+/// The static concretization logic (paper §5.1): choices for versions,
+/// variants, os/target, virtual providers, and reuse; consistency
+/// constraints; reused-spec imposition; optimization objectives.
+constexpr std::string_view kBaseLogic = R"(
+% ---- node existence -------------------------------------------------------
+% Any known package may appear as a node (choice, externally supported);
+% non-root nodes must be depended upon by another node.
+{ attr("node", node(P)) } :- pkg_fact(P, package).
+node_used(P) :- attr("depends_on", node(Q), node(P), T), attr("node", node(Q)).
+:- attr("node", node(P)), not node_used(P), not attr("root", node(P)).
+:- attr("root", node(P)), not attr("node", node(P)).
+:- attr("depends_on", node(P), node(D), T), attr("node", node(P)), not attr("node", node(D)).
+
+% ---- versions --------------------------------------------------------------
+1 { attr("version", node(P), V) : pkg_fact(P, version_declared(V, W)) } 1 :- attr("node", node(P)).
+:- attr("version", node(P), V1), attr("version", node(P), V2), V1 < V2.
+
+% ---- variants ---------------------------------------------------------------
+1 { attr("variant", node(P), Var, Val) : pkg_fact(P, variant_value(Var, Val)) } 1 :- attr("node", node(P)), pkg_fact(P, variant(Var)).
+:- attr("variant", node(P), Var, V1), attr("variant", node(P), Var, V2), V1 < V2.
+variant_not_default(P, Var) :- attr("variant", node(P), Var, Val), pkg_fact(P, variant(Var)), not pkg_fact(P, variant_default(Var, Val)).
+
+% ---- os / target: one value per node, uniform across the DAG ---------------
+1 { attr("node_os", node(P), O) : allowed_os(O) } 1 :- attr("node", node(P)).
+1 { attr("node_target", node(P), T) : allowed_target(T) } 1 :- attr("node", node(P)).
+:- attr("node_os", node(P), O1), attr("node_os", node(Q), O2), O1 < O2.
+:- attr("node_target", node(P), T1), attr("node_target", node(Q), T2), T1 < T2.
+
+% ---- virtual dependencies ---------------------------------------------------
+virtual_used(V) :- attr("virtual_dep", node(P), V), attr("node", node(P)).
+1 { virtual_provider(V, R) : provides_now(R, V) } 1 :- virtual_used(V).
+attr("depends_on", node(P), node(R), "link") :- attr("virtual_dep", node(P), V), attr("node", node(P)), virtual_provider(V, R).
+% One provider per virtual in any DAG: a present provider of a used virtual
+% must be THE chosen provider (no mpich and mpiabi side by side).
+:- attr("node", node(P)), provides_now(P, V), virtual_used(V), not virtual_provider(V, P).
+
+% ---- reuse (paper §5.1.2) ---------------------------------------------------
+{ attr("hash", node(P), H) : installed_hash(P, H) } 1 :- attr("node", node(P)).
+:- attr("hash", node(P), H1), attr("hash", node(P), H2), H1 < H2.
+impose(H, node(P)) :- attr("hash", node(P), H), attr("node", node(P)).
+reused(P) :- attr("hash", node(P), H), attr("node", node(P)).
+build(P) :- attr("node", node(P)), not reused(P).
+
+attr("version", node(P), V) :- impose(H, node(P)), imposed_constraint(H, "version", P, V).
+attr("variant", node(P), Var, Val) :- impose(H, node(P)), imposed_constraint(H, "variant", P, Var, Val).
+attr("node_os", node(P), O) :- impose(H, node(P)), imposed_constraint(H, "node_os", P, O).
+attr("node_target", node(P), T) :- impose(H, node(P)), imposed_constraint(H, "node_target", P, T).
+attr("depends_on", node(P), node(D), "link") :- impose(H, node(P)), imposed_constraint(H, "depends_on", P, D).
+attr("hash", node(D), DH) :- impose(H, node(P)), imposed_constraint(H, "hash", D, DH).
+
+% ---- objectives --------------------------------------------------------------
+% Prefer the host platform: non-default os/target choices are penalized
+% above everything else (a cache entry for another machine never wins).
+#minimize { 1@120, P, O : attr("node_os", node(P), O), not default_os(O) }.
+#minimize { 1@120, P, T : attr("node_target", node(P), T), not default_target(T) }.
+% Default variant values rank above build count: otherwise the solver would
+% flip optional features off just to drop dependency builds, collapsing the
+% DAG (our caches are concretized from the same defaults, so this does not
+% inhibit reuse).
+#minimize { 1@110, P, Var : variant_not_default(P, Var) }.
+% Minimize builds (weight 100 per the paper).
+#minimize { 100@100, P : build(P) }.
+% Then prefer newer versions.
+#minimize { W@20, P : attr("version", node(P), V), pkg_fact(P, version_declared(V, W)) }.
+)";
+
+/// Recovery of imposed_constraint from the indirect hash_attr encoding
+/// (paper Figure 3b).  `spliced_away` has no deriving rule unless the
+/// splicing fragment is loaded, in which case the negation becomes live.
+constexpr std::string_view kIndirectRecovery = R"(
+imposed_constraint(H, "version", P, V) :- hash_attr(H, "version", P, V).
+imposed_constraint(H, "variant", P, Var, Val) :- hash_attr(H, "variant", P, Var, Val).
+imposed_constraint(H, "node_os", P, O) :- hash_attr(H, "node_os", P, O).
+imposed_constraint(H, "node_target", P, T) :- hash_attr(H, "node_target", P, T).
+imposed_constraint(H, "depends_on", P, D) :- hash_attr(H, "depends_on", P, D), hash_attr(H, "hash", D, DH), not spliced_away(H, D).
+imposed_constraint(H, "hash", D, DH) :- hash_attr(H, "hash", D, DH), not spliced_away(H, D).
+)";
+
+/// Automatic splice synthesis (paper Figure 4b).  A reused parent H whose
+/// dependency (D, DH) has a can_splice-compatible solution node R may drop
+/// the original dependency (spliced_away) and must then splice exactly one
+/// compatible replacement in.
+constexpr std::string_view kSpliceLogic = R"(
+splice_candidate(H, D, R) :- hash_attr(H, "hash", D, DH), can_splice(node(R), D, DH).
+spliceable(H, D) :- splice_candidate(H, D, R).
+imposed_any(H) :- impose(H, node(P)).
+{ spliced_away(H, D) } :- spliceable(H, D), imposed_any(H).
+1 { splice_with(H, D, R) : splice_candidate(H, D, R) } 1 :- spliced_away(H, D).
+attr("depends_on", node(P), node(R), "link") :- impose(H, node(P)), splice_with(H, D, R).
+attr("splice", node(P), D, R) :- impose(H, node(P)), splice_with(H, D, R).
+% Mild penalty so plain reuse beats an equivalent spliced solution.
+#minimize { 1@50, H, D : spliced_away(H, D) }.
+)";
+
+}  // namespace
+
+// ---- Compiler --------------------------------------------------------------
+
+/// Builds the full ASP program for one request: package facts, specialized
+/// per-directive rules, reusable-spec facts, request constraints, and the
+/// static logic above.
+class Concretizer::Compiler {
+ public:
+  Compiler(const repo::Repository& repo, const ConcretizerOptions& opts,
+           const std::map<std::string, Spec>& reusable)
+      : repo_(repo), opts_(opts), reusable_(reusable) {
+    collect_version_candidates();
+  }
+
+  Program compile(const std::vector<Request>& requests) {
+    compile_packages();
+    compile_reusable();
+    for (const Request& request : requests) compile_request(request);
+    emit_range_facts();
+    asp::parse_into(program_, kBaseLogic);
+    if (opts_.encoding == ReuseEncoding::Indirect) {
+      asp::parse_into(program_, kIndirectRecovery);
+    }
+    if (opts_.enable_splicing) {
+      if (opts_.encoding != ReuseEncoding::Indirect) {
+        throw Error("splicing requires the indirect reuse encoding");
+      }
+      asp::parse_into(program_, kSpliceLogic);
+    }
+    return std::move(program_);
+  }
+
+ private:
+  // -- version-range bookkeeping -------------------------------------------
+
+  void collect_version_candidates() {
+    for (const std::string& name : repo_.package_names()) {
+      for (const auto& v : repo_.get(name).versions()) {
+        candidates_[name].insert(v.version.str());
+      }
+    }
+    for (const auto& [hash, s] : reusable_) {
+      for (const SpecNode& n : s.nodes()) {
+        if (auto v = n.concrete_version()) candidates_[n.name].insert(v->str());
+      }
+    }
+  }
+
+  /// Register a version constraint against a package; returns the range id.
+  std::string range_id(const std::string& package,
+                       const spec::VersionConstraint& vc) {
+    std::string key = package + "|" + vc.str();
+    auto it = ranges_.find(key);
+    if (it != ranges_.end()) return it->second.first;
+    std::string rid = "r" + std::to_string(ranges_.size());
+    ranges_.emplace(key, std::make_pair(rid, std::make_pair(package, vc)));
+    return rid;
+  }
+
+  void emit_range_facts() {
+    for (const auto& [key, entry] : ranges_) {
+      const auto& [rid, pkg_vc] = entry;
+      const auto& [package, vc] = pkg_vc;
+      for (const std::string& v : candidates_[package]) {
+        if (vc.includes(spec::Version::parse(v))) {
+          program_.add_fact(
+              Term::fun("range_allows", {str_(rid), str_(v)}));
+        }
+      }
+    }
+  }
+
+  // -- when-spec compilation --------------------------------------------
+
+  /// Append body literals requiring the solution node of `pkg` to satisfy
+  /// the single-node constraints of `when` (version/variants/os/target).
+  void when_body(const std::string& pkg, const std::optional<Spec>& when,
+                 std::vector<Literal>& body) {
+    body.push_back({attr_("node", {node_(pkg)}), true});
+    if (!when) return;
+    const SpecNode& w = when->root();
+    if (w.name != pkg) {
+      throw PackageError("when spec '" + when->str() +
+                         "' does not constrain package " + pkg);
+    }
+    if (when->nodes().size() > 1) {
+      throw PackageError("when specs with dependencies are not supported: " +
+                         when->str());
+    }
+    if (!w.versions.any()) {
+      std::string rid = range_id(pkg, w.versions);
+      Term v = Term::var("WhenV" + std::to_string(fresh_++));
+      body.push_back({attr_("version", {node_(pkg), v}), true});
+      body.push_back({Term::fun("range_allows", {str_(rid), v}), true});
+    }
+    for (const auto& [key, val] : w.variants) {
+      body.push_back({attr_("variant", {node_(pkg), str_(key), str_(val)}), true});
+    }
+    if (w.os) body.push_back({attr_("node_os", {node_(pkg), str_(*w.os)}), true});
+    if (w.target) {
+      body.push_back({attr_("node_target", {node_(pkg), str_(*w.target)}), true});
+    }
+  }
+
+  /// Add `head :- body.`
+  void add_rule(Term head, std::vector<Literal> body) {
+    Rule r;
+    r.head.kind = asp::Head::Kind::Atom;
+    r.head.atom = head;
+    r.body = std::move(body);
+    program_.add_rule(std::move(r));
+  }
+
+  void add_constraint(std::vector<Literal> body) {
+    program_.add_constraint(std::move(body));
+  }
+
+  std::string fresh_condition() { return "c" + std::to_string(fresh_++); }
+
+  // -- package compilation -------------------------------------------------
+
+  void compile_packages() {
+    for (const std::string& name : repo_.package_names()) {
+      const PackageDef& pkg = repo_.get(name);
+      Term p = str_(name);
+      program_.add_fact(Term::fun("pkg_fact", {p, Term::sym("package")}));
+
+      // Versions, weighted by declaration (preference) order.
+      std::int64_t weight = 0;
+      for (const auto& v : pkg.versions()) {
+        program_.add_fact(Term::fun(
+            "pkg_fact",
+            {p, Term::fun("version_declared",
+                          {str_(v.version.str()), Term::integer(weight)})}));
+        ++weight;
+      }
+
+      // Variants.
+      for (const auto& var : pkg.variants()) {
+        program_.add_fact(
+            Term::fun("pkg_fact", {p, Term::fun("variant", {str_(var.name)})}));
+        program_.add_fact(Term::fun(
+            "pkg_fact", {p, Term::fun("variant_default",
+                                      {str_(var.name), str_(var.default_value)})}));
+        std::vector<std::string> values =
+            var.boolean ? std::vector<std::string>{"true", "false"} : var.allowed;
+        for (const std::string& val : values) {
+          program_.add_fact(Term::fun(
+              "pkg_fact",
+              {p, Term::fun("variant_value", {str_(var.name), str_(val)})}));
+        }
+      }
+
+      // Provides: provides_now(P, V) :- <when conditions>.
+      for (const auto& prov : pkg.provided()) {
+        std::vector<Literal> body;
+        when_body(name, prov.when, body);
+        add_rule(Term::fun("provides_now", {p, str_(prov.virtual_name)}),
+                 std::move(body));
+      }
+
+      for (const auto& dep : pkg.dependencies()) compile_dependency(pkg, dep);
+      for (const auto& c : pkg.conflicts_list()) compile_conflict(pkg, c);
+      if (opts_.enable_splicing) {
+        for (const auto& s : pkg.splices()) compile_can_splice(pkg, s);
+      }
+    }
+  }
+
+  void compile_dependency(const PackageDef& pkg, const repo::DependencyDecl& dep) {
+    const std::string& dep_name = dep.target.root().name;
+    std::string cid = fresh_condition();
+    Term cond = Term::fun("condition_holds", {str_(cid)});
+    {
+      std::vector<Literal> body;
+      when_body(pkg.name(), dep.when, body);
+      add_rule(cond, std::move(body));
+    }
+
+    if (repo_.is_virtual(dep_name)) {
+      if (!dep.target.root().versions.any() || !dep.target.root().variants.empty()) {
+        throw PackageError(pkg.name() + ": constraints on virtual dependency '" +
+                           dep_name + "' are not supported");
+      }
+      add_rule(attr_("virtual_dep", {node_(pkg.name()), str_(dep_name)}),
+               {{cond, true}});
+      return;
+    }
+
+    // Impose the edge.  Build-dependency edges only apply to nodes being
+    // built: reused binaries do not need their build tools installed.
+    if (dep.type == DepType::Link) {
+      add_rule(attr_("depends_on",
+                     {node_(pkg.name()), node_(dep_name), str_("link")}),
+               {{cond, true}});
+    } else {
+      add_rule(attr_("depends_on",
+                     {node_(pkg.name()), node_(dep_name), str_("build")}),
+               {{cond, true}, {Term::fun("build", {str_(pkg.name())}), true}});
+    }
+
+    // Impose target constraints on the dependency node.
+    const SpecNode& target = dep.target.root();
+    if (dep.target.nodes().size() > 1) {
+      throw PackageError(pkg.name() + ": dependency targets with sub-dependencies"
+                         " are not supported: " + dep.target.str());
+    }
+    if (!target.versions.any()) {
+      std::string rid = range_id(dep_name, target.versions);
+      Term ok = Term::fun("dep_version_ok", {str_(cid)});
+      Term v = Term::var("DepV");
+      add_rule(ok, {{attr_("version", {node_(dep_name), v}), true},
+                    {Term::fun("range_allows", {str_(rid), v}), true}});
+      add_constraint({{cond, true},
+                      {Term::fun("build", {str_(pkg.name())}), true},
+                      {ok, false}});
+      // For reused parents the cached dependency already satisfied the
+      // directive when it was concretized; re-imposing it would conflict
+      // with splicing in an ABI-compatible replacement of a different
+      // version, so version constraints are only enforced on built parents
+      // (the can_splice declaration vouches for the replacement).
+    }
+    for (const auto& [key, val] : target.variants) {
+      add_constraint(
+          {{cond, true},
+           {Term::fun("build", {str_(pkg.name())}), true},
+           {attr_("variant", {node_(dep_name), str_(key), str_(val)}), false}});
+    }
+  }
+
+  void compile_conflict(const PackageDef& pkg, const repo::ConditionalSpec& c) {
+    std::vector<Literal> body;
+    when_body(pkg.name(), c.when, body);
+    // Conflict target: the offending configuration being present.
+    const SpecNode& t = c.target.root();
+    std::optional<Spec> target_as_when;
+    {
+      Spec w = Spec::make(t.name);
+      w.root() = t;
+      w.root().deps.clear();
+      target_as_when = std::move(w);
+    }
+    when_body(t.name, target_as_when, body);
+    add_constraint(std::move(body));
+  }
+
+  /// Figure 4a: one rule per can_splice directive.
+  void compile_can_splice(const PackageDef& pkg, const repo::CanSpliceDecl& s) {
+    const std::string& target_name = s.target.root().name;
+    std::vector<Literal> body;
+    when_body(pkg.name(), s.when, body);
+
+    Term hash = Term::var("TargetHash");
+    body.push_back({Term::fun("installed_hash", {str_(target_name), hash}), true});
+    const SpecNode& t = s.target.root();
+    if (!t.versions.any()) {
+      std::string rid = range_id(target_name, t.versions);
+      Term v = Term::var("TargetV");
+      body.push_back({Term::fun("hash_attr", {hash, str_("version"),
+                                              str_(target_name), v}),
+                      true});
+      body.push_back({Term::fun("range_allows", {str_(rid), v}), true});
+    }
+    for (const auto& [key, val] : t.variants) {
+      body.push_back({Term::fun("hash_attr", {hash, str_("variant"),
+                                              str_(target_name), str_(key),
+                                              str_(val)}),
+                      true});
+    }
+    add_rule(Term::fun("can_splice",
+                       {node_(pkg.name()), str_(target_name), hash}),
+             std::move(body));
+  }
+
+  // -- reusable spec compilation (paper §5.1.2 / §5.3) -----------------------
+
+  void compile_reusable() {
+    const char* pred = opts_.encoding == ReuseEncoding::Indirect
+                           ? "hash_attr"
+                           : "imposed_constraint";
+    for (const auto& [hash, s] : reusable_) {
+      const SpecNode& n = s.root();
+      Term h = str_(hash);
+      Term p = str_(n.name);
+      program_.add_fact(Term::fun("installed_hash", {p, h}));
+      program_.add_fact(Term::fun(
+          pred, {h, str_("version"), p, str_(n.concrete_version()->str())}));
+      for (const auto& [key, val] : n.variants) {
+        program_.add_fact(
+            Term::fun(pred, {h, str_("variant"), p, str_(key), str_(val)}));
+      }
+      program_.add_fact(Term::fun(pred, {h, str_("node_os"), p, str_(*n.os)}));
+      program_.add_fact(
+          Term::fun(pred, {h, str_("node_target"), p, str_(*n.target)}));
+      for (const spec::DepEdge& e : n.deps) {
+        if (e.type != DepType::Link) continue;
+        const SpecNode& d = s.nodes()[e.child];
+        program_.add_fact(
+            Term::fun(pred, {h, str_("depends_on"), p, str_(d.name)}));
+        program_.add_fact(
+            Term::fun(pred, {h, str_("hash"), str_(d.name), str_(d.hash)}));
+      }
+      // Track os/target values seen in caches so the solver may select them.
+      oses_.insert(*n.os);
+      targets_.insert(*n.target);
+    }
+  }
+
+  // -- request compilation ---------------------------------------------------
+
+  void compile_request(const Request& request) {
+    const Spec& req = request.root;
+    if (req.empty()) throw Error("empty request");
+    const std::string& root = req.root().name;
+    if (!repo_.contains(root)) {
+      throw UnsatisfiableError("unknown package in request: " + root);
+    }
+    program_.add_fact(attr_("root", {node_(root)}));
+
+    for (const SpecNode& n : req.nodes()) {
+      std::string name = n.name;
+      if (repo_.is_virtual(name)) {
+        throw Error("requesting a virtual package directly is not supported: " +
+                    name);
+      }
+      if (!repo_.contains(name)) {
+        throw UnsatisfiableError("unknown package in request: " + name);
+      }
+      // The node must be in the solution.
+      add_constraint({{attr_("node", {node_(name)}), false}});
+      if (!n.versions.any()) {
+        std::string rid = range_id(name, n.versions);
+        Term ok = Term::fun("request_ok", {str_(std::to_string(fresh_++))});
+        Term v = Term::var("ReqV");
+        add_rule(ok, {{attr_("version", {node_(name), v}), true},
+                      {Term::fun("range_allows", {str_(rid), v}), true}});
+        add_constraint({{ok, false}});
+      }
+      for (const auto& [key, val] : n.variants) {
+        add_constraint(
+            {{attr_("node", {node_(name)}), true},
+             {attr_("variant", {node_(name), str_(key), str_(val)}), false}});
+      }
+      if (n.os) {
+        add_constraint({{attr_("node_os", {node_(name), str_(*n.os)}), false}});
+        oses_.insert(*n.os);
+      }
+      if (n.target) {
+        add_constraint(
+            {{attr_("node_target", {node_(name), str_(*n.target)}), false}});
+        targets_.insert(*n.target);
+      }
+    }
+
+    for (const std::string& f : request.forbidden) {
+      add_constraint({{attr_("node", {node_(f)}), true}});
+    }
+
+    oses_.insert(opts_.default_os);
+    targets_.insert(opts_.default_target);
+    // The host platform, preferred by the @120 objectives unless the
+    // request pins something else.
+    program_.add_fact(Term::fun("default_os", {str_(opts_.default_os)}));
+    program_.add_fact(
+        Term::fun("default_target", {str_(opts_.default_target)}));
+    for (const std::string& o : oses_) {
+      program_.add_fact(Term::fun("allowed_os", {str_(o)}));
+    }
+    for (const std::string& t : targets_) {
+      program_.add_fact(Term::fun("allowed_target", {str_(t)}));
+    }
+  }
+
+  const repo::Repository& repo_;
+  const ConcretizerOptions& opts_;
+  const std::map<std::string, Spec>& reusable_;
+
+  Program program_;
+  std::map<std::string, std::set<std::string>> candidates_;
+  // key -> (rid, (package, constraint))
+  std::map<std::string,
+           std::pair<std::string, std::pair<std::string, spec::VersionConstraint>>>
+      ranges_;
+  std::set<std::string> oses_;
+  std::set<std::string> targets_;
+  std::size_t fresh_ = 0;
+};
+
+// ---- Concretizer ------------------------------------------------------------
+
+Concretizer::Concretizer(const repo::Repository& repo, ConcretizerOptions opts)
+    : repo_(repo), opts_(opts) {
+  if (opts_.enable_splicing && opts_.encoding != ReuseEncoding::Indirect) {
+    throw Error("splicing requires ReuseEncoding::Indirect");
+  }
+}
+
+void Concretizer::add_reusable(const Spec& concrete) {
+  if (!concrete.is_concrete()) {
+    throw Error("add_reusable: spec is not concrete: " + concrete.str());
+  }
+  for (std::size_t i = 0; i < concrete.nodes().size(); ++i) {
+    const std::string& hash = concrete.nodes()[i].hash;
+    if (reusable_.count(hash) > 0) continue;
+    reusable_.emplace(hash, concrete.subdag(i));
+  }
+}
+
+namespace {
+
+/// Shared outcome of a (possibly multi-root) solve before per-root
+/// extraction.
+struct SolvedDag {
+  Spec combined;
+  std::map<std::string, std::size_t> index_of;
+  std::vector<std::string> reused_hashes;
+  std::vector<std::string> build_names;
+  std::vector<SpliceDecision> splices;
+  asp::SolveStats stats;
+};
+
+}  // namespace
+
+/// Solve and interpret; the combined DAG holds every solution node (all are
+/// reachable from some root by the node_used constraint).
+static SolvedDag solve_requests(const repo::Repository& repo,
+                                const ConcretizerOptions& opts,
+                                const std::map<std::string, Spec>& reusable,
+                                const std::vector<Request>& requests) {
+  Concretizer::Compiler compiler(repo, opts, reusable);
+  Program program = compiler.compile(requests);
+  asp::SolveResult solved = asp::solve_program(program);
+  if (!solved.sat) {
+    std::string what = "no concretization satisfies:";
+    for (const Request& r : requests) what += " " + r.root.str() + ";";
+    throw UnsatisfiableError(what);
+  }
+  const asp::Model& model = solved.model;
+
+  SolvedDag result;
+  result.stats = solved.stats;
+
+  auto arg_str = [](Term t, std::size_t i) {
+    return std::string(t.args()[i].name());
+  };
+  auto node_name = [&](Term t, std::size_t i) {
+    return std::string(t.args()[i].args()[0].name());
+  };
+
+  // Gather node names: the first request's root leads (so single-root
+  // callers can use the combined spec directly), the rest in name order.
+  std::map<std::string, std::size_t>& index_of = result.index_of;
+  Spec& out = result.combined;
+  const std::string& primary = requests.front().root.root().name;
+  std::set<std::string> names;
+  for (Term t : model.with_signature("attr/2")) {
+    if (t.args()[0].name() != "node") continue;
+    names.insert(node_name(t, 1));
+  }
+  names.insert(primary);
+  {
+    SpecNode r;
+    r.name = primary;
+    index_of[primary] = out.add_node(std::move(r));
+  }
+  for (const std::string& name : names) {
+    if (name == primary) continue;
+    SpecNode n;
+    n.name = name;
+    index_of[name] = out.add_node(std::move(n));
+  }
+
+  std::map<std::string, std::string> hash_of;       // node -> reused hash
+  std::vector<std::tuple<std::string, std::string, std::string>> splice_attrs;
+
+  for (Term t : model.with_signature("attr/3")) {
+    std::string kind(t.args()[0].name());
+    if (kind == "version") {
+      out.nodes()[index_of.at(node_name(t, 1))].versions =
+          spec::VersionConstraint::exactly(spec::Version::parse(arg_str(t, 2)));
+    } else if (kind == "node_os") {
+      out.nodes()[index_of.at(node_name(t, 1))].os = arg_str(t, 2);
+    } else if (kind == "node_target") {
+      out.nodes()[index_of.at(node_name(t, 1))].target = arg_str(t, 2);
+    } else if (kind == "hash") {
+      hash_of[node_name(t, 1)] = arg_str(t, 2);
+    }
+  }
+  for (Term t : model.with_signature("attr/4")) {
+    std::string kind(t.args()[0].name());
+    if (kind == "variant") {
+      out.nodes()[index_of.at(node_name(t, 1))].variants[arg_str(t, 2)] =
+          arg_str(t, 3);
+    } else if (kind == "depends_on") {
+      std::string type = arg_str(t, 3);
+      out.add_dep(index_of.at(node_name(t, 1)), index_of.at(node_name(t, 2)),
+                  type == "build" ? DepType::Build : DepType::Link);
+    } else if (kind == "splice") {
+      splice_attrs.emplace_back(node_name(t, 1), arg_str(t, 2), arg_str(t, 3));
+    }
+  }
+
+  try {
+    out.finalize_concrete();
+  } catch (const SpecError& e) {
+    // A dependency cycle in the package definitions surfaces here (package
+    // graphs must be acyclic; Spack rejects them too).
+    throw UnsatisfiableError(std::string("invalid solution for ") +
+                             requests.front().root.str() + ": " + e.what());
+  }
+
+  // Classify nodes: reused verbatim, spliced (reused + rewired), or built.
+  // A node is affected by splicing if it carries a splice attribute itself
+  // OR any link-run descendant does: replacing a grandchild changes every
+  // ancestor's runtime identity, and every reused ancestor is rewired from
+  // its original binary (transitive splices, paper §4.1).
+  std::set<std::string> spliced_parents;
+  for (const auto& [parent, replaced, replacement] : splice_attrs) {
+    spliced_parents.insert(parent);
+  }
+  std::vector<bool> affected(out.nodes().size(), false);
+  for (std::size_t i : out.topological_order()) {
+    const SpecNode& n = out.nodes()[i];
+    if (spliced_parents.count(n.name) > 0) affected[i] = true;
+    for (const spec::DepEdge& e : n.deps) {
+      if (e.type == DepType::Link && affected[e.child]) affected[i] = true;
+    }
+  }
+  for (std::size_t i = 0; i < out.nodes().size(); ++i) {
+    SpecNode& n = out.nodes()[i];
+    auto it = hash_of.find(n.name);
+    if (it == hash_of.end()) {
+      result.build_names.push_back(n.name);
+      continue;
+    }
+    const std::string& selected = it->second;
+    auto cached = reusable.find(selected);
+    if (cached == reusable.end()) {
+      throw Error("internal: model reuses unknown hash " + selected);
+    }
+    if (n.hash == selected) {
+      result.reused_hashes.push_back(selected);
+      continue;
+    }
+    if (!affected[i]) {
+      throw Error("internal: node " + n.name + " reuses " + selected +
+                  " but solution hash is " + n.hash +
+                  " and no splice explains the difference");
+    }
+    // A spliced (or transitively rewired) node: the binary comes from
+    // `selected`; build_spec records that original build.
+    n.build_spec = std::make_shared<Spec>(cached->second);
+  }
+  for (const auto& [parent, replaced, replacement] : splice_attrs) {
+    result.splices.push_back(SpliceDecision{
+        parent, hash_of.at(parent), replaced, replacement});
+  }
+
+  return result;
+}
+
+ConcretizeResult Concretizer::concretize(const Request& request) {
+  SolvedDag solved = solve_requests(repo_, opts_, reusable_, {request});
+  ConcretizeResult result;
+  result.spec = solved.combined.subdag(
+      solved.index_of.at(request.root.root().name));
+  result.reused_hashes = std::move(solved.reused_hashes);
+  result.build_names = std::move(solved.build_names);
+  result.splices = std::move(solved.splices);
+  result.stats = solved.stats;
+  return result;
+}
+
+EnvironmentResult Concretizer::concretize_together(
+    const std::vector<Request>& requests) {
+  if (requests.empty()) throw Error("concretize_together: no requests");
+  SolvedDag solved = solve_requests(repo_, opts_, reusable_, requests);
+  EnvironmentResult result;
+  result.roots.reserve(requests.size());
+  for (const Request& r : requests) {
+    result.roots.push_back(
+        solved.combined.subdag(solved.index_of.at(r.root.root().name)));
+  }
+  result.reused_hashes = std::move(solved.reused_hashes);
+  result.build_names = std::move(solved.build_names);
+  result.splices = std::move(solved.splices);
+  result.stats = solved.stats;
+  return result;
+}
+
+}  // namespace splice::concretize

@@ -1,0 +1,134 @@
+// The concretizer: Spack's dependency resolver reproduced on our mini-ASP
+// engine (paper §3.3, §5).
+//
+// Given a package repository, a set of reusable concrete specs (installed
+// or in buildcaches), and an abstract request, the concretizer compiles
+// everything to ASP facts and rules, solves for an optimal stable model,
+// and interprets the model back into a concrete spec:
+//
+//   facts:  pkg_fact/2 (versions, variants, provides),
+//           installed_hash/2 + (imposed_constraint|hash_attr)/3..5,
+//           range_allows/2 (precomputed version-range satisfaction),
+//   rules:  one specialized rule per conditional directive (condition_holds,
+//           impositions, conflicts, and the Fig. 4a can_splice rules),
+//           plus the static concretization logic (choice of versions,
+//           variants, providers, reuse, and the Fig. 4b splice synthesis),
+//   objective: minimize builds (weight 100, top priority), then splices,
+//           then version and variant preferences — as in Spack.
+//
+// Two encodings of reusable specs are provided (paper §5.1.2 vs §5.3):
+//   Direct   -- imposed_constraint facts, no splicing possible (old spack);
+//   Indirect -- hash_attr facts + recovery rules, the splice-capable
+//               encoding (splice spack).  Splicing itself is a separate
+//               toggle, mirroring the paper's experimental axes.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/asp/asp.hpp"
+#include "src/repo/repository.hpp"
+#include "src/spec/spec.hpp"
+
+namespace splice::concretize {
+
+enum class ReuseEncoding {
+  Direct,    ///< old spack: imposed_constraint facts (paper §5.1.2)
+  Indirect,  ///< splice spack: hash_attr indirection (paper §5.3)
+};
+
+struct ConcretizerOptions {
+  ReuseEncoding encoding = ReuseEncoding::Indirect;
+  /// Consider spliced solutions (requires Indirect encoding).
+  bool enable_splicing = false;
+  std::string default_os = "linux";
+  std::string default_target = "x86_64";
+};
+
+/// A concretization request: the abstract spec plus optional extra
+/// constraints used by the evaluation (e.g. RQ4 forbids mpich).
+struct Request {
+  spec::Spec root;
+  /// Package names that must not appear in the solution.
+  std::vector<std::string> forbidden;
+
+  Request() = default;
+  explicit Request(std::string_view text) : root(spec::Spec::parse(text)) {}
+  explicit Request(spec::Spec s) : root(std::move(s)) {}
+};
+
+/// One executed splice in a solution: reused spec `parent_hash` had its
+/// dependency `replaced_name` replaced by solution node `replacement_name`.
+struct SpliceDecision {
+  std::string parent_name;
+  std::string parent_hash;
+  std::string replaced_name;
+  std::string replacement_name;
+};
+
+struct ConcretizeResult {
+  spec::Spec spec;  ///< concrete solution, splice provenance attached
+  std::vector<std::string> reused_hashes;       ///< nodes reused verbatim
+  std::vector<std::string> build_names;         ///< nodes needing builds
+  std::vector<SpliceDecision> splices;
+  asp::SolveStats stats;
+
+  bool used_splice() const { return !splices.empty(); }
+};
+
+/// Result of a unified multi-root solve (Spack environments): one solution
+/// DAG shared by every root — one configuration per package across the whole
+/// environment.
+struct EnvironmentResult {
+  /// Per-request concrete specs, aligned with the requests; they share
+  /// dependency configurations (equal names => equal hashes).
+  std::vector<spec::Spec> roots;
+  std::vector<std::string> reused_hashes;
+  std::vector<std::string> build_names;
+  std::vector<SpliceDecision> splices;
+  asp::SolveStats stats;
+
+  bool used_splice() const { return !splices.empty(); }
+};
+
+class Concretizer {
+ public:
+  Concretizer(const repo::Repository& repo, ConcretizerOptions opts = {});
+
+  /// Register a reusable concrete spec: every node of its DAG becomes an
+  /// independently reusable entry (as Spack indexes buildcaches).
+  void add_reusable(const spec::Spec& concrete);
+
+  /// Convenience: register every spec of a container of Spec pointers.
+  template <typename Container>
+  void add_reusable_all(const Container& specs) {
+    for (const auto* s : specs) add_reusable(*s);
+  }
+
+  /// Solve a request.  Throws UnsatisfiableError when no solution exists.
+  ConcretizeResult concretize(const Request& request);
+
+  /// Solve several requests together with unified dependencies (the Spack
+  /// environment model): every package has a single configuration across
+  /// all roots.  Throws UnsatisfiableError when no unified solution exists.
+  EnvironmentResult concretize_together(const std::vector<Request>& requests);
+
+  std::size_t num_reusable() const { return reusable_.size(); }
+  const ConcretizerOptions& options() const { return opts_; }
+
+ public:
+  /// Internal: compiles package/reusable/request facts and rules (exposed
+  /// for the file-local solve path; not part of the stable API).
+  class Compiler;
+
+ private:
+  const repo::Repository& repo_;
+  ConcretizerOptions opts_;
+  /// hash -> concrete sub-DAG (one entry per reusable node).
+  std::map<std::string, spec::Spec> reusable_;
+};
+
+}  // namespace splice::concretize

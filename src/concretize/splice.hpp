@@ -1,0 +1,40 @@
+// Splicing: DAG surgery on concrete specs (paper §4.1, Figure 2).
+//
+// splice() replaces one dependency of an already-built spec with an
+// ABI-compatible replacement spec, without rebuilding:
+//
+//   * transitive:   shared dependencies between the target and the
+//     replacement are taken from the REPLACEMENT (splicing H' into
+//     T ^H ^Z@1.0 where H' ^S ^Z@1.1 yields T ^H' ^S ^Z@1.1);
+//   * intransitive: shared dependencies keep the TARGET's versions
+//     (the same splice yields T ^H' ^S ^Z@1.0, with H' rewired to Z@1.0).
+//
+// Every node whose transitive link-run dependencies changed:
+//   * gets a fresh DAG hash (it is a different runtime artifact),
+//   * records its original spec as `build_spec` (full build provenance:
+//     these binaries were built as the original and spliced, not built
+//     directly in the new configuration), and
+//   * drops its build-only dependency edges (they describe how the original
+//     was built and live on in the build spec; paper §4.1).
+//
+// Whether a splice is ABI-safe is decided elsewhere (the can_splice
+// machinery in the concretizer); this module performs the mechanics.
+#pragma once
+
+#include <string_view>
+
+#include "src/spec/spec.hpp"
+
+namespace splice::concretize {
+
+/// Splice `replacement` into `target`, replacing the node named
+/// `replace_name` (which may differ from replacement's own name, e.g.
+/// example-ng replacing example).  Both specs must be concrete.  Returns the
+/// spliced concrete spec with build provenance attached.
+///
+/// Throws SpecError when preconditions fail (non-concrete inputs, missing
+/// node, attempting to replace the root).
+spec::Spec splice(const spec::Spec& target, std::string_view replace_name,
+                  const spec::Spec& replacement, bool transitive);
+
+}  // namespace splice::concretize

@@ -1,0 +1,147 @@
+#include "src/env/environment.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "src/support/error.hpp"
+
+namespace splice::env {
+
+using concretize::Concretizer;
+using concretize::EnvironmentResult;
+using concretize::Request;
+using spec::Spec;
+
+void Environment::add(std::string_view spec_text) {
+  // Validate eagerly: parse errors should surface at add() time.
+  Spec parsed = Spec::parse(spec_text);
+  (void)parsed;
+  std::string text(spec_text);
+  if (std::find(roots_.begin(), roots_.end(), text) != roots_.end()) {
+    throw Error("environment already contains root '" + text + "'");
+  }
+  roots_.push_back(std::move(text));
+  lock_.reset();  // manifest changed; the lock is stale
+}
+
+bool Environment::remove(std::string_view spec_text) {
+  auto it = std::find(roots_.begin(), roots_.end(), std::string(spec_text));
+  if (it == roots_.end()) return false;
+  roots_.erase(it);
+  lock_.reset();
+  return true;
+}
+
+const EnvironmentResult& Environment::concretize(
+    concretize::ConcretizerOptions opts,
+    const std::vector<const Spec*>& reusable) {
+  if (roots_.empty()) throw Error("environment has no roots");
+  Concretizer c(*repo_, opts);
+  for (const Spec* s : reusable) c.add_reusable(*s);
+  std::vector<Request> requests;
+  requests.reserve(roots_.size());
+  for (const std::string& text : roots_) {
+    Request r(text);
+    r.forbidden = forbidden_;
+    requests.push_back(std::move(r));
+  }
+  lock_ = c.concretize_together(requests);
+  return *lock_;
+}
+
+const EnvironmentResult& Environment::lock() const {
+  if (!lock_) throw Error("environment is not concretized");
+  return *lock_;
+}
+
+json::Value Environment::to_lockfile() const {
+  const EnvironmentResult& l = lock();
+  json::Value doc;
+  doc["version"] = 1;
+  json::Array roots;
+  for (std::size_t i = 0; i < roots_.size(); ++i) {
+    json::Value entry;
+    entry["spec"] = roots_[i];
+    entry["concrete"] = l.roots[i].to_json();
+    roots.push_back(std::move(entry));
+  }
+  doc["roots"] = json::Value(std::move(roots));
+  if (!forbidden_.empty()) {
+    json::Array f;
+    for (const std::string& name : forbidden_) f.push_back(json::Value(name));
+    doc["forbidden"] = json::Value(std::move(f));
+  }
+  return doc;
+}
+
+void Environment::write_lockfile(const std::filesystem::path& path) const {
+  std::filesystem::create_directories(path.parent_path());
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw Error("cannot write lockfile " + path.string());
+  out << to_lockfile().dump_pretty() << "\n";
+}
+
+Environment Environment::from_lockfile(const repo::Repository& repo,
+                                       const json::Value& lockfile) {
+  Environment env(repo);
+  const json::Value* roots = lockfile.find("roots");
+  if (roots == nullptr || !roots->is_array()) {
+    throw ParseError("lockfile: missing roots array");
+  }
+  EnvironmentResult lock;
+  for (const json::Value& entry : roots->as_array()) {
+    const json::Value* spec_field = entry.find("spec");
+    const json::Value* concrete_field = entry.find("concrete");
+    if (spec_field == nullptr || concrete_field == nullptr) {
+      throw ParseError("lockfile: malformed root entry");
+    }
+    env.roots_.push_back(spec_field->as_string());
+    Spec concrete = Spec::from_json(*concrete_field);
+    if (!concrete.is_concrete()) {
+      throw ParseError("lockfile: root '" + env.roots_.back() +
+                       "' is not concrete");
+    }
+    // Locked specs must still satisfy their manifest constraints.
+    if (!concrete.satisfies(Spec::parse(env.roots_.back()))) {
+      throw ParseError("lockfile: concrete spec no longer satisfies '" +
+                       env.roots_.back() + "'");
+    }
+    lock.roots.push_back(std::move(concrete));
+  }
+  if (const json::Value* f = lockfile.find("forbidden")) {
+    for (const json::Value& name : f->as_array()) {
+      env.forbidden_.push_back(name.as_string());
+    }
+  }
+  env.lock_ = std::move(lock);
+  return env;
+}
+
+Environment Environment::read_lockfile(const repo::Repository& repo,
+                                       const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot read lockfile " + path.string());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return from_lockfile(repo, json::parse(ss.str()));
+}
+
+binary::InstallReport Environment::install_all(
+    binary::Installer& installer, const binary::BuildCache& cache) const {
+  const EnvironmentResult& l = lock();
+  binary::InstallReport total;
+  for (const Spec& root : l.roots) {
+    binary::InstallReport r = root.is_spliced()
+                                  ? installer.rewire(root, cache)
+                                  : installer.install_from_cache(root, cache);
+    total.built += r.built;
+    total.reused += r.reused;
+    total.relocated += r.relocated;
+    total.rewired += r.rewired;
+    total.bytes_written += r.bytes_written;
+  }
+  return total;
+}
+
+}  // namespace splice::env

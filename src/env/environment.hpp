@@ -1,0 +1,76 @@
+// Environments: named collections of root specs concretized together and
+// pinned by a lockfile — the spack.yaml / spack.lock model that deployment
+// workflows (including the paper's RADIUSS stack deployments) are built on.
+//
+// An environment unifies its roots: one configuration per package across
+// the whole environment (Spack's `unify: true`).  Concretizing writes the
+// lockfile: every root's full concrete DAG, splices and build provenance
+// included, so a locked environment re-installs bit-identically — and a
+// locked *spliced* environment records exactly which cached binaries get
+// rewired.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/binary/buildcache.hpp"
+#include "src/binary/installer.hpp"
+#include "src/concretize/concretizer.hpp"
+#include "src/repo/repository.hpp"
+
+namespace splice::env {
+
+class Environment {
+ public:
+  /// An in-memory environment over a repository.
+  explicit Environment(const repo::Repository& repo) : repo_(&repo) {}
+
+  // ---- manifest ----------------------------------------------------------
+  /// Add a root spec (abstract, spec syntax).  Duplicate roots (same text)
+  /// are rejected.
+  void add(std::string_view spec_text);
+  /// Remove a root by its exact text; returns false when absent.
+  bool remove(std::string_view spec_text);
+  const std::vector<std::string>& roots() const { return roots_; }
+
+  /// Forbid a package environment-wide (applies to every root's solve).
+  void forbid(std::string_view package) { forbidden_.emplace_back(package); }
+
+  // ---- concretization ----------------------------------------------------
+  /// Unified solve of all roots; stores the result as the current lock.
+  /// `reusable` specs (installed DB and/or caches) and splicing behave as in
+  /// Concretizer.
+  const concretize::EnvironmentResult& concretize(
+      concretize::ConcretizerOptions opts = {},
+      const std::vector<const spec::Spec*>& reusable = {});
+
+  bool is_concretized() const { return lock_.has_value(); }
+  const concretize::EnvironmentResult& lock() const;
+
+  // ---- lockfile ------------------------------------------------------------
+  /// Serialize the manifest + concrete roots; requires is_concretized().
+  json::Value to_lockfile() const;
+  void write_lockfile(const std::filesystem::path& path) const;
+
+  /// Restore an environment (manifest + concrete roots) from a lockfile.
+  static Environment from_lockfile(const repo::Repository& repo,
+                                   const json::Value& lockfile);
+  static Environment read_lockfile(const repo::Repository& repo,
+                                   const std::filesystem::path& path);
+
+  // ---- installation --------------------------------------------------------
+  /// Install every locked root: spliced nodes are rewired from `cache`,
+  /// plain nodes come from the cache or source.  Returns the merged report.
+  binary::InstallReport install_all(binary::Installer& installer,
+                                    const binary::BuildCache& cache) const;
+
+ private:
+  const repo::Repository* repo_;
+  std::vector<std::string> roots_;
+  std::vector<std::string> forbidden_;
+  std::optional<concretize::EnvironmentResult> lock_;
+};
+
+}  // namespace splice::env

@@ -1,0 +1,130 @@
+#include "src/repo/package.hpp"
+
+#include <algorithm>
+
+#include "src/support/error.hpp"
+#include "src/support/strings.hpp"
+
+namespace splice::repo {
+
+PackageDef::PackageDef(std::string_view name) : name_(name) {
+  if (!is_identifier(name)) {
+    throw PackageError("invalid package name: '" + std::string(name) + "'");
+  }
+}
+
+PackageDef& PackageDef::version(std::string_view v, bool deprecated) {
+  spec::Version parsed = spec::Version::parse(v);
+  if (declares_version(parsed)) {
+    throw PackageError(name_ + ": duplicate version " + std::string(v));
+  }
+  versions_.push_back({std::move(parsed), deprecated});
+  return *this;
+}
+
+PackageDef& PackageDef::variant(std::string_view name, bool default_on) {
+  if (find_variant(name) != nullptr) {
+    throw PackageError(name_ + ": duplicate variant " + std::string(name));
+  }
+  VariantDecl d;
+  d.name = std::string(name);
+  d.default_value = default_on ? "true" : "false";
+  d.boolean = true;
+  variants_.push_back(std::move(d));
+  return *this;
+}
+
+PackageDef& PackageDef::variant(std::string_view name,
+                                std::string_view default_value,
+                                std::vector<std::string> allowed) {
+  if (find_variant(name) != nullptr) {
+    throw PackageError(name_ + ": duplicate variant " + std::string(name));
+  }
+  VariantDecl d;
+  d.name = std::string(name);
+  d.default_value = std::string(default_value);
+  d.allowed = std::move(allowed);
+  d.boolean = false;
+  if (std::find(d.allowed.begin(), d.allowed.end(), d.default_value) ==
+      d.allowed.end()) {
+    throw PackageError(name_ + ": variant " + d.name + " default '" +
+                       d.default_value + "' not among its allowed values");
+  }
+  variants_.push_back(std::move(d));
+  return *this;
+}
+
+PackageDef& PackageDef::depends_on(std::string_view spec_text,
+                                   std::string_view when, spec::DepType type) {
+  DependencyDecl d;
+  d.target = spec::Spec::parse(spec_text);
+  if (d.target.root().name == name_) {
+    throw PackageError(name_ + " cannot depend on itself");
+  }
+  if (!when.empty()) d.when = parse_when(when);
+  d.type = type;
+  deps_.push_back(std::move(d));
+  return *this;
+}
+
+PackageDef& PackageDef::depends_on_build(std::string_view spec_text,
+                                         std::string_view when) {
+  return depends_on(spec_text, when, spec::DepType::Build);
+}
+
+PackageDef& PackageDef::provides(std::string_view virtual_name,
+                                 std::string_view when) {
+  ProvidesDecl d;
+  d.virtual_name = std::string(virtual_name);
+  if (!is_identifier(d.virtual_name)) {
+    throw PackageError(name_ + ": invalid virtual name '" + d.virtual_name + "'");
+  }
+  if (!when.empty()) d.when = parse_when(when);
+  provides_.push_back(std::move(d));
+  return *this;
+}
+
+PackageDef& PackageDef::conflicts(std::string_view spec_text,
+                                  std::string_view when) {
+  ConditionalSpec c;
+  c.target = spec::Spec::parse(spec_text);
+  if (!when.empty()) c.when = parse_when(when);
+  conflicts_.push_back(std::move(c));
+  return *this;
+}
+
+PackageDef& PackageDef::can_splice(std::string_view target,
+                                   std::string_view when) {
+  CanSpliceDecl d;
+  d.target = spec::Spec::parse(target);
+  if (!when.empty()) d.when = parse_when(when);
+  splices_.push_back(std::move(d));
+  return *this;
+}
+
+const VariantDecl* PackageDef::find_variant(std::string_view name) const {
+  for (const VariantDecl& v : variants_) {
+    if (v.name == name) return &v;
+  }
+  return nullptr;
+}
+
+bool PackageDef::declares_version(const spec::Version& v) const {
+  for (const VersionDecl& d : versions_) {
+    if (d.version == v) return true;
+  }
+  return false;
+}
+
+spec::Spec PackageDef::parse_when(std::string_view text) const {
+  std::string_view trimmed = trim(text);
+  if (trimmed.empty()) return spec::Spec::make(name_);
+  char c = trimmed[0];
+  if (c == '@' || c == '+' || c == '~' || c == '%' || c == '^') {
+    // Anonymous constraint on this package itself.
+    return spec::Spec::parse(name_ + std::string(trimmed));
+  }
+  return spec::Spec::parse(trimmed);
+}
+
+}  // namespace splice::repo

@@ -1,0 +1,120 @@
+// Package definitions: the C++ rendering of Spack's packaging DSL
+// (paper §3.2 and Figure 1).
+//
+// A Spack package.py is a Python class whose directives define the
+// configuration space of a package.  Here each package is a PackageDef
+// built with a fluent API mirroring those directives:
+//
+//   PackageDef("example")
+//       .version("1.1.0")
+//       .version("1.0.0")
+//       .variant("bzip", true)
+//       .depends_on("bzip2", "+bzip")
+//       .depends_on("zlib@1.2", "@1.0.0")
+//       .depends_on("zlib@1.3", "@1.1.0")
+//       .depends_on("mpi")
+//       .can_splice("example@1.0.0", "@1.1.0")                  // paper §5.2
+//       .can_splice("example-ng@2.3.2+compat", "@1.1.0+bzip");
+//
+// Every directive takes an optional `when` spec constraining when it
+// applies, exactly like the DSL's `when=` argument.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/spec/spec.hpp"
+
+namespace splice::repo {
+
+/// A declared version, in declaration (preference) order.
+struct VersionDecl {
+  spec::Version version;
+  /// Deprecated versions are never chosen unless explicitly requested.
+  bool deprecated = false;
+};
+
+/// A declared variant with its default.
+struct VariantDecl {
+  std::string name;
+  std::string default_value;           // "true"/"false" for boolean variants
+  std::vector<std::string> allowed;    // non-empty for valued variants
+  bool boolean = true;
+};
+
+/// A conditional directive body: `target` applies when the package
+/// configuration satisfies `when` (empty `when` = unconditional).
+struct ConditionalSpec {
+  spec::Spec target;
+  std::optional<spec::Spec> when;
+};
+
+/// A conditional dependency, additionally typed build or link-run.
+struct DependencyDecl {
+  spec::Spec target;
+  std::optional<spec::Spec> when;
+  spec::DepType type = spec::DepType::Link;
+};
+
+/// `provides("mpi")`: this package implements the named virtual interface.
+struct ProvidesDecl {
+  std::string virtual_name;
+  std::optional<spec::Spec> when;
+};
+
+/// The paper's can_splice directive (§5.2): configurations of this package
+/// satisfying `when` are ABI-compatible replacements for installed specs
+/// satisfying `target`.  The *replacing* package declares compatibility,
+/// inverting the dependency structure (the MPICH-compatible vendor MPI
+/// declares it can replace MPICH, not vice versa).
+struct CanSpliceDecl {
+  spec::Spec target;
+  std::optional<spec::Spec> when;
+};
+
+class PackageDef {
+ public:
+  explicit PackageDef(std::string_view name);
+
+  // ---- directives (fluent, mirroring the Python DSL) ----
+  PackageDef& version(std::string_view v, bool deprecated = false);
+  PackageDef& variant(std::string_view name, bool default_on);
+  PackageDef& variant(std::string_view name, std::string_view default_value,
+                      std::vector<std::string> allowed);
+  PackageDef& depends_on(std::string_view spec_text, std::string_view when = "",
+                         spec::DepType type = spec::DepType::Link);
+  PackageDef& depends_on_build(std::string_view spec_text,
+                               std::string_view when = "");
+  PackageDef& provides(std::string_view virtual_name, std::string_view when = "");
+  PackageDef& conflicts(std::string_view spec_text, std::string_view when = "");
+  PackageDef& can_splice(std::string_view target, std::string_view when = "");
+
+  // ---- accessors ----
+  const std::string& name() const { return name_; }
+  const std::vector<VersionDecl>& versions() const { return versions_; }
+  const std::vector<VariantDecl>& variants() const { return variants_; }
+  const std::vector<DependencyDecl>& dependencies() const { return deps_; }
+  const std::vector<ProvidesDecl>& provided() const { return provides_; }
+  const std::vector<ConditionalSpec>& conflicts_list() const { return conflicts_; }
+  const std::vector<CanSpliceDecl>& splices() const { return splices_; }
+
+  const VariantDecl* find_variant(std::string_view name) const;
+  bool declares_version(const spec::Version& v) const;
+
+  /// Parse a `when=` argument: spec syntax that may omit the package name
+  /// ("@1.1.0+bzip" constrains this package itself).
+  spec::Spec parse_when(std::string_view text) const;
+
+ private:
+  std::string name_;
+  std::vector<VersionDecl> versions_;
+  std::vector<VariantDecl> variants_;
+  std::vector<DependencyDecl> deps_;
+  std::vector<ProvidesDecl> provides_;
+  std::vector<ConditionalSpec> conflicts_;
+  std::vector<CanSpliceDecl> splices_;
+};
+
+}  // namespace splice::repo

@@ -1,0 +1,89 @@
+#include "src/repo/repository.hpp"
+
+#include <algorithm>
+
+#include "src/support/error.hpp"
+
+namespace splice::repo {
+
+PackageDef& Repository::add(PackageDef pkg) {
+  std::string name = pkg.name();
+  if (packages_.count(name) > 0) {
+    throw PackageError("duplicate package: " + name);
+  }
+  for (const ProvidesDecl& p : pkg.provided()) {
+    declare_virtual(p.virtual_name);
+  }
+  auto [it, _] = packages_.emplace(name, std::move(pkg));
+  order_.push_back(name);
+  return it->second;
+}
+
+void Repository::declare_virtual(std::string_view name) {
+  if (!is_virtual(name)) virtuals_.emplace_back(name);
+}
+
+const PackageDef* Repository::find(std::string_view name) const {
+  auto it = packages_.find(name);
+  return it == packages_.end() ? nullptr : &it->second;
+}
+
+const PackageDef& Repository::get(std::string_view name) const {
+  const PackageDef* p = find(name);
+  if (p == nullptr) {
+    throw PackageError("unknown package: " + std::string(name));
+  }
+  return *p;
+}
+
+bool Repository::is_virtual(std::string_view name) const {
+  return std::find(virtuals_.begin(), virtuals_.end(), name) != virtuals_.end();
+}
+
+std::vector<std::string> Repository::providers(
+    std::string_view virtual_name) const {
+  std::vector<std::string> out;
+  for (const std::string& name : order_) {
+    for (const ProvidesDecl& p : packages_.at(name).provided()) {
+      if (p.virtual_name == virtual_name) {
+        out.push_back(name);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void Repository::validate() const {
+  for (const std::string& name : order_) {
+    const PackageDef& pkg = packages_.at(name);
+    if (pkg.versions().empty()) {
+      throw PackageError(name + ": package declares no versions");
+    }
+    for (const DependencyDecl& d : pkg.dependencies()) {
+      const std::string& dep = d.target.root().name;
+      if (!contains(dep) && !is_virtual(dep)) {
+        throw PackageError(name + " depends on unknown package '" + dep + "'");
+      }
+      if (is_virtual(dep) && providers(dep).empty()) {
+        throw PackageError(name + " depends on virtual '" + dep +
+                           "' which has no providers");
+      }
+    }
+    for (const CanSpliceDecl& s : pkg.splices()) {
+      const std::string& target = s.target.root().name;
+      if (!contains(target)) {
+        throw PackageError(name + " can_splice unknown package '" + target + "'");
+      }
+    }
+    for (const ConditionalSpec& c : pkg.conflicts_list()) {
+      const std::string& other = c.target.root().name;
+      if (!contains(other) && !is_virtual(other) && other != name) {
+        throw PackageError(name + " conflicts with unknown package '" + other +
+                           "'");
+      }
+    }
+  }
+}
+
+}  // namespace splice::repo

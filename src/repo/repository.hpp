@@ -1,0 +1,51 @@
+// A package repository: the set of PackageDefs the concretizer reasons over,
+// plus the registry of virtual packages (interfaces like `mpi`) and their
+// providers.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/repo/package.hpp"
+
+namespace splice::repo {
+
+class Repository {
+ public:
+  /// Register a package; returns a reference for further directives.
+  /// Throws PackageError on duplicate names.
+  PackageDef& add(PackageDef pkg);
+
+  /// Declare a virtual package (an interface with no build of its own).
+  /// Virtuals are also registered implicitly by any provides() directive.
+  void declare_virtual(std::string_view name);
+
+  const PackageDef* find(std::string_view name) const;
+  const PackageDef& get(std::string_view name) const;  ///< throws if missing
+  bool contains(std::string_view name) const { return find(name) != nullptr; }
+
+  bool is_virtual(std::string_view name) const;
+
+  /// Names of packages providing a virtual, in registration order.
+  std::vector<std::string> providers(std::string_view virtual_name) const;
+
+  /// All package names in registration order.
+  const std::vector<std::string>& package_names() const { return order_; }
+  std::size_t size() const { return order_.size(); }
+
+  /// Validate cross-package consistency: every depends_on target either
+  /// resolves to a known package or a known virtual; can_splice targets name
+  /// known packages.  Throws PackageError with a description of the first
+  /// problem.  Run after the repository is fully populated.
+  void validate() const;
+
+ private:
+  std::map<std::string, PackageDef, std::less<>> packages_;
+  std::vector<std::string> order_;
+  std::vector<std::string> virtuals_;
+};
+
+}  // namespace splice::repo

@@ -1,0 +1,577 @@
+#include "src/spec/spec.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "src/support/error.hpp"
+#include "src/support/hash.hpp"
+#include "src/support/strings.hpp"
+
+namespace splice::spec {
+
+std::string_view dep_type_str(DepType t) {
+  return t == DepType::Build ? "build" : "link";
+}
+
+Spec Spec::make(std::string_view name) {
+  Spec s;
+  SpecNode n;
+  n.name = std::string(name);
+  s.nodes_.push_back(std::move(n));
+  return s;
+}
+
+const SpecNode* Spec::find(std::string_view name) const {
+  for (const SpecNode& n : nodes_) {
+    if (n.name == name) return &n;
+  }
+  return nullptr;
+}
+
+SpecNode* Spec::find(std::string_view name) {
+  for (SpecNode& n : nodes_) {
+    if (n.name == name) return &n;
+  }
+  return nullptr;
+}
+
+std::optional<std::size_t> Spec::find_index(std::string_view name) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::size_t Spec::add_node(SpecNode node) {
+  nodes_.push_back(std::move(node));
+  return nodes_.size() - 1;
+}
+
+void Spec::add_dep(std::size_t parent, std::size_t child, DepType type) {
+  if (parent >= nodes_.size() || child >= nodes_.size()) {
+    throw SpecError("add_dep: node index out of range");
+  }
+  for (const DepEdge& e : nodes_[parent].deps) {
+    if (e.child == child && e.type == type) return;  // already present
+  }
+  nodes_[parent].deps.push_back({child, type});
+}
+
+bool Spec::is_concrete() const {
+  if (nodes_.empty()) return false;
+  for (const SpecNode& n : nodes_) {
+    if (!n.versions.concrete() || !n.os || !n.target || n.hash.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::size_t> Spec::topological_order() const {
+  std::vector<int> state(nodes_.size(), 0);  // 0 unseen, 1 visiting, 2 done
+  std::vector<std::size_t> order;
+  order.reserve(nodes_.size());
+  // Iterative DFS from every node (covers disconnected nodes defensively).
+  for (std::size_t start = 0; start < nodes_.size(); ++start) {
+    if (state[start] != 0) continue;
+    std::vector<std::pair<std::size_t, std::size_t>> stack{{start, 0}};
+    state[start] = 1;
+    while (!stack.empty()) {
+      auto& [n, child] = stack.back();
+      if (child < nodes_[n].deps.size()) {
+        std::size_t c = nodes_[n].deps[child++].child;
+        if (state[c] == 1) {
+          throw SpecError("spec DAG contains a cycle at " + nodes_[c].name);
+        }
+        if (state[c] == 0) {
+          state[c] = 1;
+          stack.emplace_back(c, 0);
+        }
+      } else {
+        state[n] = 2;
+        order.push_back(n);
+        stack.pop_back();
+      }
+    }
+  }
+  return order;
+}
+
+void Spec::finalize_concrete() {
+  if (nodes_.empty()) throw SpecError("cannot finalize an empty spec");
+  std::vector<std::size_t> order = topological_order();
+  for (std::size_t i : order) {
+    SpecNode& n = nodes_[i];
+    auto v = n.versions.concrete();
+    if (!v) {
+      throw SpecError("finalize_concrete: node " + n.name +
+                      " has no exact version (" + n.versions.str() + ")");
+    }
+    if (!n.os || !n.target) {
+      throw SpecError("finalize_concrete: node " + n.name + " lacks os/target");
+    }
+    Hasher h;
+    h.field(n.name);
+    h.field(v->str());
+    for (const auto& [key, val] : n.variants) {
+      h.field(key);
+      h.field(val);
+    }
+    h.field(*n.os);
+    h.field(*n.target);
+    // Hash link-run edges only, in canonical (name) order.  Build
+    // dependencies do not contribute: the hash identifies the runtime
+    // artifact, so a spec whose build deps were pruned by splicing hashes
+    // the same as its cached original (Spack's classic dag_hash behavior).
+    std::vector<std::pair<std::string, const DepEdge*>> edges;
+    for (const DepEdge& e : n.deps) {
+      if (e.type != DepType::Link) continue;
+      edges.emplace_back(nodes_[e.child].name, &e);
+    }
+    std::sort(edges.begin(), edges.end(), [](const auto& a, const auto& b) {
+      return a.first < b.first;
+    });
+    for (const auto& [name, e] : edges) {
+      h.field(name);
+      h.field(nodes_[e->child].hash);
+    }
+    n.hash = h.b32();
+  }
+}
+
+bool Spec::is_spliced() const {
+  for (const SpecNode& n : nodes_) {
+    if (n.build_spec) return true;
+  }
+  return false;
+}
+
+bool node_satisfies(const SpecNode& have, const SpecNode& want) {
+  if (have.name != want.name) return false;
+  if (!have.versions.subset_of(want.versions)) return false;
+  for (const auto& [key, val] : want.variants) {
+    auto it = have.variants.find(key);
+    if (it == have.variants.end() || it->second != val) return false;
+  }
+  if (want.os && have.os != want.os) return false;
+  if (want.target && have.target != want.target) return false;
+  return true;
+}
+
+bool node_intersects(const SpecNode& a, const SpecNode& b) {
+  if (a.name != b.name) return false;
+  if (!a.versions.intersects(b.versions)) return false;
+  for (const auto& [key, val] : a.variants) {
+    auto it = b.variants.find(key);
+    if (it != b.variants.end() && it->second != val) return false;
+  }
+  if (a.os && b.os && a.os != b.os) return false;
+  if (a.target && b.target && a.target != b.target) return false;
+  return true;
+}
+
+bool Spec::satisfies(const Spec& constraint) const {
+  for (const SpecNode& want : constraint.nodes_) {
+    const SpecNode* have = find(want.name);
+    if (have == nullptr || !node_satisfies(*have, want)) return false;
+  }
+  return true;
+}
+
+bool Spec::intersects(const Spec& other) const {
+  for (const SpecNode& a : nodes_) {
+    const SpecNode* b = other.find(a.name);
+    if (b != nullptr && !node_intersects(a, *b)) return false;
+  }
+  return true;
+}
+
+void Spec::constrain(const Spec& other) {
+  // Merge each node of `other` into the same-named node here, adding new
+  // nodes as dependencies of the root when absent.
+  for (const SpecNode& o : other.nodes_) {
+    SpecNode* mine = find(o.name);
+    if (mine == nullptr) {
+      SpecNode copy = o;
+      copy.deps.clear();
+      std::size_t idx = add_node(std::move(copy));
+      add_dep(0, idx, DepType::Link);
+      continue;
+    }
+    if (!mine->versions.constrain(o.versions)) {
+      throw SpecError("conflicting version constraints on " + o.name + ": " +
+                      mine->versions.str() + " vs " + o.versions.str());
+    }
+    for (const auto& [key, val] : o.variants) {
+      auto [it, inserted] = mine->variants.emplace(key, val);
+      if (!inserted && it->second != val) {
+        throw SpecError("conflicting values for variant " + o.name + " " + key +
+                        ": " + it->second + " vs " + val);
+      }
+    }
+    auto merge_scalar = [&](std::optional<std::string>& dst,
+                            const std::optional<std::string>& src,
+                            const char* what) {
+      if (!src) return;
+      if (dst && *dst != *src) {
+        throw SpecError(std::string("conflicting ") + what + " on " + o.name);
+      }
+      dst = src;
+    };
+    merge_scalar(mine->os, o.os, "os");
+    merge_scalar(mine->target, o.target, "target");
+  }
+}
+
+Spec Spec::subdag(std::size_t node) const {
+  if (node >= nodes_.size()) throw SpecError("subdag: index out of range");
+  Spec out;
+  std::map<std::size_t, std::size_t> remap;
+  // DFS collecting reachable nodes, root first.
+  std::vector<std::size_t> stack{node};
+  std::vector<std::size_t> reach;
+  std::vector<bool> seen(nodes_.size(), false);
+  seen[node] = true;
+  while (!stack.empty()) {
+    std::size_t n = stack.back();
+    stack.pop_back();
+    reach.push_back(n);
+    for (const DepEdge& e : nodes_[n].deps) {
+      if (!seen[e.child]) {
+        seen[e.child] = true;
+        stack.push_back(e.child);
+      }
+    }
+  }
+  for (std::size_t n : reach) {
+    SpecNode copy = nodes_[n];
+    copy.deps.clear();
+    remap[n] = out.add_node(std::move(copy));
+  }
+  for (std::size_t n : reach) {
+    for (const DepEdge& e : nodes_[n].deps) {
+      out.add_dep(remap[n], remap[e.child], e.type);
+    }
+  }
+  return out;
+}
+
+std::string Spec::node_str(std::size_t i) const {
+  const SpecNode& n = nodes_[i];
+  std::string out = n.name;
+  if (!n.versions.any()) out += "@" + n.versions.str();
+  // Boolean variants render as +x / ~x; valued variants as key=value.
+  for (const auto& [key, val] : n.variants) {
+    if (val == "true") {
+      out += "+" + key;
+    } else if (val == "false") {
+      out += "~" + key;
+    } else {
+      out += " " + key + "=" + val;
+    }
+  }
+  if (n.os) out += " os=" + *n.os;
+  if (n.target) out += " target=" + *n.target;
+  return out;
+}
+
+std::string Spec::str() const {
+  if (nodes_.empty()) return "";
+  std::string out = node_str(0);
+  // Render remaining nodes in index order with their dep sigil relative to
+  // the DAG (link deps with ^, pure build deps with %).
+  std::vector<bool> has_link(nodes_.size(), false);
+  std::vector<bool> has_build(nodes_.size(), false);
+  for (const SpecNode& n : nodes_) {
+    for (const DepEdge& e : n.deps) {
+      (e.type == DepType::Link ? has_link : has_build)[e.child] = true;
+    }
+  }
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    out += has_link[i] || !has_build[i] ? " ^" : " %";
+    out += node_str(i);
+  }
+  return out;
+}
+
+std::string Spec::tree() const {
+  std::string out;
+  // DFS from root printing one line per edge visit; repeated nodes are
+  // printed by name reference only.
+  std::vector<bool> printed(nodes_.size(), false);
+  struct Item {
+    std::size_t node;
+    int depth;
+    DepType type;
+  };
+  std::vector<Item> stack{{0, 0, DepType::Link}};
+  while (!stack.empty()) {
+    Item it = stack.back();
+    stack.pop_back();
+    out.append(static_cast<std::size_t>(it.depth) * 4, ' ');
+    if (it.depth > 0) {
+      out += it.type == DepType::Build ? "%" : "^";
+    }
+    if (printed[it.node]) {
+      out += nodes_[it.node].name + " (see above)\n";
+      continue;
+    }
+    printed[it.node] = true;
+    out += node_str(it.node);
+    if (!nodes_[it.node].hash.empty()) {
+      out += " [" + nodes_[it.node].hash.substr(0, 8) + "]";
+    }
+    if (nodes_[it.node].build_spec) out += " (spliced)";
+    out += "\n";
+    const auto& deps = nodes_[it.node].deps;
+    for (auto e = deps.rbegin(); e != deps.rend(); ++e) {
+      stack.push_back({e->child, it.depth + 1, e->type});
+    }
+  }
+  return out;
+}
+
+json::Value Spec::to_json() const {
+  json::Array node_arr;
+  for (const SpecNode& n : nodes_) {
+    json::Value jn;
+    jn["name"] = n.name;
+    if (!n.versions.any()) jn["versions"] = n.versions.str();
+    if (!n.variants.empty()) {
+      json::Object vars;
+      for (const auto& [key, val] : n.variants) vars[key] = val;
+      jn["variants"] = json::Value(std::move(vars));
+    }
+    if (n.os) jn["os"] = *n.os;
+    if (n.target) jn["target"] = *n.target;
+    if (!n.hash.empty()) jn["hash"] = n.hash;
+    if (!n.deps.empty()) {
+      json::Array deps;
+      for (const DepEdge& e : n.deps) {
+        json::Value je;
+        je["node"] = static_cast<std::int64_t>(e.child);
+        je["type"] = std::string(dep_type_str(e.type));
+        deps.push_back(std::move(je));
+      }
+      jn["deps"] = json::Value(std::move(deps));
+    }
+    if (n.build_spec) jn["build_spec"] = n.build_spec->to_json();
+    node_arr.push_back(std::move(jn));
+  }
+  json::Value out;
+  out["nodes"] = json::Value(std::move(node_arr));
+  return out;
+}
+
+Spec Spec::from_json(const json::Value& v) {
+  Spec out;
+  const json::Value* nodes = v.find("nodes");
+  if (nodes == nullptr || !nodes->is_array()) {
+    throw ParseError("spec json: missing nodes array");
+  }
+  for (const json::Value& jn : nodes->as_array()) {
+    SpecNode n;
+    const json::Value* name = jn.find("name");
+    if (name == nullptr) throw ParseError("spec json: node without name");
+    n.name = name->as_string();
+    if (const json::Value* vs = jn.find("versions")) {
+      n.versions = VersionConstraint::parse(vs->as_string());
+    }
+    if (const json::Value* vars = jn.find("variants")) {
+      for (const auto& [key, val] : vars->as_object()) {
+        n.variants[key] = val.as_string();
+      }
+    }
+    if (const json::Value* os = jn.find("os")) n.os = os->as_string();
+    if (const json::Value* tg = jn.find("target")) n.target = tg->as_string();
+    if (const json::Value* h = jn.find("hash")) n.hash = h->as_string();
+    if (const json::Value* bs = jn.find("build_spec")) {
+      n.build_spec = std::make_shared<Spec>(Spec::from_json(*bs));
+    }
+    out.nodes_.push_back(std::move(n));
+  }
+  // Second pass: edges (need all nodes present for bounds checks).
+  const auto& arr = nodes->as_array();
+  for (std::size_t i = 0; i < arr.size(); ++i) {
+    if (const json::Value* deps = arr[i].find("deps")) {
+      for (const json::Value& je : deps->as_array()) {
+        const json::Value* child_field = je.find("node");
+        const json::Value* type_field = je.find("type");
+        if (child_field == nullptr || !child_field->is_int() ||
+            type_field == nullptr || !type_field->is_string()) {
+          throw ParseError("spec json: malformed dep edge");
+        }
+        std::int64_t raw = child_field->as_int();
+        if (raw < 0 || static_cast<std::size_t>(raw) >= out.nodes_.size()) {
+          throw ParseError("spec json: dep edge node index out of range");
+        }
+        DepType type = type_field->as_string() == "build" ? DepType::Build
+                                                          : DepType::Link;
+        out.add_dep(i, static_cast<std::size_t>(raw), type);
+      }
+    }
+  }
+  return out;
+}
+
+// ---- spec syntax parser -----------------------------------------------
+
+namespace {
+
+bool is_name_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '-' ||
+         c == '_';
+}
+
+bool is_value_char(char c) {
+  return is_name_char(c) || (c >= 'A' && c <= 'Z') || c == '.' || c == ':' ||
+         c == ',' || c == '=' || c == '/';
+}
+
+class SpecParser {
+ public:
+  explicit SpecParser(std::string_view text) : text_(text) {}
+
+  Spec parse() {
+    skip_ws();
+    if (done()) throw err("empty spec");
+    parse_node(/*dep_type=*/std::nullopt);
+    skip_ws();
+    while (!done()) {
+      char c = text_[pos_];
+      if (c == '^') {
+        ++pos_;
+        parse_node(DepType::Link);
+      } else if (c == '%') {
+        ++pos_;
+        parse_node(DepType::Build);
+      } else {
+        throw err("unexpected token; dependencies start with '^' or '%'");
+      }
+      skip_ws();
+    }
+    return std::move(spec_);
+  }
+
+ private:
+  ParseError err(const std::string& why) const {
+    return ParseError("spec: " + why, std::string(text_), pos_);
+  }
+
+  bool done() const { return pos_ >= text_.size(); }
+
+  void skip_ws() {
+    while (!done() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string read_name() {
+    std::size_t start = pos_;
+    while (!done() && is_name_char(text_[pos_])) ++pos_;
+    if (pos_ == start) throw err("expected a package/variant name");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  std::string read_value() {
+    std::size_t start = pos_;
+    while (!done() && is_value_char(text_[pos_])) ++pos_;
+    if (pos_ == start) throw err("expected a value");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  /// Version constraint text: like a value but may start with '='.
+  std::string read_version_text() {
+    std::size_t start = pos_;
+    if (!done() && text_[pos_] == '=') ++pos_;
+    while (!done() && (is_name_char(text_[pos_]) || text_[pos_] == '.' ||
+                       text_[pos_] == ':' || text_[pos_] == ',')) {
+      ++pos_;
+    }
+    if (pos_ == start) throw err("expected a version after '@'");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  void parse_node(std::optional<DepType> dep_type) {
+    skip_ws();
+    SpecNode node;
+    node.name = read_name();
+    std::size_t idx;
+    // Dependencies may reference a node already in the DAG (diamonds).
+    if (auto existing = spec_.find_index(node.name);
+        existing && dep_type.has_value()) {
+      idx = *existing;
+    } else {
+      idx = spec_.add_node(std::move(node));
+    }
+    if (dep_type) spec_.add_dep(0, idx, *dep_type);
+    parse_attributes(idx);
+  }
+
+  void parse_attributes(std::size_t idx) {
+    while (true) {
+      // Attributes may be glued (hdf5@1.4+cxx) or space-separated
+      // (hdf5 target=icelake); a space followed by ^, %, or end of input
+      // ends this node.
+      std::size_t before_ws = pos_;
+      skip_ws();
+      if (done()) return;
+      char c = text_[pos_];
+      if (c == '^' || c == '%') {
+        pos_ = before_ws == pos_ ? pos_ : pos_;  // handled by caller
+        return;
+      }
+      if (c == '@') {
+        ++pos_;
+        auto vc = VersionConstraint::parse(read_version_text());
+        if (!spec_.nodes()[idx].versions.constrain(vc)) {
+          throw err("conflicting version constraints on " +
+                    spec_.nodes()[idx].name);
+        }
+        continue;
+      }
+      if (c == '+') {
+        ++pos_;
+        spec_.nodes()[idx].variants[read_name()] = "true";
+        continue;
+      }
+      if (c == '~') {
+        ++pos_;
+        spec_.nodes()[idx].variants[read_name()] = "false";
+        continue;
+      }
+      if (is_name_char(c)) {
+        // key=value (includes os= / target=).
+        std::size_t mark = pos_;
+        std::string key = read_name();
+        if (done() || text_[pos_] != '=') {
+          // A bare word here is a second root spec: not supported.
+          pos_ = mark;
+          throw err("expected key=value or a dependency sigil before '" + key +
+                    "'");
+        }
+        ++pos_;
+        std::string value = read_value();
+        if (key == "os") {
+          spec_.nodes()[idx].os = value;
+        } else if (key == "target") {
+          spec_.nodes()[idx].target = value;
+        } else {
+          spec_.nodes()[idx].variants[key] = value;
+        }
+        continue;
+      }
+      throw err(std::string("unexpected character '") + c + "' in spec");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  Spec spec_;
+};
+
+}  // namespace
+
+Spec Spec::parse(std::string_view text) { return SpecParser(text).parse(); }
+
+}  // namespace splice::spec

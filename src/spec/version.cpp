@@ -1,0 +1,262 @@
+#include "src/spec/version.hpp"
+
+#include <cctype>
+
+#include "src/support/error.hpp"
+#include "src/support/strings.hpp"
+
+namespace splice::spec {
+
+Version Version::parse(std::string_view text) {
+  if (text.empty()) throw ParseError("empty version string");
+  Version v;
+  v.text_ = std::string(text);
+  std::size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = i;
+      while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]))) {
+        ++i;
+      }
+      v.components_.emplace_back(
+          std::stoll(std::string(text.substr(start, i - start))));
+    } else if (std::isalpha(static_cast<unsigned char>(c))) {
+      std::size_t start = i;
+      while (i < text.size() && std::isalpha(static_cast<unsigned char>(text[i]))) {
+        ++i;
+      }
+      v.components_.emplace_back(std::string(text.substr(start, i - start)));
+    } else if (c == '.' || c == '-' || c == '_') {
+      ++i;  // separator
+    } else {
+      throw ParseError("invalid character in version", std::string(text), i);
+    }
+  }
+  if (v.components_.empty()) {
+    throw ParseError("version has no components", std::string(text), 0);
+  }
+  return v;
+}
+
+int Version::compare(const Version& a, const Version& b) {
+  std::size_t n = std::min(a.components_.size(), b.components_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const Component& ca = a.components_[i];
+    const Component& cb = b.components_[i];
+    bool na = std::holds_alternative<std::int64_t>(ca);
+    bool nb = std::holds_alternative<std::int64_t>(cb);
+    if (na && nb) {
+      auto va = std::get<std::int64_t>(ca);
+      auto vb = std::get<std::int64_t>(cb);
+      if (va != vb) return va < vb ? -1 : 1;
+    } else if (!na && !nb) {
+      int c = std::get<std::string>(ca).compare(std::get<std::string>(cb));
+      if (c != 0) return c < 0 ? -1 : 1;
+    } else {
+      // Numbers sort after strings at the same position: 1.2 > 1.rc.
+      return na ? 1 : -1;
+    }
+  }
+  if (a.components_.size() != b.components_.size()) {
+    // One is a component-wise prefix of the other.  The longer version is
+    // newer when it continues numerically (1.2.1 > 1.2) but older when it
+    // continues with a string (1.2rc1 < 1.2), matching Spack's prerelease
+    // ordering.
+    const Version& longer = a.components_.size() > b.components_.size() ? a : b;
+    bool numeric_next =
+        std::holds_alternative<std::int64_t>(longer.components_[n]);
+    int longer_is_greater = numeric_next ? 1 : -1;
+    return a.components_.size() > b.components_.size() ? longer_is_greater
+                                                       : -longer_is_greater;
+  }
+  return 0;
+}
+
+bool Version::has_prefix(const Version& prefix) const {
+  if (prefix.components_.size() > components_.size()) return false;
+  for (std::size_t i = 0; i < prefix.components_.size(); ++i) {
+    if (components_[i] != prefix.components_[i]) return false;
+  }
+  return true;
+}
+
+bool VersionRange::includes(const Version& v) const {
+  if (exact) return lo.has_value() && v == *lo;
+  if (lo && !(v >= *lo)) return false;
+  if (hi && !(v <= *hi || v.has_prefix(*hi))) return false;
+  return true;
+}
+
+bool VersionRange::intersects(const VersionRange& other) const {
+  if (exact) return lo.has_value() && other.includes(*lo);
+  if (other.exact) return other.lo.has_value() && includes(*other.lo);
+  // Disjoint iff one range lies strictly above the other.
+  auto above = [](const VersionRange& a, const VersionRange& b) {
+    // a entirely above b: a.lo > b.hi and a.lo is not within b.hi's prefix.
+    return a.lo && b.hi && *a.lo > *b.hi && !a.lo->has_prefix(*b.hi);
+  };
+  return !above(*this, other) && !above(other, *this);
+}
+
+std::string VersionRange::str() const {
+  if (exact) return "=" + lo->str();
+  if (lo && hi && *lo == *hi) return lo->str();
+  std::string out;
+  if (lo) out += lo->str();
+  out += ":";
+  if (hi) out += hi->str();
+  return out;
+}
+
+VersionConstraint VersionConstraint::parse(std::string_view text) {
+  VersionConstraint out;
+  if (text.empty()) throw ParseError("empty version constraint");
+  for (const std::string& piece : split(text, ',')) {
+    std::string_view p = trim(piece);
+    if (p.empty()) throw ParseError("empty range in version constraint");
+    VersionRange r;
+    if (p[0] == '=') {
+      r.exact = true;
+      r.lo = Version::parse(p.substr(1));
+      r.hi = r.lo;
+    } else {
+      std::size_t colon = p.find(':');
+      if (colon == std::string_view::npos) {
+        r.lo = Version::parse(p);
+        r.hi = r.lo;
+      } else {
+        if (colon > 0) r.lo = Version::parse(p.substr(0, colon));
+        if (colon + 1 < p.size()) r.hi = Version::parse(p.substr(colon + 1));
+      }
+    }
+    out.ranges_.push_back(std::move(r));
+  }
+  return out;
+}
+
+VersionConstraint VersionConstraint::exactly(const Version& v) {
+  VersionConstraint out;
+  out.ranges_.push_back(VersionRange{v, v, true});
+  return out;
+}
+
+bool VersionConstraint::includes(const Version& v) const {
+  if (ranges_.empty()) return true;
+  for (const VersionRange& r : ranges_) {
+    if (r.includes(v)) return true;
+  }
+  return false;
+}
+
+bool VersionConstraint::intersects(const VersionConstraint& other) const {
+  if (ranges_.empty() || other.ranges_.empty()) return true;
+  for (const VersionRange& a : ranges_) {
+    for (const VersionRange& b : other.ranges_) {
+      if (a.intersects(b)) return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+/// Range containment: every version in `r` is in `s`.
+bool range_subset(const VersionRange& r, const VersionRange& s) {
+  if (!s.lo && !s.hi) return true;
+  if (r.exact) return s.includes(*r.lo);
+  if (s.exact) return r.exact && r.lo == s.lo;
+  if (s.lo) {
+    if (!r.lo || !(*r.lo >= *s.lo)) return false;
+  }
+  if (s.hi) {
+    if (!r.hi) return false;
+    if (!(*r.hi <= *s.hi || r.hi->has_prefix(*s.hi))) return false;
+  }
+  return true;
+}
+
+/// Intersection of two ranges; nullopt when empty.
+std::optional<VersionRange> range_intersection(const VersionRange& a,
+                                               const VersionRange& b) {
+  if (a.exact) {
+    if (b.includes(*a.lo)) return a;
+    return std::nullopt;
+  }
+  if (b.exact) {
+    if (a.includes(*b.lo)) return b;
+    return std::nullopt;
+  }
+  VersionRange out;
+  // Lower bound: the larger (a component-wise prefix is automatically
+  // smaller, so plain max works).
+  if (a.lo && b.lo) {
+    out.lo = (*a.lo >= *b.lo) ? a.lo : b.lo;
+  } else {
+    out.lo = a.lo ? a.lo : b.lo;
+  }
+  // Upper bound: the tighter.  When one is a prefix of the other, the longer
+  // version admits fewer successors and is tighter (hi=1.4.5 < hi=1.4).
+  if (a.hi && b.hi) {
+    if (a.hi->has_prefix(*b.hi)) {
+      out.hi = a.hi;
+    } else if (b.hi->has_prefix(*a.hi)) {
+      out.hi = b.hi;
+    } else {
+      out.hi = (*a.hi <= *b.hi) ? a.hi : b.hi;
+    }
+  } else {
+    out.hi = a.hi ? a.hi : b.hi;
+  }
+  if (out.lo && out.hi && *out.lo > *out.hi && !out.lo->has_prefix(*out.hi)) {
+    return std::nullopt;
+  }
+  return out;
+}
+}  // namespace
+
+bool VersionConstraint::subset_of(const VersionConstraint& other) const {
+  if (other.ranges_.empty()) return true;
+  if (ranges_.empty()) return false;  // "any" is not a subset of a bound
+  for (const VersionRange& r : ranges_) {
+    bool covered = false;
+    for (const VersionRange& s : other.ranges_) {
+      if (range_subset(r, s)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+bool VersionConstraint::constrain(const VersionConstraint& other) {
+  if (other.ranges_.empty()) return true;
+  if (ranges_.empty()) {
+    ranges_ = other.ranges_;
+    return true;
+  }
+  std::vector<VersionRange> result;
+  for (const VersionRange& a : ranges_) {
+    for (const VersionRange& b : other.ranges_) {
+      if (auto r = range_intersection(a, b)) result.push_back(*r);
+    }
+  }
+  if (result.empty()) return false;
+  ranges_ = std::move(result);
+  return true;
+}
+
+std::optional<Version> VersionConstraint::concrete() const {
+  if (ranges_.size() == 1 && ranges_[0].exact) return ranges_[0].lo;
+  return std::nullopt;
+}
+
+std::string VersionConstraint::str() const {
+  std::vector<std::string> parts;
+  parts.reserve(ranges_.size());
+  for (const VersionRange& r : ranges_) parts.push_back(r.str());
+  return join(parts, ",");
+}
+
+}  // namespace splice::spec

@@ -1,0 +1,117 @@
+// Package versions and version constraints, following Spack semantics.
+//
+// A Version is a dotted sequence of numeric and alphanumeric components
+// ("1.14.5", "2024.1-rc1" -> [2024, 1, "rc", 1]).  Comparison is
+// component-wise: numbers compare numerically, strings lexically, numbers
+// sort after strings at the same position (so 1.2 > 1.2-rc1... simplified:
+// a longer version with extra numeric components is newer: 1.2.1 > 1.2).
+//
+// A VersionConstraint is a union of ranges as written in spec syntax:
+//   @1.14.5     the "1.14.5" prefix range: any 1.14.5[.x...] version
+//   @=1.14.5    exactly version 1.14.5
+//   @1.2:1.4    closed range (prefix-inclusive at the top: 1.4.9 matches)
+//   @1.2:       at least 1.2
+//   @:1.4       at most 1.4 (prefix-inclusive)
+//   @1.2:1.4,1.6  union
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace splice::spec {
+
+class Version {
+ public:
+  Version() = default;
+
+  /// Parse a dotted version string.  Throws ParseError on empty input.
+  static Version parse(std::string_view text);
+
+  const std::string& str() const { return text_; }
+
+  /// Three-way component-wise comparison.
+  static int compare(const Version& a, const Version& b);
+
+  /// True if `prefix` is a component-wise prefix of this version
+  /// (1.14.5 has prefixes 1, 1.14, 1.14.5).
+  bool has_prefix(const Version& prefix) const;
+
+  std::size_t num_components() const { return components_.size(); }
+
+  friend bool operator==(const Version& a, const Version& b) {
+    return a.components_ == b.components_;
+  }
+  friend bool operator!=(const Version& a, const Version& b) { return !(a == b); }
+  friend bool operator<(const Version& a, const Version& b) {
+    return compare(a, b) < 0;
+  }
+  friend bool operator<=(const Version& a, const Version& b) {
+    return compare(a, b) <= 0;
+  }
+  friend bool operator>(const Version& a, const Version& b) {
+    return compare(a, b) > 0;
+  }
+  friend bool operator>=(const Version& a, const Version& b) {
+    return compare(a, b) >= 0;
+  }
+
+ private:
+  using Component = std::variant<std::int64_t, std::string>;
+  std::vector<Component> components_;
+  std::string text_;
+};
+
+/// One contiguous range of versions.  Either bound may be absent (open).
+/// `exact` marks "@=v" ranges where only the literal version matches.
+struct VersionRange {
+  std::optional<Version> lo;
+  std::optional<Version> hi;
+  bool exact = false;
+
+  bool includes(const Version& v) const;
+  bool intersects(const VersionRange& other) const;
+  std::string str() const;
+};
+
+/// A union of ranges; empty list means "any version".
+class VersionConstraint {
+ public:
+  VersionConstraint() = default;
+
+  /// Parse the text after '@' in spec syntax.
+  static VersionConstraint parse(std::string_view text);
+
+  /// Constraint matching exactly one version.
+  static VersionConstraint exactly(const Version& v);
+
+  bool any() const { return ranges_.empty(); }
+  bool includes(const Version& v) const;
+  bool intersects(const VersionConstraint& other) const;
+
+  /// True if every version matching this also matches `other`.
+  /// (Conservative: decides via range containment.)
+  bool subset_of(const VersionConstraint& other) const;
+
+  /// Merge: versions must satisfy both this and `other`.  Returns false if
+  /// the result is empty (conflicting constraints).
+  bool constrain(const VersionConstraint& other);
+
+  /// The single concrete version, if this constraint is "@=v".
+  std::optional<Version> concrete() const;
+
+  const std::vector<VersionRange>& ranges() const { return ranges_; }
+  std::string str() const;
+
+  friend bool operator==(const VersionConstraint& a, const VersionConstraint& b) {
+    return a.str() == b.str();
+  }
+
+ private:
+  std::vector<VersionRange> ranges_;
+};
+
+}  // namespace splice::spec

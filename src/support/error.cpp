@@ -1,0 +1,20 @@
+#include "src/support/error.hpp"
+
+#include <sstream>
+
+namespace splice {
+
+namespace {
+std::string format_parse_error(const std::string& what, const std::string& input,
+                               std::size_t pos) {
+  std::ostringstream os;
+  os << what << " at position " << pos << " in: " << input;
+  return os.str();
+}
+}  // namespace
+
+ParseError::ParseError(const std::string& what, const std::string& input,
+                       std::size_t pos)
+    : Error(format_parse_error(what, input, pos)), pos_(pos) {}
+
+}  // namespace splice

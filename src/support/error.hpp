@@ -1,0 +1,63 @@
+// Error hierarchy shared by every libsplice module.
+//
+// All recoverable failures raised by the library derive from splice::Error so
+// callers can catch one type at API boundaries.  Subclasses exist per domain
+// (parsing, solving, packaging, binary handling) so tests can assert on the
+// precise failure mode.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace splice {
+
+/// Root of the libsplice exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/// Malformed textual input: spec strings, ASP programs, JSON documents.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, const std::string& input, std::size_t pos);
+  explicit ParseError(const std::string& msg) : Error(msg) {}
+
+  std::size_t position() const { return pos_; }
+
+ private:
+  std::size_t pos_ = 0;
+};
+
+/// A package definition or repository is internally inconsistent.
+class PackageError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// The concretizer could not find any model satisfying the constraints.
+class UnsatisfiableError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// The ASP engine was given a program outside its supported fragment.
+class AspError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Binary-level failures: corrupt mock binaries, failed relocation/rewiring.
+class BinaryError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A spec operation was applied to a spec in the wrong state, e.g. splicing
+/// an abstract spec or installing a spec that is not concrete.
+class SpecError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace splice

@@ -1,0 +1,84 @@
+#include "src/support/hash.hpp"
+
+#include <array>
+
+namespace splice {
+
+namespace {
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+// Second lane uses distinct constants so the two 64-bit streams decorrelate.
+constexpr std::uint64_t kOffset2 = 0x9e3779b97f4a7c15ULL;
+constexpr std::uint64_t kPrime2 = 0xc2b2ae3d27d4eb4fULL;
+
+constexpr char kB32Alphabet[] = "abcdefghijklmnopqrstuvwxyz234567";
+}  // namespace
+
+Hasher::Hasher() : lo_(kFnvOffset), hi_(kOffset2) {}
+
+void Hasher::update(std::string_view bytes) {
+  for (unsigned char c : bytes) {
+    lo_ = (lo_ ^ c) * kFnvPrime;
+    hi_ = (hi_ + c) * kPrime2;
+    hi_ ^= hi_ >> 29;
+  }
+}
+
+void Hasher::field(std::string_view bytes) {
+  field_u64(bytes.size());
+  update(bytes);
+}
+
+void Hasher::field_u64(std::uint64_t v) {
+  std::array<char, 8> buf{};
+  for (int i = 0; i < 8; ++i) buf[static_cast<std::size_t>(i)] = static_cast<char>((v >> (8 * i)) & 0xff);
+  update(std::string_view(buf.data(), buf.size()));
+}
+
+std::string Hasher::hex() const {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(32);
+  for (std::uint64_t word : {hi_, lo_}) {
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      out.push_back(digits[(word >> shift) & 0xf]);
+    }
+  }
+  return out;
+}
+
+std::string Hasher::b32() const {
+  // 128 bits -> 26 base32 chars (5 bits each covers 130; final char uses the
+  // two leftover bits zero-padded), mirroring Spack's truncated digest look.
+  std::string out;
+  out.reserve(26);
+  // Treat (hi_, lo_) as a 128-bit big-endian stream of bits.
+  auto bit_at = [&](int i) -> int {  // i in [0,128)
+    std::uint64_t word = (i < 64) ? hi_ : lo_;
+    int off = 63 - (i % 64);
+    return static_cast<int>((word >> off) & 1);
+  };
+  for (int chunk = 0; chunk < 26; ++chunk) {
+    int v = 0;
+    for (int b = 0; b < 5; ++b) {
+      int idx = chunk * 5 + b;
+      v = (v << 1) | (idx < 128 ? bit_at(idx) : 0);
+    }
+    out.push_back(kB32Alphabet[v]);
+  }
+  return out;
+}
+
+std::string stable_hash_b32(std::string_view data) {
+  Hasher h;
+  h.update(data);
+  return h.b32();
+}
+
+std::uint64_t stable_hash_u64(std::string_view data) {
+  Hasher h;
+  h.update(data);
+  return h.lo() ^ h.hi();
+}
+
+}  // namespace splice

@@ -1,0 +1,53 @@
+// Stable hashing utilities.
+//
+// Spack identifies concrete specs by a base32-encoded SHA of their canonical
+// serialization.  We reproduce the scheme with a 128-bit FNV-style digest:
+// collision resistance far beyond what the test workloads need, fully
+// deterministic across runs and platforms, and no external dependencies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace splice {
+
+/// Incremental 128-bit (2x64) FNV-1a style hasher with domain separation
+/// between fields.  Feed data with update()/field(); read the digest with
+/// hex() or b32().
+class Hasher {
+ public:
+  Hasher();
+
+  /// Absorb raw bytes.
+  void update(std::string_view bytes);
+
+  /// Absorb a length-prefixed field.  Using field() for every component makes
+  /// the encoding injective: ("ab","c") and ("a","bc") hash differently.
+  void field(std::string_view bytes);
+
+  /// Absorb an integer as a fixed-width little-endian field.
+  void field_u64(std::uint64_t v);
+
+  /// 32 hex characters of digest.
+  std::string hex() const;
+
+  /// Spack-style lowercase base32 digest (26 characters), used as the
+  /// installed-spec hash in directory names and the concretizer encoding.
+  std::string b32() const;
+
+  std::uint64_t lo() const { return lo_; }
+  std::uint64_t hi() const { return hi_; }
+
+ private:
+  std::uint64_t lo_;
+  std::uint64_t hi_;
+};
+
+/// One-shot convenience: base32 digest of a string.
+std::string stable_hash_b32(std::string_view data);
+
+/// One-shot convenience: 64-bit value for hash tables (not for identity).
+std::uint64_t stable_hash_u64(std::string_view data);
+
+}  // namespace splice

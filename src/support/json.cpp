@@ -1,0 +1,367 @@
+#include "src/support/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "src/support/error.hpp"
+
+namespace splice::json {
+
+namespace {
+[[noreturn]] void type_error(const char* want, Type got) {
+  static const char* names[] = {"null", "bool", "int", "double", "string", "array", "object"};
+  throw Error(std::string("json: expected ") + want + ", got " +
+              names[static_cast<int>(got)]);
+}
+}  // namespace
+
+bool Value::as_bool() const {
+  if (type_ != Type::Bool) type_error("bool", type_);
+  return bool_;
+}
+
+std::int64_t Value::as_int() const {
+  if (type_ == Type::Int) return int_;
+  type_error("int", type_);
+}
+
+double Value::as_double() const {
+  if (type_ == Type::Double) return double_;
+  if (type_ == Type::Int) return static_cast<double>(int_);
+  type_error("number", type_);
+}
+
+const std::string& Value::as_string() const {
+  if (type_ != Type::String) type_error("string", type_);
+  return string_;
+}
+
+const Array& Value::as_array() const {
+  if (type_ != Type::Array) type_error("array", type_);
+  return *array_;
+}
+
+Array& Value::as_array() {
+  if (type_ != Type::Array) type_error("array", type_);
+  return *array_;
+}
+
+const Object& Value::as_object() const {
+  if (type_ != Type::Object) type_error("object", type_);
+  return *object_;
+}
+
+Object& Value::as_object() {
+  if (type_ != Type::Object) type_error("object", type_);
+  return *object_;
+}
+
+Value& Value::operator[](const std::string& key) {
+  if (type_ == Type::Null) {
+    type_ = Type::Object;
+    object_ = std::make_shared<Object>();
+  }
+  if (type_ != Type::Object) type_error("object", type_);
+  // Copy-on-write: shared_ptr may be aliased after Value copies.
+  if (object_.use_count() > 1) object_ = std::make_shared<Object>(*object_);
+  return (*object_)[key];
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (type_ != Type::Object) return nullptr;
+  return object_->find(key);
+}
+
+bool Value::operator==(const Value& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::Null: return true;
+    case Type::Bool: return bool_ == other.bool_;
+    case Type::Int: return int_ == other.int_;
+    case Type::Double: return double_ == other.double_;
+    case Type::String: return string_ == other.string_;
+    case Type::Array: return *array_ == *other.array_;
+    case Type::Object: return *object_ == *other.object_;
+  }
+  return false;
+}
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+void Value::write(std::string& out, int indent, int depth) const {
+  auto newline = [&](int d) {
+    if (indent > 0) {
+      out.push_back('\n');
+      out.append(static_cast<std::size_t>(indent * d), ' ');
+    }
+  };
+  switch (type_) {
+    case Type::Null: out += "null"; break;
+    case Type::Bool: out += bool_ ? "true" : "false"; break;
+    case Type::Int: out += std::to_string(int_); break;
+    case Type::Double: {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.17g", double_);
+      out += buf;
+      break;
+    }
+    case Type::String: out += escape(string_); break;
+    case Type::Array: {
+      out.push_back('[');
+      bool first = true;
+      for (const Value& v : *array_) {
+        if (!first) out.push_back(',');
+        first = false;
+        newline(depth + 1);
+        v.write(out, indent, depth + 1);
+      }
+      if (!first) newline(depth);
+      out.push_back(']');
+      break;
+    }
+    case Type::Object: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [k, v] : *object_) {
+        if (!first) out.push_back(',');
+        first = false;
+        newline(depth + 1);
+        out += escape(k);
+        out.push_back(':');
+        if (indent > 0) out.push_back(' ');
+        v.write(out, indent, depth + 1);
+      }
+      if (!first) newline(depth);
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Value::dump() const {
+  std::string out;
+  write(out, 0, 0);
+  return out;
+}
+
+std::string Value::dump_pretty() const {
+  std::string out;
+  write(out, 2, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) {
+    throw ParseError("json: " + why, std::string(text_.substr(0, 80)), pos_);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Value(parse_string());
+      case 't':
+        if (consume_literal("true")) return Value(true);
+        fail("bad literal");
+      case 'f':
+        if (consume_literal("false")) return Value(false);
+        fail("bad literal");
+      case 'n':
+        if (consume_literal("null")) return Value(nullptr);
+        fail("bad literal");
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Object obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Value(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj[key] = parse_value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return Value(std::move(obj));
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Array arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Value(std::move(arr));
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return Value(std::move(arr));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape digit");
+          }
+          if (code > 0x7f) fail("non-ASCII \\u escape unsupported");
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  Value parse_number() {
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    std::string_view num = text_.substr(start, pos_ - start);
+    if (num.empty() || num == "-") fail("bad number");
+    if (!is_double) {
+      std::int64_t v = 0;
+      auto [p, ec] = std::from_chars(num.data(), num.data() + num.size(), v);
+      if (ec == std::errc() && p == num.data() + num.size()) return Value(v);
+    }
+    double d = 0;
+    auto [p, ec] = std::from_chars(num.data(), num.data() + num.size(), d);
+    if (ec != std::errc() || p != num.data() + num.size()) fail("bad number");
+    return Value(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace splice::json

@@ -1,0 +1,137 @@
+// A deliberately small JSON DOM, parser, and writer.
+//
+// Used for concrete-spec serialization, buildcache indexes, and the
+// installed-spec database.  Supports the full JSON grammar except for
+// `\u` escapes beyond the ASCII range (sufficient for package metadata,
+// which is ASCII by construction).  Object key order is preserved so that
+// serialized specs are byte-stable, which the DAG hash relies on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace splice::json {
+
+class Value;
+class Object;
+
+enum class Type { Null, Bool, Int, Double, String, Array, Object };
+
+// Declared after Type so the scoped enumerators do not shadow the alias.
+using Array = std::vector<Value>;
+
+/// A JSON value.  Numbers are stored as int64 when exactly representable,
+/// double otherwise.  Arrays and objects are held by shared_ptr with
+/// copy-on-write on mutation, so Values copy cheaply.
+class Value {
+ public:
+  Value() : type_(Type::Null) {}
+  Value(std::nullptr_t) : type_(Type::Null) {}
+  Value(bool b) : type_(Type::Bool), bool_(b) {}
+  Value(int i) : type_(Type::Int), int_(i) {}
+  Value(std::int64_t i) : type_(Type::Int), int_(i) {}
+  Value(std::uint64_t i) : type_(Type::Int), int_(static_cast<std::int64_t>(i)) {}
+  Value(double d) : type_(Type::Double), double_(d) {}
+  Value(const char* s) : type_(Type::String), string_(s) {}
+  Value(std::string s) : type_(Type::String), string_(std::move(s)) {}
+  Value(std::string_view s) : type_(Type::String), string_(s) {}
+  Value(Array arr);
+  Value(Object o);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_bool() const { return type_ == Type::Bool; }
+  bool is_int() const { return type_ == Type::Int; }
+  bool is_number() const { return type_ == Type::Int || type_ == Type::Double; }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_array() const { return type_ == Type::Array; }
+  bool is_object() const { return type_ == Type::Object; }
+
+  /// Typed accessors throw splice::Error on type mismatch.
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  double as_double() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  Array& as_array();
+  const Object& as_object() const;
+  Object& as_object();
+
+  /// Object field access; creates the object/field as needed.
+  Value& operator[](const std::string& key);
+  /// Const lookup: returns nullptr when missing or not an object.
+  const Value* find(std::string_view key) const;
+
+  bool operator==(const Value& other) const;
+
+  /// Compact single-line serialization (canonical; used for hashing).
+  std::string dump() const;
+  /// Pretty-printed serialization with 2-space indentation.
+  std::string dump_pretty() const;
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0;
+  std::string string_;
+  std::shared_ptr<Array> array_;
+  std::shared_ptr<Object> object_;
+};
+
+/// Order-preserving string->Value map.
+class Object {
+ public:
+  Value& operator[](const std::string& key) {
+    for (auto& [k, v] : entries_) {
+      if (k == key) return v;
+    }
+    entries_.emplace_back(key, Value());
+    return entries_.back().second;
+  }
+
+  const Value* find(std::string_view key) const {
+    for (const auto& [k, v] : entries_) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  Value* find(std::string_view key) {
+    for (auto& [k, v] : entries_) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  bool contains(std::string_view key) const { return find(key) != nullptr; }
+
+  auto begin() const { return entries_.begin(); }
+  auto end() const { return entries_.end(); }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  bool operator==(const Object& other) const { return entries_ == other.entries_; }
+
+ private:
+  std::vector<std::pair<std::string, Value>> entries_;
+};
+
+inline Value::Value(Array arr)
+    : type_(Type::Array), array_(std::make_shared<Array>(std::move(arr))) {}
+inline Value::Value(Object o)
+    : type_(Type::Object), object_(std::make_shared<Object>(std::move(o))) {}
+
+/// Parse a JSON document; throws splice::ParseError on malformed input.
+Value parse(std::string_view text);
+
+/// Escape a string into a JSON string literal including quotes.
+std::string escape(std::string_view s);
+
+}  // namespace splice::json

@@ -1,0 +1,29 @@
+// Small string helpers used across the library.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace splice {
+
+/// Split on a single-character delimiter; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Split on any whitespace run; no empty fields.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// Join with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// True if `s` is a valid package/variant identifier:
+/// [a-z0-9][a-z0-9_-]* (Spack package names are lowercase).
+bool is_identifier(std::string_view s);
+
+/// Replace every occurrence of `from` in `s` with `to`.
+std::string replace_all(std::string s, std::string_view from, std::string_view to);
+
+}  // namespace splice

@@ -1,0 +1,230 @@
+#include "src/workload/caches.hpp"
+
+#include <functional>
+#include <set>
+
+#include "src/workload/radiuss.hpp"
+#include "src/workload/resolver.hpp"
+
+namespace splice::workload {
+
+using spec::Spec;
+using spec::Version;
+using spec::VersionConstraint;
+
+namespace {
+
+ResolveChoices with_provider(const std::string& provider) {
+  ResolveChoices c;
+  c.providers["mpi"] = provider;
+  return c;
+}
+
+/// One whole-stack configuration variation, applied on top of the provider
+/// and root selection.  Infra variations ripple through every dependent
+/// node, which is what makes the synthetic public cache grow the way the
+/// real community cache does.
+struct GlobalMod {
+  std::function<void(ResolveChoices&)> apply;
+};
+
+std::vector<GlobalMod> global_mods() {
+  std::vector<GlobalMod> mods;
+  auto pin = [](const char* pkg, const char* version) {
+    return GlobalMod{[pkg, version](ResolveChoices& c) {
+      c.versions[pkg] = VersionConstraint::exactly(Version::parse(version));
+    }};
+  };
+  auto var = [](const char* pkg, const char* key, const char* value) {
+    return GlobalMod{[pkg, key, value](ResolveChoices& c) {
+      c.variants[pkg][key] = value;
+    }};
+  };
+  // Infrastructure version pins.
+  mods.push_back(pin("zlib", "1.2.13"));
+  mods.push_back(pin("python", "3.10.8"));
+  mods.push_back(pin("hdf5", "1.12.2"));
+  mods.push_back(pin("openblas", "0.3.21"));
+  mods.push_back(pin("cmake", "3.23.1"));
+  mods.push_back(pin("mpich", "3.1"));
+  mods.push_back(pin("openssl", "1.1.1w"));
+  mods.push_back(pin("lua", "5.3.6"));
+  mods.push_back(pin("papi", "6.0.0"));
+  mods.push_back(pin("gmake", "4.3"));
+  // Infrastructure variant flips.
+  mods.push_back(var("zlib", "optimize", "false"));
+  mods.push_back(var("zlib", "pic", "false"));
+  mods.push_back(var("zlib", "shared", "false"));
+  mods.push_back(var("python", "shared", "false"));
+  mods.push_back(var("hdf5", "cxx", "true"));
+  mods.push_back(var("openblas", "threads", "openmp"));
+  mods.push_back(var("openblas", "threads", "pthreads"));
+  mods.push_back(var("mpich", "pmi", "pmi2"));
+  mods.push_back(var("mpich", "pmi", "simple"));
+  return mods;
+}
+
+}  // namespace
+
+std::vector<Spec> local_cache_specs(const repo::Repository& repo) {
+  // The RADIUSS stack and its transitive dependencies in a handful of
+  // everyday configurations: defaults with each MPI, older root versions,
+  // and an older-zlib rebuild of the stack.  ~200 distinct node specs,
+  // matching the paper's controlled local cache.
+  SimpleResolver resolver(repo);
+  std::vector<Spec> out;
+  std::set<std::string> seen;
+  auto add = [&](Spec s) {
+    if (seen.insert(s.dag_hash()).second) out.push_back(std::move(s));
+  };
+  for (const char* provider : {"mpich", "openmpi"}) {
+    ResolveChoices c = with_provider(provider);
+    for (const std::string& root : radiuss_roots()) {
+      add(resolver.resolve(root, c));
+    }
+  }
+  for (const std::string& root : radiuss_roots()) {
+    const auto& versions = repo.get(root).versions();
+    for (std::size_t vi = 1; vi < versions.size(); ++vi) {
+      ResolveChoices c = with_provider("mpich");
+      c.versions[root] = VersionConstraint::exactly(versions[vi].version);
+      add(resolver.resolve(root, c));
+    }
+  }
+  {
+    ResolveChoices c = with_provider("mpich");
+    c.versions["zlib"] = VersionConstraint::exactly(Version::parse("1.2.13"));
+    for (const std::string& root : radiuss_roots()) {
+      add(resolver.resolve(root, c));
+    }
+  }
+  {
+    ResolveChoices c = with_provider("mpich");
+    c.versions["python"] = VersionConstraint::exactly(Version::parse("3.10.8"));
+    c.versions["hdf5"] = VersionConstraint::exactly(Version::parse("1.12.2"));
+    for (const std::string& root : radiuss_roots()) {
+      add(resolver.resolve(root, c));
+    }
+  }
+  return out;
+}
+
+std::vector<Spec> public_cache_specs(const repo::Repository& repo,
+                                     std::size_t target_nodes) {
+  std::vector<Spec> out;
+  std::set<std::string> seen_roots;
+  std::set<std::string> seen_nodes;
+
+  auto add = [&](const Spec& s) {
+    if (!seen_roots.insert(s.dag_hash()).second) return;
+    out.push_back(s);
+    for (const auto& n : s.nodes()) seen_nodes.insert(n.hash);
+  };
+  auto done = [&] { return seen_nodes.size() >= target_nodes; };
+
+  const std::vector<std::string> providers = {"mpich", "openmpi"};
+  const std::vector<GlobalMod> mods = global_mods();
+
+  // Platforms: the default platform first (small targets stay
+  // platform-homogeneous), then the alternates that make the synthetic
+  // public cache heterogeneous the way the real community cache is --
+  // entries for other microarchitectures and OS images are candidates the
+  // concretizer must reason about even though they never match.
+  const std::vector<std::pair<std::string, std::string>> platforms = {
+      {"linux", "x86_64"},   {"linux", "skylake"}, {"linux", "icelake"},
+      {"linux", "zen2"},     {"centos8", "x86_64"}, {"ubuntu22", "x86_64"},
+      {"centos8", "skylake"}, {"ubuntu22", "icelake"},
+  };
+
+  for (const auto& [os_name, target] : platforms) {
+  SimpleResolver platform_resolver(repo, os_name, target);
+  const SimpleResolver& resolver = platform_resolver;
+  // Stage A: every root with each provider, default configuration.
+  for (const std::string& provider : providers) {
+    for (const std::string& root : radiuss_roots()) {
+      add(resolver.resolve(root, with_provider(provider)));
+      if (done()) return out;
+    }
+  }
+
+  // Stage B1: older root versions and root variant flips.
+  for (const std::string& provider : providers) {
+    for (const std::string& root : radiuss_roots()) {
+      const auto& pkg = repo.get(root);
+      for (std::size_t vi = 1; vi < pkg.versions().size(); ++vi) {
+        ResolveChoices c = with_provider(provider);
+        c.versions[root] =
+            VersionConstraint::exactly(pkg.versions()[vi].version);
+        add(resolver.resolve(root, c));
+        if (done()) return out;
+      }
+      for (const auto& v : pkg.variants()) {
+        if (!v.boolean) continue;
+        ResolveChoices c = with_provider(provider);
+        c.variants[root][v.name] =
+            v.default_value == "true" ? "false" : "true";
+        add(resolver.resolve(root, c));
+        if (done()) return out;
+      }
+    }
+  }
+
+  // Stage B2: single global (infrastructure) variations.
+  for (const GlobalMod& mod : mods) {
+    for (const std::string& provider : providers) {
+      for (const std::string& root : radiuss_roots()) {
+        ResolveChoices c = with_provider(provider);
+        mod.apply(c);
+        add(resolver.resolve(root, c));
+        if (done()) return out;
+      }
+    }
+  }
+
+  // Stage C: pairs of global variations.
+  for (std::size_t i = 0; i < mods.size(); ++i) {
+    for (std::size_t j = i + 1; j < mods.size(); ++j) {
+      for (const std::string& provider : providers) {
+        for (const std::string& root : radiuss_roots()) {
+          ResolveChoices c = with_provider(provider);
+          mods[i].apply(c);
+          mods[j].apply(c);
+          add(resolver.resolve(root, c));
+          if (done()) return out;
+        }
+      }
+    }
+  }
+
+  // Stage D: triples (only reached for very large targets).
+  for (std::size_t i = 0; i < mods.size(); ++i) {
+    for (std::size_t j = i + 1; j < mods.size(); ++j) {
+      for (std::size_t k = j + 1; k < mods.size(); ++k) {
+        for (const std::string& provider : providers) {
+          for (const std::string& root : radiuss_roots()) {
+            ResolveChoices c = with_provider(provider);
+            mods[i].apply(c);
+            mods[j].apply(c);
+            mods[k].apply(c);
+            add(resolver.resolve(root, c));
+            if (done()) return out;
+          }
+        }
+      }
+    }
+  }
+
+  }  // platforms
+
+  return out;
+}
+
+std::size_t distinct_nodes(const std::vector<Spec>& specs) {
+  std::set<std::string> hashes;
+  for (const Spec& s : specs) {
+    for (const auto& n : s.nodes()) hashes.insert(n.hash);
+  }
+  return hashes.size();
+}
+
+}  // namespace splice::workload

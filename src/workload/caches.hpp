@@ -1,0 +1,36 @@
+// Buildcache content generators (paper §6.1.3).
+//
+// The evaluation uses two caches of pre-concretized specs:
+//   * the LOCAL cache: just the RADIUSS stack and its transitive
+//     dependencies (~200 specs), a controlled environment;
+//   * the PUBLIC cache: Spack's community cache with >20,000 specs covering
+//     many configurations.  We synthesize it by enumerating configuration
+//     variations (root versions, MPI providers, variant flips, infra
+//     version mixes) until a target number of distinct node specs is
+//     reached.  The default target is sized for a single-core container and
+//     can be raised to paper scale.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/repo/repository.hpp"
+#include "src/spec/spec.hpp"
+
+namespace splice::workload {
+
+/// All RADIUSS roots concretized with mpich (default configurations); the
+/// returned specs' node sub-DAGs form the local cache (~200 distinct specs).
+std::vector<spec::Spec> local_cache_specs(const repo::Repository& repo);
+
+/// Configuration sweep approximating the public cache.  Enumerates
+/// variations per root until at least `target_nodes` distinct node specs
+/// exist (or variations are exhausted).  Deterministic.
+std::vector<spec::Spec> public_cache_specs(const repo::Repository& repo,
+                                           std::size_t target_nodes);
+
+/// Count the distinct node sub-DAG hashes across a set of specs (the number
+/// of reusable entries the concretizer will see).
+std::size_t distinct_nodes(const std::vector<spec::Spec>& specs);
+
+}  // namespace splice::workload

@@ -1,0 +1,383 @@
+#include "src/workload/radiuss.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace splice::workload {
+
+using repo::PackageDef;
+using repo::Repository;
+
+namespace {
+
+/// Infrastructure layer: build tools, languages, compression, I/O, math.
+void add_infrastructure(Repository& repo) {
+  repo.add(PackageDef("gmake").version("4.4.1").version("4.3"));
+  repo.add(PackageDef("ninja").version("1.11.1"));
+  repo.add(PackageDef("cmake")
+               .version("3.27.7")
+               .version("3.23.1")
+               .variant("ownlibs", true)
+               .depends_on("zlib", "~ownlibs")
+               .depends_on_build("gmake"));
+  repo.add(PackageDef("zlib")
+               .version("1.3.1")
+               .version("1.2.13")
+               .variant("optimize", true)
+               .variant("pic", true)
+               .variant("shared", true)
+               .depends_on_build("gmake"));
+  repo.add(PackageDef("zstd").version("1.5.5").version("1.5.2").depends_on(
+      "zlib"));
+  repo.add(PackageDef("readline").version("8.2").depends_on_build("gmake"));
+  repo.add(PackageDef("openssl")
+               .version("3.1.3")
+               .version("1.1.1w")
+               .depends_on("zlib")
+               .depends_on_build("gmake"));
+  repo.add(PackageDef("curl")
+               .version("8.4.0")
+               .depends_on("openssl")
+               .depends_on("zlib")
+               .depends_on_build("gmake"));
+  repo.add(PackageDef("lua").version("5.4.6").version("5.3.6").depends_on(
+      "readline"));
+  repo.add(PackageDef("libyaml").version("0.2.5").depends_on_build("gmake"));
+  repo.add(PackageDef("elfutils").version("0.189").depends_on("zlib"));
+  repo.add(PackageDef("papi").version("7.0.1").version("6.0.0"));
+  repo.add(PackageDef("gotcha").version("1.0.4").depends_on_build("cmake"));
+  repo.add(PackageDef("umap").version("2.1.0").depends_on_build("cmake"));
+  repo.add(PackageDef("szip").version("2.1.1"));
+  repo.add(PackageDef("python")
+               .version("3.11.6")
+               .version("3.10.8")
+               .variant("shared", true)
+               .depends_on("zlib")
+               .depends_on("openssl")
+               .depends_on("readline")
+               .depends_on_build("gmake"));
+  repo.add(PackageDef("py-setuptools").version("68.0.0").depends_on("python"));
+  repo.add(PackageDef("openblas")
+               .version("0.3.24")
+               .version("0.3.21")
+               .variant("threads", "none", {"none", "openmp", "pthreads"})
+               .depends_on_build("gmake"));
+  repo.add(PackageDef("py-numpy")
+               .version("1.26.1")
+               .version("1.24.4")
+               .depends_on("python")
+               .depends_on("py-setuptools")
+               .depends_on("openblas"));
+  repo.add(PackageDef("hdf5")
+               .version("1.14.3")
+               .version("1.12.2")
+               .variant("mpi", true)
+               .variant("cxx", false)
+               .depends_on("zlib")
+               .depends_on("mpi", "+mpi")
+               .depends_on_build("cmake"));
+  repo.add(PackageDef("metis")
+               .version("5.1.0")
+               .variant("int64", false)
+               .depends_on_build("cmake"));
+  repo.add(PackageDef("parmetis")
+               .version("4.0.3")
+               .depends_on("metis")
+               .depends_on("mpi")
+               .depends_on_build("cmake"));
+  repo.add(PackageDef("silo")
+               .version("4.11")
+               .version("4.10.2")
+               .depends_on("hdf5")
+               .depends_on("zlib")
+               .depends_on("szip"));
+}
+
+/// MPI providers: the general implementations plus the mock ABI-compatible
+/// stand-in of §6.1.2.
+void add_mpi_providers(Repository& repo, std::size_t replicas) {
+  repo.add(PackageDef("mpich")
+               .version("3.4.3")
+               .version("3.1")
+               .variant("pmi", "pmix", {"pmix", "pmi2", "simple"})
+               .provides("mpi")
+               .depends_on_build("gmake"));
+  repo.add(PackageDef("openmpi")
+               .version("4.1.6")
+               .version("4.0.7")
+               .provides("mpi")
+               .depends_on_build("gmake"));
+  // MPIABI: based on MVAPICH, a single version, splices into mpich@3.4.3.
+  repo.add(PackageDef("mpiabi")
+               .version("2.3.7")
+               .provides("mpi")
+               .can_splice("mpich@3.4.3"));
+  for (const std::string& name : mpiabi_replica_names(replicas)) {
+    repo.add(PackageDef(name)
+                 .version("2.3.7")
+                 .provides("mpi")
+                 .can_splice("mpich@3.4.3"));
+  }
+}
+
+/// The RADIUSS packages themselves: portability layer, infrastructure,
+/// data/vis, and applications, with realistic dependency structure.
+void add_radiuss(Repository& repo) {
+  // Build-system / portability layer.
+  repo.add(PackageDef("blt").version("0.5.3").version("0.5.2"));
+  repo.add(PackageDef("camp")
+               .version("2023.06.0")
+               .version("2022.10.1")
+               .depends_on_build("blt")
+               .depends_on_build("cmake"));
+  repo.add(PackageDef("raja")
+               .version("2023.06.1")
+               .version("2022.10.5")
+               .variant("openmp", true)
+               .variant("shared", false)
+               .depends_on("camp")
+               .depends_on_build("blt")
+               .depends_on_build("cmake"));
+  repo.add(PackageDef("umpire")
+               .version("2023.06.0")
+               .version("2022.10.0")
+               .variant("c", true)
+               .depends_on("camp")
+               .depends_on_build("blt")
+               .depends_on_build("cmake"));
+  repo.add(PackageDef("chai")
+               .version("2023.06.0")
+               .version("2022.10.0")
+               .depends_on("raja")
+               .depends_on("umpire")
+               .depends_on("camp")
+               .depends_on_build("blt"));
+  repo.add(PackageDef("care")
+               .version("0.10.0")
+               .depends_on("chai")
+               .depends_on("raja")
+               .depends_on("umpire")
+               .depends_on_build("blt"));
+  repo.add(PackageDef("lvarray")
+               .version("0.2.2")
+               .depends_on("raja")
+               .depends_on("umpire")
+               .depends_on("camp")
+               .depends_on_build("cmake"));
+  repo.add(PackageDef("zfp")
+               .version("1.0.0")
+               .version("0.5.5")
+               .variant("shared", true)
+               .depends_on_build("cmake"));
+
+  // Math libraries and solvers.
+  repo.add(PackageDef("hypre")
+               .version("2.29.0")
+               .version("2.26.0")
+               .variant("shared", true)
+               .depends_on("openblas")
+               .depends_on("mpi"));
+  repo.add(PackageDef("mfem")
+               .version("4.5.2")
+               .version("4.4.0")
+               .depends_on("hypre")
+               .depends_on("metis")
+               .depends_on("zlib")
+               .depends_on("mpi"));
+  repo.add(PackageDef("sundials")
+               .version("6.6.1")
+               .version("6.5.0")
+               .variant("shared", true)
+               .depends_on("openblas")
+               .depends_on("mpi")
+               .depends_on_build("cmake"));
+  repo.add(PackageDef("samrai")
+               .version("4.1.2")
+               .depends_on("hdf5")
+               .depends_on("openblas")
+               .depends_on("mpi")
+               .depends_on_build("cmake"));
+  repo.add(PackageDef("xbraid").version("3.1.0").depends_on("mpi"));
+
+  // Data, I/O, and visualization.
+  repo.add(PackageDef("conduit")
+               .version("0.8.8")
+               .version("0.8.6")
+               .variant("python", false)
+               .depends_on("hdf5")
+               .depends_on("zlib")
+               .depends_on("mpi")
+               .depends_on("python", "+python")
+               .depends_on_build("cmake"));
+  repo.add(PackageDef("ascent")
+               .version("0.9.2")
+               .version("0.9.0")
+               .depends_on("conduit")
+               .depends_on("raja")
+               .depends_on("umpire")
+               .depends_on("mpi")
+               .depends_on_build("cmake"));
+  repo.add(PackageDef("axom")
+               .version("0.8.1")
+               .version("0.7.0")
+               .depends_on("conduit")
+               .depends_on("raja")
+               .depends_on("umpire")
+               .depends_on("hdf5")
+               .depends_on("lua")
+               .depends_on("mpi")
+               .depends_on_build("blt"));
+  repo.add(PackageDef("glvis")
+               .version("4.2")
+               .depends_on("mfem")
+               .depends_on("zlib")
+               .depends_on_build("gmake"));
+  repo.add(PackageDef("visit")
+               .version("3.3.3")
+               .depends_on("silo")
+               .depends_on("hdf5")
+               .depends_on("python")
+               .depends_on("zlib")
+               .depends_on("mpi")
+               .depends_on_build("cmake"));
+
+  // Performance tools.
+  repo.add(PackageDef("caliper")
+               .version("2.10.0")
+               .version("2.9.1")
+               .variant("mpi", true)
+               .depends_on("papi")
+               .depends_on("gotcha")
+               .depends_on("elfutils")
+               .depends_on("mpi", "+mpi")
+               .depends_on_build("cmake"));
+
+  // Workflow / system software (no MPI).
+  repo.add(PackageDef("flux-core")
+               .version("0.55.0")
+               .version("0.53.0")
+               .depends_on("python")
+               .depends_on("lua")
+               .depends_on("libyaml")
+               .depends_on("zlib")
+               .depends_on_build("gmake"));
+  repo.add(PackageDef("flux-sched")
+               .version("0.29.0")
+               .depends_on("flux-core")
+               .depends_on("libyaml")
+               .depends_on_build("cmake"));
+  repo.add(PackageDef("py-maestrowf")
+               .version("1.1.9")
+               .depends_on("python")
+               .depends_on("py-setuptools")
+               .depends_on("libyaml"));
+  repo.add(PackageDef("py-merlin")
+               .version("1.10.3")
+               .depends_on("python")
+               .depends_on("py-setuptools")
+               .depends_on("py-maestrowf"));
+  repo.add(PackageDef("py-shroud")
+               .version("0.13.0")
+               .version("0.12.2")
+               .depends_on("python")
+               .depends_on("py-setuptools")
+               .depends_on("libyaml"));
+  repo.add(PackageDef("py-hatchet")
+               .version("1.3.1")
+               .depends_on("python")
+               .depends_on("py-numpy"));
+  repo.add(PackageDef("py-spot").version("0.2.0").depends_on("python"));
+
+  // Applications / misc.
+  repo.add(PackageDef("scr")
+               .version("3.0.1")
+               .depends_on("zlib")
+               .depends_on("libyaml")
+               .depends_on("mpi")
+               .depends_on_build("cmake"));
+  repo.add(PackageDef("mpifileutils")
+               .version("0.11.1")
+               .depends_on("zstd")
+               .depends_on("openssl")
+               .depends_on("mpi")
+               .depends_on_build("cmake"));
+  repo.add(PackageDef("lbann")
+               .version("0.102")
+               .depends_on("hdf5")
+               .depends_on("openblas")
+               .depends_on("python")
+               .depends_on("mpi")
+               .depends_on_build("cmake"));
+  repo.add(PackageDef("kripke")
+               .version("1.2.4")
+               .depends_on("raja")
+               .depends_on("chai")
+               .depends_on("mpi")
+               .depends_on_build("cmake"));
+  repo.add(PackageDef("laghos").version("3.1").depends_on("mfem").depends_on(
+      "mpi"));
+  repo.add(PackageDef("serac")
+               .version("0.6.1")
+               .depends_on("mfem")
+               .depends_on("axom")
+               .depends_on_build("cmake"));
+}
+
+}  // namespace
+
+Repository radiuss_repo(std::size_t mpiabi_replicas) {
+  Repository repo;
+  add_infrastructure(repo);
+  add_mpi_providers(repo, mpiabi_replicas);
+  add_radiuss(repo);
+  repo.validate();
+  return repo;
+}
+
+const std::vector<std::string>& radiuss_roots() {
+  static const std::vector<std::string> kRoots = {
+      "ascent",       "axom",        "blt",       "caliper",      "camp",
+      "care",         "chai",        "conduit",   "flux-core",    "flux-sched",
+      "glvis",        "py-hatchet",  "hypre",     "kripke",       "laghos",
+      "lbann",        "lvarray",     "py-maestrowf", "py-merlin", "mfem",
+      "mpifileutils", "raja",        "samrai",    "scr",          "serac",
+      "sundials",     "umpire",      "visit",     "xbraid",       "zfp",
+      "py-shroud",    "py-spot",
+  };
+  return kRoots;
+}
+
+const std::vector<std::string>& mpi_dependent_roots() {
+  static const std::vector<std::string> kMpiRoots = {
+      "ascent", "axom",   "caliper", "conduit",      "glvis", "hypre",
+      "kripke", "laghos", "lbann",   "mfem",         "mpifileutils",
+      "samrai", "scr",    "serac",   "sundials",     "visit", "xbraid",
+  };
+  return kMpiRoots;
+}
+
+bool depends_on_mpi(const std::string& root) {
+  const auto& roots = mpi_dependent_roots();
+  return std::find(roots.begin(), roots.end(), root) != roots.end();
+}
+
+std::vector<std::string> mpiabi_replica_names(std::size_t replicas) {
+  std::vector<std::string> out;
+  out.reserve(replicas);
+  for (std::size_t i = 0; i < replicas; ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "mpiabi-r%02zu", i);
+    out.emplace_back(buf);
+  }
+  return out;
+}
+
+std::string radiuss_abi_surface(const std::string& package) {
+  if (package == "mpich" || package == "openmpi" ||
+      package.rfind("mpiabi", 0) == 0) {
+    return "mpi";
+  }
+  return package;
+}
+
+}  // namespace splice::workload

@@ -1,0 +1,43 @@
+// The synthetic RADIUSS software stack (paper §6.1.2).
+//
+// The paper evaluates concretization over the 32 packages of LLNL's RADIUSS
+// stack against Spack's builtin repository.  We reproduce the *shape* of
+// that workload with a synthetic repository carrying the RADIUSS root
+// package names, a shared-infrastructure layer (cmake/python/zlib/hdf5/BLAS
+// and friends), a virtual `mpi` with mpich/openmpi providers, and the mock
+// MPIABI package: based on MVAPICH, a single version, able to splice into
+// mpich@3.4.3 — exactly as §6.1.2 describes.  The RQ4 scaling experiment
+// additionally instantiates N copies of mpiabi differing only in name.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/repo/repository.hpp"
+
+namespace splice::workload {
+
+/// Build the full synthetic repository.  `mpiabi_replicas` adds that many
+/// extra copies of the mpiabi mock package (named mpiabi-rNN), each with the
+/// same can_splice directive (paper §6.4).
+repo::Repository radiuss_repo(std::size_t mpiabi_replicas = 0);
+
+/// The 32 RADIUSS root packages, as concretized in the evaluation.
+const std::vector<std::string>& radiuss_roots();
+
+/// The subset of roots with a (transitive) dependency on the mpi virtual;
+/// the complement (e.g. py-shroud) is used as the no-splice control.
+const std::vector<std::string>& mpi_dependent_roots();
+
+/// True if `root` is in mpi_dependent_roots().
+bool depends_on_mpi(const std::string& root);
+
+/// Names of the mpiabi replica packages: "mpiabi-r00" .. "mpiabi-rNN".
+std::vector<std::string> mpiabi_replica_names(std::size_t replicas);
+
+/// The ABI surface function for this stack: all MPI providers share the
+/// "mpi" surface (see binary::Installer).
+std::string radiuss_abi_surface(const std::string& package);
+
+}  // namespace splice::workload

@@ -1,0 +1,46 @@
+// A fast, deterministic greedy resolver used to mass-produce concrete specs
+// for buildcache generation (and as an independent oracle in tests).
+//
+// Unlike the ASP concretizer it performs no search: versions resolve to the
+// newest declared version satisfying all accumulated constraints, variants
+// to their defaults (after overrides), virtuals to an explicitly chosen
+// provider.  Constraint accumulation iterates to a fixpoint so conditional
+// directives triggered late still narrow earlier choices.  Throws
+// UnsatisfiableError when the greedy strategy hits a contradiction.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "src/repo/repository.hpp"
+#include "src/spec/spec.hpp"
+
+namespace splice::workload {
+
+struct ResolveChoices {
+  /// Package -> version constraint applied on top of the request.
+  std::map<std::string, spec::VersionConstraint> versions;
+  /// Package -> variant overrides.
+  std::map<std::string, std::map<std::string, std::string>> variants;
+  /// Virtual -> provider package name.  Every virtual actually used must
+  /// have an entry (the resolver does not guess providers).
+  std::map<std::string, std::string> providers;
+};
+
+class SimpleResolver {
+ public:
+  SimpleResolver(const repo::Repository& repo, std::string os = "linux",
+                 std::string target = "x86_64")
+      : repo_(repo), os_(std::move(os)), target_(std::move(target)) {}
+
+  /// Resolve a root package into a full concrete spec.
+  spec::Spec resolve(const std::string& root,
+                     const ResolveChoices& choices = {}) const;
+
+ private:
+  const repo::Repository& repo_;
+  std::string os_;
+  std::string target_;
+};
+
+}  // namespace splice::workload

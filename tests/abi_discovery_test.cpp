@@ -1,0 +1,154 @@
+// Tests for automated ABI discovery (the paper's §8 future work).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+
+#include "src/abi/discovery.hpp"
+#include "src/support/error.hpp"
+#include "src/binary/installer.hpp"
+#include "src/concretize/concretizer.hpp"
+#include "src/workload/radiuss.hpp"
+
+namespace splice::abi {
+namespace {
+
+namespace fs = std::filesystem;
+using binary::MockBinary;
+using spec::Spec;
+
+MockBinary bin_with_exports(const std::string& name,
+                            std::vector<std::string> exports) {
+  MockBinary b;
+  b.name = name;
+  b.version = "1.0";
+  b.hash = "h_" + name;
+  b.soname = "/s/" + name + "/lib/lib" + name + ".so";
+  b.exports = std::move(exports);
+  b.code = "x";
+  return b;
+}
+
+Spec concrete_node(const std::string& name, const std::string& version) {
+  Spec s = Spec::parse(name + "@=" + version + " os=linux target=x86_64");
+  s.finalize_concrete();
+  return s;
+}
+
+TEST(CompareExports, Partitions) {
+  MockBinary a = bin_with_exports("a", {"f", "g", "h"});
+  MockBinary b = bin_with_exports("b", {"g", "h", "i"});
+  AbiComparison cmp = compare_exports(a, b);
+  EXPECT_EQ(cmp.shared, (std::vector<std::string>{"g", "h"}));
+  EXPECT_EQ(cmp.only_in_a, (std::vector<std::string>{"f"}));
+  EXPECT_EQ(cmp.only_in_b, (std::vector<std::string>{"i"}));
+  EXPECT_FALSE(cmp.a_covers_b());
+  EXPECT_FALSE(cmp.b_covers_a());
+}
+
+TEST(CompareExports, SupersetCovers) {
+  MockBinary big = bin_with_exports("big", {"f", "g", "extra"});
+  MockBinary small = bin_with_exports("small", {"f", "g"});
+  AbiComparison cmp = compare_exports(big, small);
+  EXPECT_TRUE(cmp.a_covers_b());
+  EXPECT_FALSE(cmp.b_covers_a());
+  EXPECT_FALSE(cmp.identical());
+  EXPECT_TRUE(compare_exports(small, small).identical());
+}
+
+TEST(Discovery, SuggestsCompatibleProviders) {
+  AbiDiscovery d;
+  auto mpi = binary::abi_symbols("mpi");
+  d.add_binary(concrete_node("mpich", "3.4.3"), bin_with_exports("mpich", mpi));
+  d.add_binary(concrete_node("mpiabi", "2.3.7"), bin_with_exports("mpiabi", mpi));
+  d.add_binary(concrete_node("zlib", "1.3.1"),
+               bin_with_exports("zlib", binary::abi_symbols("zlib")));
+
+  auto suggestions = d.suggest();
+  // mpich<->mpiabi in both directions; zlib matches nothing.
+  ASSERT_EQ(suggestions.size(), 2u);
+  EXPECT_EQ(suggestions[0].replacement_package, "mpiabi");
+  EXPECT_EQ(suggestions[0].target, "mpich@3.4.3");
+  EXPECT_EQ(suggestions[0].directive_text(),
+            "can_splice(\"mpich@3.4.3\", when=\"@2.3.7\")");
+  EXPECT_EQ(suggestions[1].replacement_package, "mpich");
+  EXPECT_EQ(suggestions[1].target, "mpiabi@2.3.7");
+}
+
+TEST(Discovery, SupersetSuggestsOneDirectionOnly) {
+  AbiDiscovery d;
+  d.add_binary(concrete_node("newlib", "2.0"),
+               bin_with_exports("newlib", {"f", "g", "new_feature"}));
+  d.add_binary(concrete_node("oldlib", "1.0"),
+               bin_with_exports("oldlib", {"f", "g"}));
+  auto s = d.suggest();
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0].replacement_package, "newlib");
+  EXPECT_EQ(s[0].target, "oldlib@1.0");
+  EXPECT_NE(s[0].rationale.find("+1 extra"), std::string::npos);
+}
+
+TEST(Discovery, SameConfigurationSkipped) {
+  AbiDiscovery d;
+  d.add_binary(concrete_node("zlib", "1.3"),
+               bin_with_exports("zlib", {"f"}));
+  d.add_binary(concrete_node("zlib", "1.3"),
+               bin_with_exports("zlib", {"f"}));
+  EXPECT_TRUE(d.suggest().empty());
+}
+
+TEST(Discovery, VersionUpdatesWithinPackage) {
+  AbiDiscovery d;
+  auto z = binary::abi_symbols("zlib");
+  d.add_binary(concrete_node("zlib", "1.3.1"), bin_with_exports("zlib", z));
+  d.add_binary(concrete_node("zlib", "1.2.13"), bin_with_exports("zlib", z));
+  auto s = d.suggest();
+  ASSERT_EQ(s.size(), 2u);  // both directions: identical surface
+  std::set<std::string> directives{s[0].directive_text(), s[1].directive_text()};
+  EXPECT_TRUE(directives.count("can_splice(\"zlib@1.2.13\", when=\"@1.3.1\")"));
+  EXPECT_TRUE(directives.count("can_splice(\"zlib@1.3.1\", when=\"@1.2.13\")"));
+}
+
+TEST(Discovery, EndToEndOverInstalledStore) {
+  // Install two MPI providers + an app in a real store, scan the store,
+  // and recover exactly the mpich<->mpiabi compatibility the workload
+  // declares by hand.
+  repo::Repository repo = workload::radiuss_repo();
+  auto root = fs::temp_directory_path() /
+              ("splice-abi-" + std::to_string(::getpid()));
+  fs::remove_all(root);
+  binary::InstalledDatabase db{binary::InstallLayout(root)};
+  binary::Installer inst(db, workload::radiuss_abi_surface);
+
+  concretize::Concretizer c(repo);
+  inst.install_from_source(c.concretize(concretize::Request("xbraid ^mpich")).spec);
+  inst.install_from_source(c.concretize(concretize::Request("mpiabi")).spec);
+
+  AbiDiscovery d;
+  d.scan_database(db);
+  EXPECT_GE(d.num_binaries(), 3u);
+  auto suggestions = d.suggest();
+
+  bool found = false;
+  for (const auto& s : suggestions) {
+    if (s.replacement_package == "mpiabi" && s.target == "mpich@3.4.3") {
+      found = true;
+      EXPECT_EQ(s.directive_text(),
+                "can_splice(\"mpich@3.4.3\", when=\"@2.3.7\")");
+    }
+    // No cross-surface suggestions (e.g. xbraid replacing mpich).
+    EXPECT_FALSE(s.replacement_package == "xbraid" &&
+                 s.target.rfind("mpich", 0) == 0);
+  }
+  EXPECT_TRUE(found) << "discovery must recover the hand-written can_splice";
+  fs::remove_all(root);
+}
+
+TEST(Discovery, RejectsAbstractSpecs) {
+  AbiDiscovery d;
+  EXPECT_THROW(d.add_binary(Spec::parse("zlib@1.2"), bin_with_exports("z", {})),
+               splice::Error);
+}
+
+}  // namespace
+}  // namespace splice::abi

@@ -1,0 +1,165 @@
+// Unit tests for the ASP text parser.
+#include <gtest/gtest.h>
+
+#include "src/asp/parser.hpp"
+#include "src/support/error.hpp"
+
+namespace splice::asp {
+namespace {
+
+TEST(AspParser, Facts) {
+  Program p = parse_program(R"(
+    node("example").
+    pkg_fact("example", version_declared("1.1.0")).
+    weight(3).
+  )");
+  ASSERT_EQ(p.rules().size(), 3u);
+  EXPECT_EQ(p.rules()[0].head.atom,
+            Term::fun("node", {Term::str("example")}));
+  EXPECT_EQ(p.rules()[1].head.atom,
+            Term::fun("pkg_fact",
+                      {Term::str("example"),
+                       Term::fun("version_declared", {Term::str("1.1.0")})}));
+  EXPECT_EQ(p.rules()[2].head.atom, Term::fun("weight", {Term::integer(3)}));
+}
+
+TEST(AspParser, NormalRuleWithNegationAndComparison) {
+  Program p = parse_program(R"(
+    reachable(X, Y) :- edge(X, Y), not blocked(X), X != Y.
+  )");
+  ASSERT_EQ(p.rules().size(), 1u);
+  const Rule& r = p.rules()[0];
+  EXPECT_EQ(r.head.kind, Head::Kind::Atom);
+  ASSERT_EQ(r.body.size(), 2u);
+  EXPECT_TRUE(r.body[0].positive);
+  EXPECT_FALSE(r.body[1].positive);
+  ASSERT_EQ(r.comparisons.size(), 1u);
+  EXPECT_EQ(r.comparisons[0].op, CmpOp::Ne);
+}
+
+TEST(AspParser, Constraint) {
+  Program p = parse_program(":- a, b, not c.");
+  ASSERT_EQ(p.rules().size(), 1u);
+  EXPECT_EQ(p.rules()[0].head.kind, Head::Kind::None);
+  EXPECT_EQ(p.rules()[0].body.size(), 3u);
+}
+
+TEST(AspParser, ChoiceRuleWithBoundsAndConditions) {
+  Program p = parse_program(R"(
+    1 { version(N, V) : version_declared(N, V) } 1 :- node(N).
+  )");
+  ASSERT_EQ(p.rules().size(), 1u);
+  const Rule& r = p.rules()[0];
+  EXPECT_EQ(r.head.kind, Head::Kind::Choice);
+  EXPECT_EQ(r.head.lower, 1);
+  EXPECT_EQ(r.head.upper, 1);
+  ASSERT_EQ(r.head.elements.size(), 1u);
+  EXPECT_EQ(r.head.elements[0].condition.size(), 1u);
+  EXPECT_EQ(r.body.size(), 1u);
+}
+
+TEST(AspParser, UnboundedChoice) {
+  Program p = parse_program("{ a ; b ; c }.");
+  const Rule& r = p.rules()[0];
+  EXPECT_EQ(r.head.kind, Head::Kind::Choice);
+  EXPECT_FALSE(r.head.lower.has_value());
+  EXPECT_FALSE(r.head.upper.has_value());
+  EXPECT_EQ(r.head.elements.size(), 3u);
+}
+
+TEST(AspParser, UpperOnlyChoice) {
+  Program p = parse_program("{ pick(X) : option(X) } 1.");
+  const Rule& r = p.rules()[0];
+  EXPECT_FALSE(r.head.lower.has_value());
+  EXPECT_EQ(r.head.upper, 1);
+}
+
+TEST(AspParser, Minimize) {
+  Program p = parse_program(R"(
+    #minimize { 100@3, Node : build(Node) ; 1@1, N, V : version_weight(N, V) }.
+  )");
+  ASSERT_EQ(p.minimizes().size(), 2u);
+  EXPECT_EQ(p.minimizes()[0].weight, Term::integer(100));
+  EXPECT_EQ(p.minimizes()[0].priority, 3);
+  EXPECT_EQ(p.minimizes()[0].tuple.size(), 1u);
+  EXPECT_EQ(p.minimizes()[1].weight, Term::integer(1));
+  EXPECT_EQ(p.minimizes()[1].priority, 1);
+  EXPECT_EQ(p.minimizes()[1].tuple.size(), 2u);
+}
+
+TEST(AspParser, CommentsAndWhitespace) {
+  Program p = parse_program(R"(
+    % this is a comment
+    a.  % trailing comment
+    % another
+    b :- a.
+  )");
+  EXPECT_EQ(p.rules().size(), 2u);
+}
+
+TEST(AspParser, StringsWithEscapes) {
+  Program p = parse_program(R"(path("/usr/lib\n").)");
+  EXPECT_EQ(p.rules()[0].head.atom,
+            Term::fun("path", {Term::str("/usr/lib\n")}));
+}
+
+TEST(AspParser, NegativeIntegers) {
+  Program p = parse_program("w(-5).");
+  EXPECT_EQ(p.rules()[0].head.atom, Term::fun("w", {Term::integer(-5)}));
+}
+
+TEST(AspParser, ParseTermText) {
+  Term t = parse_term_text(R"(attr("hash", node("mpich"), "abc123"))");
+  EXPECT_EQ(t.signature(), "attr/3");
+  EXPECT_EQ(t.args()[1], Term::fun("node", {Term::str("mpich")}));
+}
+
+TEST(AspParser, ComparisonVariants) {
+  Program p = parse_program(R"(
+    r1(X) :- v(X), X = 1.
+    r2(X) :- v(X), X == 1.
+    r3(X) :- v(X), X < 2.
+    r4(X) :- v(X), X <= 2.
+    r5(X) :- v(X), X > 0.
+    r6(X) :- v(X), X >= 0.
+  )");
+  EXPECT_EQ(p.rules()[0].comparisons[0].op, CmpOp::Eq);
+  EXPECT_EQ(p.rules()[1].comparisons[0].op, CmpOp::Eq);
+  EXPECT_EQ(p.rules()[2].comparisons[0].op, CmpOp::Lt);
+  EXPECT_EQ(p.rules()[3].comparisons[0].op, CmpOp::Le);
+  EXPECT_EQ(p.rules()[4].comparisons[0].op, CmpOp::Gt);
+  EXPECT_EQ(p.rules()[5].comparisons[0].op, CmpOp::Ge);
+}
+
+TEST(AspParser, RejectsUnsafeRules) {
+  // Head variable not bound by a positive body literal.
+  EXPECT_THROW(parse_program("head(X)."), AspError);
+  EXPECT_THROW(parse_program("head(X) :- not b(X)."), AspError);
+  EXPECT_THROW(parse_program(":- X != Y."), AspError);
+  EXPECT_THROW(parse_program("#minimize { 1, X : not b(X) }."), AspError);
+}
+
+TEST(AspParser, SyntaxErrors) {
+  EXPECT_THROW(parse_program("a"), ParseError);          // missing dot
+  EXPECT_THROW(parse_program("a :- ."), ParseError);     // empty body
+  EXPECT_THROW(parse_program("a :- b,."), ParseError);   // dangling comma
+  EXPECT_THROW(parse_program("{ a } :- b"), ParseError); // missing dot
+  EXPECT_THROW(parse_program("#maximize { 1 : a }."), ParseError);
+  EXPECT_THROW(parse_program("f(."), ParseError);
+  EXPECT_THROW(parse_program("\"unterminated"), ParseError);
+  EXPECT_THROW(parse_program("a ! b."), ParseError);
+}
+
+TEST(AspParser, ProgramPrintingRoundTrips) {
+  const std::string text =
+      "1 { pick(X) : opt(X) } 1 :- go.\n"
+      "good(X) :- pick(X), not bad(X), X != 3.\n";
+  Program p1 = parse_program(text);
+  // Printing then reparsing yields the same structure count.
+  Program p2 = parse_program(p1.str());
+  ASSERT_EQ(p2.rules().size(), p1.rules().size());
+  EXPECT_EQ(p2.str(), p1.str());
+}
+
+}  // namespace
+}  // namespace splice::asp

@@ -1,0 +1,225 @@
+// Unit tests for the CDCL core and PB propagators, used directly.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/asp/sat.hpp"
+
+namespace splice::asp::sat {
+namespace {
+
+using R = Solver::Result;
+
+TEST(Sat, TrivialSat) {
+  Solver s;
+  Var a = s.new_var();
+  Var b = s.new_var();
+  s.add_clause({mk_lit(a, true), mk_lit(b, true)});
+  EXPECT_EQ(s.solve(), R::Sat);
+  EXPECT_TRUE(s.model_value(a) || s.model_value(b));
+}
+
+TEST(Sat, TrivialUnsat) {
+  Solver s;
+  Var a = s.new_var();
+  s.add_clause({mk_lit(a, true)});
+  EXPECT_FALSE(s.add_clause({mk_lit(a, false)}));
+  EXPECT_EQ(s.solve(), R::Unsat);
+}
+
+TEST(Sat, UnitPropagationChain) {
+  Solver s;
+  std::vector<Var> v;
+  for (int i = 0; i < 20; ++i) v.push_back(s.new_var());
+  for (int i = 0; i + 1 < 20; ++i) {
+    s.add_clause({mk_lit(v[i], false), mk_lit(v[i + 1], true)});  // v_i -> v_i+1
+  }
+  s.add_clause({mk_lit(v[0], true)});
+  EXPECT_EQ(s.solve(), R::Sat);
+  for (int i = 0; i < 20; ++i) EXPECT_TRUE(s.model_value(v[i])) << i;
+}
+
+TEST(Sat, RequiresConflictAnalysis) {
+  // (a|b) & (a|!b) & (!a|c) & (!a|!c) is UNSAT.
+  Solver s;
+  Var a = s.new_var(), b = s.new_var(), c = s.new_var();
+  s.add_clause({mk_lit(a, true), mk_lit(b, true)});
+  s.add_clause({mk_lit(a, true), mk_lit(b, false)});
+  s.add_clause({mk_lit(a, false), mk_lit(c, true)});
+  s.add_clause({mk_lit(a, false), mk_lit(c, false)});
+  EXPECT_EQ(s.solve(), R::Unsat);
+}
+
+TEST(Sat, PigeonholeUnsat) {
+  // 5 pigeons, 4 holes: classic hard-ish UNSAT exercising learning/restarts.
+  const int P = 5, H = 4;
+  Solver s;
+  std::vector<std::vector<Var>> x(P, std::vector<Var>(H));
+  for (int p = 0; p < P; ++p) {
+    for (int h = 0; h < H; ++h) x[p][h] = s.new_var();
+  }
+  for (int p = 0; p < P; ++p) {
+    std::vector<Lit> at_least;
+    for (int h = 0; h < H; ++h) at_least.push_back(mk_lit(x[p][h], true));
+    s.add_clause(at_least);
+  }
+  for (int h = 0; h < H; ++h) {
+    for (int p1 = 0; p1 < P; ++p1) {
+      for (int p2 = p1 + 1; p2 < P; ++p2) {
+        s.add_clause({mk_lit(x[p1][h], false), mk_lit(x[p2][h], false)});
+      }
+    }
+  }
+  EXPECT_EQ(s.solve(), R::Unsat);
+  EXPECT_GT(s.stats().conflicts, 0u);
+}
+
+TEST(Sat, GraphColoringSat) {
+  // 3-color a cycle of length 6 (bipartite-ish, easily colorable).
+  const int N = 6, C = 3;
+  Solver s;
+  std::vector<std::vector<Var>> col(N, std::vector<Var>(C));
+  for (auto& row : col) {
+    for (Var& v : row) v = s.new_var();
+  }
+  for (int n = 0; n < N; ++n) {
+    std::vector<Lit> one;
+    for (int c = 0; c < C; ++c) one.push_back(mk_lit(col[n][c], true));
+    s.add_clause(one);
+    for (int c1 = 0; c1 < C; ++c1) {
+      for (int c2 = c1 + 1; c2 < C; ++c2) {
+        s.add_clause({mk_lit(col[n][c1], false), mk_lit(col[n][c2], false)});
+      }
+    }
+  }
+  for (int n = 0; n < N; ++n) {
+    int m = (n + 1) % N;
+    for (int c = 0; c < C; ++c) {
+      s.add_clause({mk_lit(col[n][c], false), mk_lit(col[m][c], false)});
+    }
+  }
+  ASSERT_EQ(s.solve(), R::Sat);
+  for (int n = 0; n < N; ++n) {
+    int count = 0;
+    for (int c = 0; c < C; ++c) count += s.model_value(col[n][c]);
+    EXPECT_EQ(count, 1);
+    for (int c = 0; c < C; ++c) {
+      EXPECT_FALSE(s.model_value(col[n][c]) && s.model_value(col[(n + 1) % N][c]));
+    }
+  }
+}
+
+TEST(Sat, PbAtMostOne) {
+  Solver s;
+  std::vector<Var> v;
+  std::vector<std::pair<Lit, std::int64_t>> terms;
+  for (int i = 0; i < 10; ++i) {
+    v.push_back(s.new_var());
+    terms.emplace_back(mk_lit(v.back(), true), 1);
+  }
+  ASSERT_TRUE(s.add_pb_le(terms, 1));
+  // Force two of them true -> UNSAT.
+  s.add_clause({mk_lit(v[2], true)});
+  s.add_clause({mk_lit(v[7], true)});
+  EXPECT_EQ(s.solve(), R::Unsat);
+}
+
+TEST(Sat, PbAtMostOnePropagates) {
+  Solver s;
+  Var a = s.new_var(), b = s.new_var(), c = s.new_var();
+  s.add_pb_le({{mk_lit(a, true), 1}, {mk_lit(b, true), 1}, {mk_lit(c, true), 1}}, 1);
+  s.add_clause({mk_lit(b, true)});
+  ASSERT_EQ(s.solve(), R::Sat);
+  EXPECT_TRUE(s.model_value(b));
+  EXPECT_FALSE(s.model_value(a));
+  EXPECT_FALSE(s.model_value(c));
+}
+
+TEST(Sat, PbWeighted) {
+  // 3a + 2b + 2c <= 4: at most (a and one of b,c) or (b and c).
+  Solver s;
+  Var a = s.new_var(), b = s.new_var(), c = s.new_var();
+  s.add_pb_le({{mk_lit(a, true), 3}, {mk_lit(b, true), 2}, {mk_lit(c, true), 2}}, 4);
+  s.add_clause({mk_lit(a, true)});
+  s.add_clause({mk_lit(b, true)});
+  // a+b = 5 > 4.
+  EXPECT_EQ(s.solve(), R::Unsat);
+}
+
+TEST(Sat, PbWeightedPropagation) {
+  Solver s;
+  Var a = s.new_var(), b = s.new_var(), c = s.new_var();
+  s.add_pb_le({{mk_lit(a, true), 3}, {mk_lit(b, true), 2}, {mk_lit(c, true), 2}}, 4);
+  s.add_clause({mk_lit(b, true)});
+  s.add_clause({mk_lit(c, true)});
+  ASSERT_EQ(s.solve(), R::Sat);
+  EXPECT_FALSE(s.model_value(a));  // 2+2=4; a (3 more) must be false
+}
+
+TEST(Sat, PbOverWideSet) {
+  // sum of 100 unit terms <= 10; force 10 true, then the rest must be false.
+  Solver s;
+  std::vector<Var> v;
+  std::vector<std::pair<Lit, std::int64_t>> terms;
+  for (int i = 0; i < 100; ++i) {
+    v.push_back(s.new_var());
+    terms.emplace_back(mk_lit(v.back(), true), 1);
+  }
+  s.add_pb_le(terms, 10);
+  for (int i = 0; i < 10; ++i) s.add_clause({mk_lit(v[i], true)});
+  ASSERT_EQ(s.solve(), R::Sat);
+  for (int i = 10; i < 100; ++i) EXPECT_FALSE(s.model_value(v[i]));
+}
+
+TEST(Sat, PbBoundZeroForcesAllFalse) {
+  Solver s;
+  Var a = s.new_var(), b = s.new_var();
+  ASSERT_TRUE(s.add_pb_le({{mk_lit(a, true), 1}, {mk_lit(b, true), 1}}, 0));
+  ASSERT_EQ(s.solve(), R::Sat);
+  EXPECT_FALSE(s.model_value(a));
+  EXPECT_FALSE(s.model_value(b));
+}
+
+TEST(Sat, IncrementalAddAfterSolve) {
+  Solver s;
+  Var a = s.new_var(), b = s.new_var();
+  s.add_clause({mk_lit(a, true), mk_lit(b, true)});
+  ASSERT_EQ(s.solve(), R::Sat);
+  // Block the found model, re-solve until UNSAT; exactly 3 models exist.
+  int models = 1;
+  for (;; ++models) {
+    std::vector<Lit> block;
+    block.push_back(mk_lit(a, !s.model_value(a)));
+    block.push_back(mk_lit(b, !s.model_value(b)));
+    if (!s.add_clause(block) || s.solve() == R::Unsat) break;
+  }
+  EXPECT_EQ(models, 3);
+}
+
+TEST(Sat, PbConflictDrivesLearning) {
+  // Random-ish layered instance where PB interacts with clauses.
+  Solver s;
+  const int N = 30;
+  std::vector<Var> v;
+  std::vector<std::pair<Lit, std::int64_t>> terms;
+  for (int i = 0; i < N; ++i) {
+    v.push_back(s.new_var());
+    terms.emplace_back(mk_lit(v.back(), true), 1 + (i % 3));
+  }
+  s.add_pb_le(terms, 7);
+  // Chains forcing groups on together.
+  for (int i = 0; i + 1 < N; i += 2) {
+    s.add_clause({mk_lit(v[i], false), mk_lit(v[i + 1], true)});
+  }
+  s.add_clause({mk_lit(v[0], true), mk_lit(v[4], true), mk_lit(v[8], true)});
+  EXPECT_EQ(s.solve(), R::Sat);
+  // Verify the PB constraint holds in the model.
+  std::int64_t sum = 0;
+  for (int i = 0; i < N; ++i) {
+    if (s.model_value(v[i])) sum += 1 + (i % 3);
+  }
+  EXPECT_LE(sum, 7);
+}
+
+}  // namespace
+}  // namespace splice::asp::sat

@@ -1,0 +1,469 @@
+// Tests for the binary substrate: mock binary format, install layout,
+// database, buildcache, relocation, rewiring, and the loader oracle.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "src/binary/buildcache.hpp"
+#include "src/binary/database.hpp"
+#include "src/binary/installer.hpp"
+#include "src/concretize/splice.hpp"
+#include "src/support/error.hpp"
+
+namespace splice::binary {
+namespace {
+
+namespace fs = std::filesystem;
+using spec::DepType;
+using spec::Spec;
+using spec::Version;
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    path_ = fs::temp_directory_path() /
+            ("splice-test-" + tag + "-" + std::to_string(::getpid()) + "-" +
+             std::to_string(counter_++));
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  const fs::path& path() const { return path_; }
+
+ private:
+  static inline int counter_ = 0;
+  fs::path path_;
+};
+
+Spec make_concrete(const std::string& text) {
+  Spec s = Spec::parse(text);
+  for (auto& n : s.nodes()) {
+    if (!n.versions.concrete()) {
+      n.versions = spec::VersionConstraint::exactly(Version::parse("1.0"));
+    }
+    n.os = "linux";
+    n.target = "x86_64";
+  }
+  s.finalize_concrete();
+  return s;
+}
+
+// ---- MockBinary format ----
+
+TEST(MockBin, SerializeParseRoundTrip) {
+  MockBinary b;
+  b.name = "zlib";
+  b.version = "1.2.11";
+  b.hash = "abc123";
+  b.soname = "/opt/store/zlib-1.2.11-abc123/lib/libzlib.so";
+  b.rpaths = {"/opt/store/dep-1.0-xyz"};
+  b.needed = {{"dep", "xyz", "/opt/store/dep-1.0-xyz/lib/libdep.so",
+               {"dep_init", "dep_call"}}};
+  b.exports = abi_symbols("zlib");
+  b.code = make_code_blob("abc123", {b.soname}, 2048);
+
+  MockBinary back = MockBinary::parse(b.serialize());
+  EXPECT_EQ(back.name, b.name);
+  EXPECT_EQ(back.hash, b.hash);
+  EXPECT_EQ(back.soname, b.soname);
+  ASSERT_EQ(back.needed.size(), 1u);
+  EXPECT_EQ(back.needed[0].symbols, b.needed[0].symbols);
+  EXPECT_EQ(back.exports, b.exports);
+  EXPECT_EQ(back.code, b.code);
+}
+
+TEST(MockBin, ParseRejectsCorruption) {
+  MockBinary b;
+  b.name = "x";
+  b.hash = "h";
+  b.version = "1";
+  b.soname = "/p/lib/libx.so";
+  b.code = "0123456789";
+  std::string good = b.serialize();
+
+  EXPECT_THROW(MockBinary::parse("garbage"), BinaryError);
+  // Truncated code.
+  EXPECT_THROW(MockBinary::parse(good.substr(0, good.size() - 3)), BinaryError);
+  // Bad magic.
+  std::string bad = good;
+  bad[0] = 'X';
+  EXPECT_THROW(MockBinary::parse(bad), BinaryError);
+  // Unknown section.
+  std::string inject = good;
+  inject.insert(inject.find("CODE"), "BOGUS entry\n");
+  EXPECT_THROW(MockBinary::parse(inject), BinaryError);
+}
+
+TEST(MockBin, CodeBlobIsDeterministicAndEmbedsPaths) {
+  std::string a = make_code_blob("seed", {"/opt/prefix-a"}, 4096);
+  std::string b = make_code_blob("seed", {"/opt/prefix-a"}, 4096);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("/opt/prefix-a"), std::string::npos);
+  EXPECT_NE(make_code_blob("other", {"/opt/prefix-a"}, 4096), a);
+}
+
+TEST(MockBin, RewritePathsHandlesLongerPaths) {
+  MockBinary b;
+  b.name = "x";
+  b.version = "1";
+  b.hash = "h";
+  b.soname = "/short/lib/libx.so";
+  b.code = make_code_blob("h", {"/short"}, 1024);
+  std::string bytes = b.serialize();
+  std::string out =
+      rewrite_paths(bytes, {{"/short", "/a/much/longer/target/prefix"}});
+  MockBinary back = MockBinary::parse(out);  // length headers self-corrected
+  EXPECT_EQ(back.soname, "/a/much/longer/target/prefix/lib/libx.so");
+  EXPECT_NE(back.code.find("/a/much/longer/target/prefix"), std::string::npos);
+  EXPECT_EQ(back.code.find("/short"), std::string::npos);
+}
+
+TEST(MockBin, AbiSymbolsSharedAcrossProviders) {
+  EXPECT_EQ(abi_symbols("mpi"), abi_symbols("mpi"));
+  EXPECT_NE(abi_symbols("mpi"), abi_symbols("zlib"));
+}
+
+// ---- layout ----
+
+TEST(Layout, PrefixShape) {
+  InstallLayout layout(fs::path("/opt/store"));
+  Spec s = make_concrete("zlib@=1.2.11");
+  fs::path p = layout.prefix(s.root());
+  EXPECT_EQ(p.parent_path(), fs::path("/opt/store"));
+  std::string base = p.filename().string();
+  EXPECT_EQ(base.rfind("zlib-1.2.11-", 0), 0u);
+  EXPECT_THROW(layout.prefix(Spec::parse("zlib").root()), BinaryError);
+}
+
+// ---- database ----
+
+TEST(Database, AddQueryPersistReload) {
+  TempDir tmp("db");
+  Spec s = make_concrete("hdf5@=1.14 ^zlib@=1.2.11");
+  {
+    InstalledDatabase db{InstallLayout(tmp.path())};
+    db.add(s, "/opt/x", true);
+    db.add(s.subdag(*s.find_index("zlib")), "/opt/z");
+    EXPECT_EQ(db.size(), 2u);
+    EXPECT_TRUE(db.has(s.dag_hash()));
+    EXPECT_EQ(db.query(Spec::parse("hdf5")).size(), 1u);
+    EXPECT_EQ(db.query(Spec::parse("zlib@1.2")).size(), 1u);
+    EXPECT_EQ(db.query(Spec::parse("zlib@1.3")).size(), 0u);
+  }
+  // Reload from disk.
+  InstalledDatabase db2{InstallLayout(tmp.path())};
+  EXPECT_EQ(db2.size(), 2u);
+  const InstallRecord* rec = db2.get(s.dag_hash());
+  ASSERT_NE(rec, nullptr);
+  EXPECT_TRUE(rec->explicit_install);
+  EXPECT_EQ(rec->spec.dag_hash(), s.dag_hash());
+}
+
+TEST(Database, RejectsAbstractSpecs) {
+  TempDir tmp("db2");
+  InstalledDatabase db{InstallLayout(tmp.path())};
+  EXPECT_THROW(db.add(Spec::parse("zlib@1.2"), "/x"), BinaryError);
+}
+
+TEST(Database, Remove) {
+  TempDir tmp("db3");
+  InstalledDatabase db{InstallLayout(tmp.path())};
+  Spec s = make_concrete("zlib@=1.2");
+  db.add(s, "/x");
+  db.remove(s.dag_hash());
+  EXPECT_FALSE(db.has(s.dag_hash()));
+}
+
+// ---- buildcache ----
+
+TEST(BuildCache, PushFetchReload) {
+  TempDir tmp("cache");
+  Spec s = make_concrete("zlib@=1.2.11");
+  {
+    BuildCache cache(tmp.path());
+    cache.push(s, "BINARYBYTES");
+    cache.push(make_concrete("hdf5@=1.14"), "");  // index-only
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.fetch_binary(s.dag_hash()), "BINARYBYTES");
+  }
+  BuildCache cache2(tmp.path());
+  EXPECT_EQ(cache2.size(), 2u);
+  EXPECT_TRUE(cache2.contains(s.dag_hash()));
+  EXPECT_EQ(cache2.fetch_binary(s.dag_hash()), "BINARYBYTES");
+  EXPECT_THROW(cache2.fetch_binary("nosuchhash"), BinaryError);
+  // Index-only entry has spec but no blob.
+  auto hdf5 = cache2.query(Spec::parse("hdf5"));
+  ASSERT_EQ(hdf5.size(), 1u);
+  EXPECT_THROW(cache2.fetch_binary((*hdf5[0]).dag_hash()), BinaryError);
+}
+
+TEST(BuildCache, DetectsCorruptSpecFile) {
+  TempDir tmp("cache2");
+  Spec s = make_concrete("zlib@=1.2.11");
+  {
+    BuildCache cache(tmp.path());
+    cache.push(s, "B");
+  }
+  // Tamper with the spec file: hash check must fail on reload.
+  auto spec_file = tmp.path() / "specs" / (s.dag_hash() + ".spec.json");
+  Spec other = make_concrete("zlib@=9.9");
+  std::ofstream(spec_file, std::ios::trunc) << other.to_json().dump();
+  EXPECT_THROW(BuildCache{tmp.path()}, BinaryError);
+}
+
+// ---- installer: source builds and relocation ----
+
+TEST(Installer, SourceBuildInstallsAllNodes) {
+  TempDir tmp("inst");
+  InstalledDatabase db{InstallLayout(tmp.path() / "store")};
+  Installer inst(db);
+  Spec s = make_concrete("app@=2.0 ^libx@=1.0 ^zlib@=1.2");
+  s.add_dep(*s.find_index("libx"), *s.find_index("zlib"), DepType::Link);
+  s.finalize_concrete();
+
+  InstallReport r = inst.install_from_source(s);
+  EXPECT_EQ(r.built, 3u);
+  EXPECT_EQ(r.reused, 0u);
+  EXPECT_GT(r.bytes_written, 0u);
+  inst.verify_runnable(s);
+
+  // Second install is a full reuse.
+  InstallReport r2 = inst.install_from_source(s);
+  EXPECT_EQ(r2.built, 0u);
+  EXPECT_EQ(r2.reused, 3u);
+}
+
+TEST(Installer, CacheInstallRelocatesAcrossRoots) {
+  TempDir build_host("build");
+  TempDir cache_dir("cachedir");
+  TempDir deploy_host("deploy");
+
+  Spec s = make_concrete("app@=2.0 ^zlib@=1.2");
+  BuildCache cache(cache_dir.path());
+  {
+    InstalledDatabase db{InstallLayout(build_host.path() / "store")};
+    Installer inst(db);
+    inst.install_from_source(s);
+    inst.push_to_cache(s, cache);
+  }
+  EXPECT_EQ(cache.size(), 2u);
+
+  InstalledDatabase db2{InstallLayout(deploy_host.path() / "different-store")};
+  Installer inst2(db2);
+  InstallReport r = inst2.install_from_cache(s, cache);
+  EXPECT_EQ(r.relocated, 2u);
+  EXPECT_EQ(r.built, 0u);
+  inst2.verify_runnable(s);
+
+  // No trace of the build host's paths remains in the deployed binary.
+  MockBinary b = MockBinary::parse([&] {
+    std::ifstream in(db2.layout().lib_path(s.root()), std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  }());
+  EXPECT_EQ(b.code.find(build_host.path().string()), std::string::npos);
+  EXPECT_NE(b.code.find(deploy_host.path().string()), std::string::npos);
+}
+
+TEST(Installer, CacheMissFallsBackToSource) {
+  TempDir tmp("miss");
+  TempDir cache_dir("misscache");
+  BuildCache cache(cache_dir.path());
+  InstalledDatabase db{InstallLayout(tmp.path())};
+  Installer inst(db);
+  Spec s = make_concrete("app@=2.0 ^zlib@=1.2");
+  InstallReport r = inst.install_from_cache(s, cache);
+  EXPECT_EQ(r.built, 2u);
+  inst.verify_runnable(s);
+}
+
+// ---- installer: rewiring spliced specs (§4.2) ----
+
+TEST(Installer, RewireSameNameUpgrade) {
+  TempDir tmp("rewire");
+  TempDir cache_dir("rewirecache");
+  InstalledDatabase db{InstallLayout(tmp.path())};
+  Installer inst(db);
+  BuildCache cache(cache_dir.path());
+
+  Spec original = make_concrete("app@=2.0 ^zlib@=1.2");
+  inst.install_from_source(original);
+  Spec z_new = make_concrete("zlib@=1.3");
+  inst.install_from_source(z_new);
+
+  Spec spliced = concretize::splice(original, "zlib", z_new, true);
+  ASSERT_TRUE(spliced.is_spliced());
+  InstallReport r = inst.rewire(spliced, cache);
+  EXPECT_EQ(r.rewired, 1u);   // app was patched
+  EXPECT_GE(r.reused, 1u);    // zlib@1.3 already present
+  inst.verify_runnable(spliced);
+
+  // The rewired binary references the new zlib prefix, not the old.
+  MockBinary b = MockBinary::parse([&] {
+    std::ifstream in(db.layout().lib_path(spliced.root()), std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  }());
+  ASSERT_EQ(b.needed.size(), 1u);
+  EXPECT_EQ(b.needed[0].hash, z_new.dag_hash());
+  EXPECT_EQ(b.code.find(db.layout().prefix(original.find("zlib")
+                                                ->hash.empty()
+                                            ? original.root()
+                                            : *original.find("zlib"))
+                            .string()),
+            std::string::npos);
+}
+
+TEST(Installer, RewireDifferentProviderSameSurface) {
+  // The Cray MPICH deployment scenario: app built against mpich, deployed
+  // against a different provider sharing the `mpi` ABI surface.
+  TempDir tmp("cray");
+  TempDir cache_dir("craycache");
+  auto surface = [](const std::string& name) -> std::string {
+    if (name == "mpich" || name == "cray-mpich") return "mpi";
+    return name;
+  };
+  InstalledDatabase db{InstallLayout(tmp.path())};
+  Installer inst(db, surface);
+  BuildCache cache(cache_dir.path());
+
+  Spec built = make_concrete("app@=2.0 ^mpich@=3.4.3");
+  inst.install_from_source(built);
+  inst.push_to_cache(built, cache);
+
+  Spec cray = make_concrete("cray-mpich@=8.1");
+  inst.install_from_source(cray);
+
+  Spec spliced = concretize::splice(built, "mpich", cray, true);
+  InstallReport r = inst.rewire(spliced, cache);
+  EXPECT_EQ(r.rewired, 1u);
+  inst.verify_runnable(spliced);  // symbols resolve: same ABI surface
+}
+
+TEST(Installer, RewireIncompatibleSurfaceFailsLoader) {
+  // Splicing against a provider with a DIFFERENT ABI surface must be caught
+  // by the loader oracle (undefined symbols).
+  TempDir tmp("bad");
+  TempDir cache_dir("badcache");
+  InstalledDatabase db{InstallLayout(tmp.path())};
+  Installer inst(db);  // identity surfaces: mpich != fake-mpi
+  BuildCache cache(cache_dir.path());
+
+  Spec built = make_concrete("app@=2.0 ^mpich@=3.4.3");
+  inst.install_from_source(built);
+  Spec fake = make_concrete("fake-mpi@=1.0");
+  inst.install_from_source(fake);
+
+  Spec spliced = concretize::splice(built, "mpich", fake, true);
+  inst.rewire(spliced, cache);
+  EXPECT_THROW(inst.verify_runnable(spliced), BinaryError);
+}
+
+TEST(Installer, RewireFromCacheOnlyOriginal) {
+  // Original binaries live only in the buildcache (deployment scenario:
+  // the build server's tree is not present on the cluster).
+  TempDir build_host("bh");
+  TempDir cache_dir("bhcache");
+  TempDir cluster("cluster");
+  auto surface = [](const std::string& name) -> std::string {
+    if (name == "mpich" || name == "cray-mpich") return "mpi";
+    return name;
+  };
+  BuildCache cache(cache_dir.path());
+  Spec built = make_concrete("app@=2.0 ^mpich@=3.4.3");
+  {
+    InstalledDatabase db{InstallLayout(build_host.path())};
+    Installer inst(db, surface);
+    inst.install_from_source(built);
+    inst.push_to_cache(built, cache);
+  }
+
+  InstalledDatabase db{InstallLayout(cluster.path())};
+  Installer inst(db, surface);
+  // Cray MPICH "exists only on the cluster": local source install.
+  Spec cray = make_concrete("cray-mpich@=8.1");
+  inst.install_from_source(cray);
+
+  Spec spliced = concretize::splice(built, "mpich", cray, true);
+  InstallReport r = inst.rewire(spliced, cache);
+  EXPECT_EQ(r.rewired, 1u);
+  EXPECT_EQ(r.built, 0u);  // app was never rebuilt
+  inst.verify_runnable(spliced);
+}
+
+TEST(Installer, RewireMissingOriginalThrows) {
+  TempDir tmp("missing");
+  TempDir cache_dir("missingcache");
+  InstalledDatabase db{InstallLayout(tmp.path())};
+  Installer inst(db);
+  BuildCache cache(cache_dir.path());
+
+  Spec original = make_concrete("app@=2.0 ^zlib@=1.2");
+  Spec z_new = make_concrete("zlib@=1.3");
+  // Construct the spliced spec without ever installing the original.
+  Spec spliced = [&] {
+    Spec o = original;
+    return concretize::splice(o, "zlib", z_new, true);
+  }();
+  inst.install_from_source(z_new);
+  EXPECT_THROW(inst.rewire(spliced, cache), BinaryError);
+}
+
+TEST(Installer, LoaderDetectsMissingDependency) {
+  TempDir tmp("loader");
+  InstalledDatabase db{InstallLayout(tmp.path())};
+  Installer inst(db);
+  Spec s = make_concrete("app@=2.0 ^zlib@=1.2");
+  inst.install_from_source(s);
+  // Delete the dependency's library out from under the app.
+  fs::remove(db.layout().lib_path(*s.find("zlib")));
+  EXPECT_THROW(inst.verify_runnable(s), BinaryError);
+}
+
+
+TEST(Installer, CorruptCacheBlobRejected) {
+  TempDir build_host("corrupt-src");
+  TempDir cache_dir("corrupt-cache");
+  TempDir deploy("corrupt-dst");
+  Spec s = make_concrete("app@=2.0 ^zlib@=1.2");
+  BuildCache cache(cache_dir.path());
+  {
+    InstalledDatabase db{InstallLayout(build_host.path())};
+    Installer inst(db);
+    inst.install_from_source(s);
+    inst.push_to_cache(s, cache);
+  }
+  // Truncate the app blob in place.
+  auto blob = cache_dir.path() / "blobs" / (s.dag_hash() + ".bin");
+  auto size = fs::file_size(blob);
+  fs::resize_file(blob, size / 2);
+
+  InstalledDatabase db{InstallLayout(deploy.path())};
+  Installer inst(db);
+  EXPECT_THROW(inst.install_from_cache(s, cache), BinaryError);
+}
+
+TEST(Installer, RewireIsIdempotent) {
+  TempDir tmp("rewire-idem");
+  TempDir cache_dir("rewire-idem-cache");
+  InstalledDatabase db{InstallLayout(tmp.path())};
+  Installer inst(db);
+  BuildCache cache(cache_dir.path());
+  Spec original = make_concrete("app@=2.0 ^zlib@=1.2");
+  inst.install_from_source(original);
+  Spec z_new = make_concrete("zlib@=1.3");
+  inst.install_from_source(z_new);
+  Spec spliced = concretize::splice(original, "zlib", z_new, true);
+  InstallReport first = inst.rewire(spliced, cache);
+  EXPECT_EQ(first.rewired, 1u);
+  InstallReport second = inst.rewire(spliced, cache);
+  EXPECT_EQ(second.rewired, 0u);
+  EXPECT_EQ(second.reused, spliced.nodes().size());
+  inst.verify_runnable(spliced);
+}
+
+}  // namespace
+}  // namespace splice::binary

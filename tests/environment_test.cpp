@@ -1,0 +1,187 @@
+// Tests for environments: unified multi-root concretization, lockfiles, and
+// locked installs (including spliced environments).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "src/binary/database.hpp"
+#include "src/env/environment.hpp"
+#include "src/support/error.hpp"
+#include "src/workload/caches.hpp"
+#include "src/workload/radiuss.hpp"
+
+namespace splice::env {
+namespace {
+
+namespace fs = std::filesystem;
+using concretize::ConcretizerOptions;
+using concretize::ReuseEncoding;
+using spec::Spec;
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    path_ = fs::temp_directory_path() /
+            ("splice-env-" + tag + "-" + std::to_string(::getpid()) + "-" +
+             std::to_string(counter_++));
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  const fs::path& path() const { return path_; }
+
+ private:
+  static inline int counter_ = 0;
+  fs::path path_;
+};
+
+ConcretizerOptions splice_opts() {
+  ConcretizerOptions o;
+  o.encoding = ReuseEncoding::Indirect;
+  o.enable_splicing = true;
+  return o;
+}
+
+TEST(Environment, UnifiedConcretization) {
+  repo::Repository repo = workload::radiuss_repo();
+  Environment env(repo);
+  env.add("mfem ^mpich");
+  env.add("sundials ^mpich");
+  env.add("py-shroud");
+  const auto& result = env.concretize();
+  ASSERT_EQ(result.roots.size(), 3u);
+  // Unification: shared packages have identical hashes across roots.
+  const Spec& mfem = result.roots[0];
+  const Spec& sundials = result.roots[1];
+  ASSERT_NE(mfem.find("openblas"), nullptr);
+  ASSERT_NE(sundials.find("openblas"), nullptr);
+  EXPECT_EQ(mfem.find("openblas")->hash, sundials.find("openblas")->hash);
+  EXPECT_EQ(mfem.find("mpich")->hash, sundials.find("mpich")->hash);
+  for (const Spec& root : result.roots) EXPECT_TRUE(root.is_concrete());
+}
+
+TEST(Environment, UnificationCanConflict) {
+  // Roots that pin incompatible versions of a shared dependency cannot be
+  // concretized together.
+  repo::Repository repo;
+  repo.add(repo::PackageDef("zlib").version("1.3").version("1.2"));
+  repo.add(repo::PackageDef("a").version("1.0").depends_on("zlib@1.2"));
+  repo.add(repo::PackageDef("b").version("1.0").depends_on("zlib@1.3"));
+  repo.validate();
+  Environment env(repo);
+  env.add("a");
+  env.add("b");
+  EXPECT_THROW(env.concretize(), UnsatisfiableError);
+}
+
+TEST(Environment, ManifestManagement) {
+  repo::Repository repo = workload::radiuss_repo();
+  Environment env(repo);
+  env.add("zfp");
+  EXPECT_THROW(env.add("zfp"), Error);             // duplicate
+  EXPECT_THROW(env.add("not a spec ^^"), Error);   // parse error
+  EXPECT_TRUE(env.remove("zfp"));
+  EXPECT_FALSE(env.remove("zfp"));
+  EXPECT_THROW(env.concretize(), Error);           // no roots
+  env.add("zfp");
+  env.concretize();
+  EXPECT_TRUE(env.is_concretized());
+  env.add("raja");                                  // manifest change ->
+  EXPECT_FALSE(env.is_concretized());               // lock goes stale
+}
+
+TEST(Environment, LockfileRoundTrip) {
+  repo::Repository repo = workload::radiuss_repo();
+  TempDir tmp("lock");
+  Environment env(repo);
+  env.add("raja");
+  env.add("umpire");
+  env.concretize();
+  auto lockpath = tmp.path() / "splice.lock";
+  env.write_lockfile(lockpath);
+
+  Environment back = Environment::read_lockfile(repo, lockpath);
+  ASSERT_TRUE(back.is_concretized());
+  ASSERT_EQ(back.roots().size(), 2u);
+  EXPECT_EQ(back.lock().roots[0].dag_hash(), env.lock().roots[0].dag_hash());
+  EXPECT_EQ(back.lock().roots[1].dag_hash(), env.lock().roots[1].dag_hash());
+}
+
+TEST(Environment, LockfileRejectsTampering) {
+  repo::Repository repo = workload::radiuss_repo();
+  Environment env(repo);
+  env.add("zfp@1.0.0");
+  env.concretize();
+  json::Value lf = env.to_lockfile();
+  // Swap the concrete spec for a different package: violates the manifest.
+  Environment other(repo);
+  other.add("raja");
+  other.concretize();
+  lf["roots"].as_array()[0]["concrete"] =
+      other.lock().roots[0].to_json();
+  EXPECT_THROW(Environment::from_lockfile(repo, lf), ParseError);
+  EXPECT_THROW(Environment::from_lockfile(repo, json::parse("{}")), ParseError);
+}
+
+TEST(Environment, SplicedEnvironmentLockAndInstall) {
+  // The deployment flow at environment granularity: lock a spliced
+  // environment on the cluster and install it from the shared cache.
+  repo::Repository repo = workload::radiuss_repo();
+  TempDir build_host("ebh");
+  TempDir cache_dir("ecache");
+  TempDir cluster("ecluster");
+
+  binary::BuildCache cache(cache_dir.path());
+  std::vector<Spec> built;
+  {
+    binary::InstalledDatabase db{binary::InstallLayout(build_host.path())};
+    binary::Installer inst(db, workload::radiuss_abi_surface);
+    concretize::Concretizer c(repo);
+    for (const char* text : {"scr ^mpich", "xbraid ^mpich"}) {
+      Spec s = c.concretize(concretize::Request(text)).spec;
+      inst.install_from_source(s);
+      inst.push_to_cache(s, cache);
+      built.push_back(std::move(s));
+    }
+  }
+
+  Environment env(repo);
+  env.add("scr ^mpiabi");
+  env.add("xbraid ^mpiabi");
+  std::vector<const Spec*> reusable;
+  for (const Spec& s : built) reusable.push_back(&s);
+  const auto& result = env.concretize(splice_opts(), reusable);
+  EXPECT_TRUE(result.used_splice());
+  // One unified mpiabi build serves both roots.
+  EXPECT_EQ(result.build_names.size(), 1u);
+  EXPECT_EQ(result.roots[0].find("mpiabi")->hash,
+            result.roots[1].find("mpiabi")->hash);
+
+  // Lockfile survives with provenance intact.
+  TempDir lockdir("elock");
+  auto lockpath = lockdir.path() / "splice.lock";
+  env.write_lockfile(lockpath);
+  Environment locked = Environment::read_lockfile(repo, lockpath);
+  EXPECT_TRUE(locked.lock().roots[0].is_spliced());
+
+  // Install on the cluster: build mpiabi, rewire the rest, loader-check.
+  binary::InstalledDatabase db{binary::InstallLayout(cluster.path())};
+  binary::Installer inst(db, workload::radiuss_abi_surface);
+  for (const Spec& root : locked.lock().roots) {
+    for (std::size_t i = 0; i < root.nodes().size(); ++i) {
+      if (root.nodes()[i].name == "mpiabi" &&
+          !db.has(root.nodes()[i].hash)) {
+        inst.install_from_source(root.subdag(i));
+      }
+    }
+  }
+  binary::InstallReport report = locked.install_all(inst, cache);
+  EXPECT_GT(report.rewired, 0u);
+  EXPECT_EQ(report.built, 0u);
+  for (const Spec& root : locked.lock().roots) inst.verify_runnable(root);
+}
+
+}  // namespace
+}  // namespace splice::env

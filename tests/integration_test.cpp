@@ -1,0 +1,224 @@
+// Full-system integration tests: the paper's deployment and update
+// scenarios end to end on the RADIUSS workload — concretize with the ASP
+// solver, install mock binaries, publish to a buildcache, synthesize a
+// spliced solution on a "cluster", rewire binaries, and prove the result
+// loads (§1, §4, §5 combined).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "src/binary/buildcache.hpp"
+#include "src/binary/database.hpp"
+#include "src/binary/installer.hpp"
+#include "src/concretize/concretizer.hpp"
+#include "src/workload/caches.hpp"
+#include "src/workload/radiuss.hpp"
+
+namespace splice {
+namespace {
+
+namespace fs = std::filesystem;
+using binary::BuildCache;
+using binary::InstalledDatabase;
+using binary::Installer;
+using binary::InstallLayout;
+using binary::InstallReport;
+using concretize::Concretizer;
+using concretize::ConcretizerOptions;
+using concretize::ConcretizeResult;
+using concretize::Request;
+using concretize::ReuseEncoding;
+using spec::Spec;
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    path_ = fs::temp_directory_path() /
+            ("splice-int-" + tag + "-" + std::to_string(::getpid()) + "-" +
+             std::to_string(counter_++));
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  const fs::path& path() const { return path_; }
+
+ private:
+  static inline int counter_ = 0;
+  fs::path path_;
+};
+
+ConcretizerOptions splice_opts() {
+  ConcretizerOptions o;
+  o.encoding = ReuseEncoding::Indirect;
+  o.enable_splicing = true;
+  return o;
+}
+
+/// The full Cray MPICH deployment story (paper §1 and §4): build a stack
+/// against the general MPICH on a build server, publish binaries, and
+/// deploy on a cluster that only has an ABI-compatible vendor MPI — without
+/// rebuilding anything but the vendor MPI itself.
+TEST(Integration, CrayMpichDeploymentScenario) {
+  repo::Repository repo = workload::radiuss_repo();
+  TempDir build_host("buildhost");
+  TempDir cache_dir("cache");
+  TempDir cluster("cluster");
+
+  // --- build server: concretize and build laghos ^mpich, publish ---
+  BuildCache cache(cache_dir.path());
+  Spec built;
+  {
+    Concretizer c(repo);
+    built = c.concretize(Request("laghos ^mpich")).spec;
+    InstalledDatabase db{InstallLayout(build_host.path())};
+    Installer inst(db, workload::radiuss_abi_surface);
+    InstallReport r = inst.install_from_source(built);
+    EXPECT_GT(r.built, 3u);
+    inst.verify_runnable(built);
+    inst.push_to_cache(built, cache);
+  }
+  EXPECT_GE(cache.size(), 4u);
+
+  // --- cluster: request laghos ^mpiabi; solver must splice ---
+  Concretizer cluster_conc(repo, splice_opts());
+  cluster_conc.add_reusable(built);
+  ConcretizeResult deployed = cluster_conc.concretize(Request("laghos ^mpiabi"));
+  ASSERT_TRUE(deployed.used_splice());
+  // Only the vendor MPI needs building (RQ2's headline property).
+  ASSERT_EQ(deployed.build_names.size(), 1u);
+  EXPECT_EQ(deployed.build_names[0], "mpiabi");
+
+  // --- cluster install: build mpiabi locally, rewire the rest from cache ---
+  InstalledDatabase cluster_db{InstallLayout(cluster.path())};
+  Installer cluster_inst(cluster_db, workload::radiuss_abi_surface);
+  // The vendor MPI "exists only on the cluster": source-build its node.
+  for (std::size_t i = 0; i < deployed.spec.nodes().size(); ++i) {
+    if (deployed.spec.nodes()[i].name == "mpiabi") {
+      cluster_inst.install_from_source(deployed.spec.subdag(i));
+    }
+  }
+  InstallReport r = cluster_inst.rewire(deployed.spec, cache);
+  EXPECT_GT(r.rewired, 0u);
+  EXPECT_EQ(r.built, 0u);  // nothing rebuilt from source
+  // The deployed stack resolves all libraries and symbols.
+  cluster_inst.verify_runnable(deployed.spec);
+}
+
+/// The dependency-update scenario (§4): update zlib in an installed stack
+/// without "rebuilding the world" — only the new zlib is built; every
+/// dependent is rewired.
+TEST(Integration, DependencyUpdateWithoutRebuildTheWorld) {
+  // A dedicated small repo where the zlib developer vouches for ABI
+  // stability of 1.3.1 over 1.2.13 via can_splice.
+  repo::Repository r2;
+  r2.add(repo::PackageDef("zlib")
+             .version("1.3.1")
+             .version("1.2.13")
+             .can_splice("zlib@1.2.13", "@1.3.1"));
+  r2.add(repo::PackageDef("libpng").version("1.6.40").depends_on("zlib"));
+  r2.add(repo::PackageDef("imageapp")
+             .version("1.0")
+             .depends_on("libpng")
+             .depends_on("zlib"));
+  r2.validate();
+
+  TempDir host("update");
+  TempDir cache_dir("updatecache");
+  BuildCache cache(cache_dir.path());
+  InstalledDatabase db{InstallLayout(host.path())};
+  Installer inst(db);
+
+  // Install the stack against the old zlib.
+  Spec old_stack;
+  {
+    Concretizer c(r2);
+    old_stack = c.concretize(Request("imageapp ^zlib@1.2.13")).spec;
+    inst.install_from_source(old_stack);
+    inst.push_to_cache(old_stack, cache);
+  }
+
+  // Request the stack with the new zlib: splicing reuses both binaries.
+  ConcretizerOptions opts = splice_opts();
+  Concretizer c(r2, opts);
+  c.add_reusable(old_stack);
+  ConcretizeResult updated = c.concretize(Request("imageapp ^zlib@1.3.1"));
+  ASSERT_TRUE(updated.used_splice());
+  ASSERT_EQ(updated.build_names.size(), 1u);
+  EXPECT_EQ(updated.build_names[0], "zlib");
+  EXPECT_EQ(updated.spec.find("zlib")->concrete_version(),
+            spec::Version::parse("1.3.1"));
+
+  // Install: build the new zlib, rewire libpng and imageapp.
+  for (std::size_t i = 0; i < updated.spec.nodes().size(); ++i) {
+    if (updated.spec.nodes()[i].name == "zlib") {
+      inst.install_from_source(updated.spec.subdag(i));
+    }
+  }
+  InstallReport rep = inst.rewire(updated.spec, cache);
+  EXPECT_EQ(rep.rewired, 2u);  // libpng + imageapp
+  inst.verify_runnable(updated.spec);
+
+  // Reproducibility: the rewired nodes remember their original builds.
+  EXPECT_EQ(updated.spec.find("imageapp")->build_spec->dag_hash(),
+            old_stack.dag_hash());
+}
+
+/// RQ2-style sweep: every MPI-dependent RADIUSS root must produce a spliced
+/// solution against the local cache; non-MPI roots must not.
+TEST(Integration, SplicedSolutionsForAllMpiRoots) {
+  repo::Repository repo = workload::radiuss_repo();
+  auto cache_specs = workload::local_cache_specs(repo);
+
+  Concretizer c(repo, splice_opts());
+  for (const auto& s : cache_specs) c.add_reusable(s);
+
+  for (const std::string& root : workload::mpi_dependent_roots()) {
+    ConcretizeResult r = c.concretize(Request(root + " ^mpiabi"));
+    EXPECT_TRUE(r.used_splice()) << root;
+    // mpiabi is the only build.
+    EXPECT_EQ(r.build_names.size(), 1u) << root;
+  }
+  // The no-MPI control: py-shroud cannot splice (nothing to replace).
+  ConcretizeResult control = c.concretize(Request("py-shroud"));
+  EXPECT_FALSE(control.used_splice());
+  EXPECT_EQ(control.build_names.size(), 0u);
+}
+
+/// Install a spliced RADIUSS solution end to end and run the loader check.
+TEST(Integration, RewiredRadiussStackLoads) {
+  repo::Repository repo = workload::radiuss_repo();
+  TempDir host("rad");
+  TempDir cache_dir("radcache");
+  BuildCache cache(cache_dir.path());
+  InstalledDatabase db{InstallLayout(host.path())};
+  Installer inst(db, workload::radiuss_abi_surface);
+
+  Spec built;
+  {
+    Concretizer c(repo);
+    built = c.concretize(Request("scr ^mpich")).spec;
+    inst.install_from_source(built);
+    inst.push_to_cache(built, cache);
+  }
+
+  Concretizer c(repo, splice_opts());
+  c.add_reusable(built);
+  ConcretizeResult r = c.concretize(Request("scr ^mpiabi"));
+  ASSERT_TRUE(r.used_splice());
+  for (std::size_t i = 0; i < r.spec.nodes().size(); ++i) {
+    if (r.spec.nodes()[i].name == "mpiabi") {
+      inst.install_from_source(r.spec.subdag(i));
+    }
+  }
+  inst.rewire(r.spec, cache);
+  inst.verify_runnable(r.spec);
+
+  // The spliced scr and the original scr share their binary's provenance:
+  // the spliced node's build spec hash is the cached scr.
+  EXPECT_EQ(r.spec.find("scr")->build_spec->dag_hash(), built.dag_hash());
+}
+
+}  // namespace
+}  // namespace splice

@@ -1,0 +1,101 @@
+// Unit tests for the small JSON library.
+#include <gtest/gtest.h>
+
+#include "src/support/error.hpp"
+#include "src/support/json.hpp"
+
+namespace splice::json {
+namespace {
+
+TEST(Json, ParseScalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_EQ(parse("true").as_bool(), true);
+  EXPECT_EQ(parse("false").as_bool(), false);
+  EXPECT_EQ(parse("42").as_int(), 42);
+  EXPECT_EQ(parse("-7").as_int(), -7);
+  EXPECT_DOUBLE_EQ(parse("2.5").as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(parse("1e3").as_double(), 1000.0);
+  EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParseContainers) {
+  Value v = parse(R"({"name":"zlib","versions":[1,2,3],"meta":{"x":true}})");
+  EXPECT_EQ(v.find("name")->as_string(), "zlib");
+  EXPECT_EQ(v.find("versions")->as_array().size(), 3u);
+  EXPECT_EQ(v.find("meta")->find("x")->as_bool(), true);
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, RoundTripCompact) {
+  const std::string doc =
+      R"({"a":1,"b":[true,null,"s"],"c":{"nested":[{"k":-2}]}})";
+  EXPECT_EQ(parse(doc).dump(), doc);
+}
+
+TEST(Json, KeyOrderPreserved) {
+  Value v = parse(R"({"z":1,"a":2,"m":3})");
+  EXPECT_EQ(v.dump(), R"({"z":1,"a":2,"m":3})");
+}
+
+TEST(Json, StringEscapes) {
+  Value v = parse(R"("line\nquote\"back\\slash\ttab")");
+  EXPECT_EQ(v.as_string(), "line\nquote\"back\\slash\ttab");
+  // Round trip through dump.
+  EXPECT_EQ(parse(v.dump()).as_string(), v.as_string());
+}
+
+TEST(Json, UnicodeHandling) {
+  // Raw UTF-8 bytes pass through untouched...
+  EXPECT_EQ(parse("\"\xE2\x98\x83\"").as_string(), "\xE2\x98\x83");
+  // ...but non-ASCII \u escapes are out of scope and rejected.
+  EXPECT_THROW(parse(R"("\u2603")"), ParseError);
+  EXPECT_EQ(parse(R"("A")").as_string(), "A");
+}
+
+TEST(Json, BuildProgrammatically) {
+  Value v;
+  v["spec"]["name"] = "hdf5";
+  v["spec"]["version"] = "1.14.5";
+  v["spec"]["deps"] = Array{Value("zlib"), Value("mpich")};
+  EXPECT_EQ(v.dump(),
+            R"({"spec":{"name":"hdf5","version":"1.14.5","deps":["zlib","mpich"]}})");
+}
+
+TEST(Json, Equality) {
+  EXPECT_EQ(parse("[1,2,3]"), parse("[1, 2, 3]"));
+  EXPECT_FALSE(parse("[1,2,3]") == parse("[1,2]"));
+  EXPECT_FALSE(parse("{\"a\":1}") == parse("{\"a\":2}"));
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_THROW(parse(""), ParseError);
+  EXPECT_THROW(parse("{"), ParseError);
+  EXPECT_THROW(parse("[1,]"), ParseError);
+  EXPECT_THROW(parse("{\"a\" 1}"), ParseError);
+  EXPECT_THROW(parse("tru"), ParseError);
+  EXPECT_THROW(parse("1 2"), ParseError);
+  EXPECT_THROW(parse("\"unterminated"), ParseError);
+}
+
+TEST(Json, TypeErrors) {
+  EXPECT_THROW(parse("1").as_string(), Error);
+  EXPECT_THROW(parse("\"s\"").as_int(), Error);
+  EXPECT_THROW(parse("[1]").as_object(), Error);
+}
+
+TEST(Json, PrettyPrintParsesBack) {
+  Value v = parse(R"({"a":[1,{"b":2}],"c":"d"})");
+  EXPECT_EQ(parse(v.dump_pretty()), v);
+}
+
+TEST(Json, CopyOnWriteIsolation) {
+  Value a;
+  a["k"] = 1;
+  Value b = a;          // shares the object
+  b["k"] = 2;           // must not affect a
+  EXPECT_EQ(a.find("k")->as_int(), 1);
+  EXPECT_EQ(b.find("k")->as_int(), 2);
+}
+
+}  // namespace
+}  // namespace splice::json

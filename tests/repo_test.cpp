@@ -1,0 +1,148 @@
+// Unit tests for the package DSL and repository (paper §3.2, §5.2).
+#include <gtest/gtest.h>
+
+#include "src/repo/repository.hpp"
+#include "src/support/error.hpp"
+
+namespace splice::repo {
+namespace {
+
+/// The example package from Figure 1 of the paper.
+PackageDef figure1_example() {
+  return PackageDef("example")
+      .version("1.1.0")
+      .version("1.0.0")
+      .variant("bzip", true)
+      .depends_on("bzip2", "+bzip")
+      .depends_on("zlib@1.2", "@1.0.0")
+      .depends_on("zlib@1.3", "@1.1.0")
+      .depends_on("mpi")
+      .can_splice("example@1.0.0", "@1.1.0")
+      .can_splice("example-ng@2.3.2+compat", "@1.1.0+bzip");
+}
+
+TEST(Package, Figure1Directives) {
+  PackageDef p = figure1_example();
+  EXPECT_EQ(p.versions().size(), 2u);
+  EXPECT_EQ(p.versions()[0].version.str(), "1.1.0");
+  ASSERT_EQ(p.variants().size(), 1u);
+  EXPECT_EQ(p.variants()[0].default_value, "true");
+  EXPECT_EQ(p.dependencies().size(), 4u);
+  EXPECT_EQ(p.splices().size(), 2u);
+}
+
+TEST(Package, WhenSpecsAnchorToSelf) {
+  PackageDef p = figure1_example();
+  const DependencyDecl& bzip_dep = p.dependencies()[0];
+  ASSERT_TRUE(bzip_dep.when.has_value());
+  EXPECT_EQ(bzip_dep.when->root().name, "example");
+  EXPECT_EQ(bzip_dep.when->root().variants.at("bzip"), "true");
+
+  const CanSpliceDecl& cs = p.splices()[1];
+  EXPECT_EQ(cs.target.root().name, "example-ng");
+  ASSERT_TRUE(cs.when.has_value());
+  EXPECT_EQ(cs.when->root().name, "example");
+  EXPECT_EQ(cs.when->root().variants.at("bzip"), "true");
+}
+
+TEST(Package, ConditionalVersionedDependencies) {
+  PackageDef p = figure1_example();
+  const DependencyDecl& old_zlib = p.dependencies()[1];
+  EXPECT_EQ(old_zlib.target.root().name, "zlib");
+  EXPECT_TRUE(old_zlib.target.root().versions.includes(
+      spec::Version::parse("1.2.11")));
+  EXPECT_TRUE(old_zlib.when->root().versions.includes(
+      spec::Version::parse("1.0.0")));
+}
+
+TEST(Package, ValuedVariants) {
+  PackageDef p("mpich");
+  p.version("3.4.3").variant("pmi", "pmix", {"pmix", "pmi2", "simple"});
+  const VariantDecl* v = p.find_variant("pmi");
+  ASSERT_NE(v, nullptr);
+  EXPECT_FALSE(v->boolean);
+  EXPECT_EQ(v->default_value, "pmix");
+  EXPECT_EQ(v->allowed.size(), 3u);
+}
+
+TEST(Package, InvalidDirectives) {
+  EXPECT_THROW(PackageDef("BadName"), PackageError);
+  EXPECT_THROW(PackageDef("p").version("1.0").version("1.0"), PackageError);
+  EXPECT_THROW(PackageDef("p").variant("x", true).variant("x", false),
+               PackageError);
+  EXPECT_THROW(PackageDef("p").depends_on("p"), PackageError);  // self-dep
+  EXPECT_THROW(PackageDef("p").variant("v", "bad", {"a", "b"}), PackageError);
+}
+
+TEST(Package, BuildDependencies) {
+  PackageDef p("hdf5");
+  p.version("1.14").depends_on_build("cmake@3.20:");
+  EXPECT_EQ(p.dependencies()[0].type, spec::DepType::Build);
+}
+
+TEST(Repository, VirtualsAndProviders) {
+  Repository repo;
+  repo.add(PackageDef("mpich").version("3.4.3").provides("mpi"));
+  repo.add(PackageDef("openmpi").version("4.1").provides("mpi"));
+  repo.add(PackageDef("zlib").version("1.2.11"));
+  EXPECT_TRUE(repo.is_virtual("mpi"));
+  EXPECT_FALSE(repo.is_virtual("zlib"));
+  auto prov = repo.providers("mpi");
+  ASSERT_EQ(prov.size(), 2u);
+  EXPECT_EQ(prov[0], "mpich");
+  EXPECT_EQ(prov[1], "openmpi");
+}
+
+TEST(Repository, DuplicateRejected) {
+  Repository repo;
+  repo.add(PackageDef("zlib").version("1.2"));
+  EXPECT_THROW(repo.add(PackageDef("zlib").version("1.3")), PackageError);
+}
+
+TEST(Repository, ValidateCatchesDanglingDeps) {
+  Repository repo;
+  repo.add(PackageDef("app").version("1.0").depends_on("nosuchlib"));
+  EXPECT_THROW(repo.validate(), PackageError);
+}
+
+TEST(Repository, ValidateCatchesVirtualWithoutProviders) {
+  Repository repo;
+  repo.declare_virtual("mpi");
+  repo.add(PackageDef("app").version("1.0").depends_on("mpi"));
+  EXPECT_THROW(repo.validate(), PackageError);
+}
+
+TEST(Repository, ValidateCatchesDanglingSpliceTarget) {
+  Repository repo;
+  repo.add(PackageDef("vendor-mpi").version("1.0").can_splice("mpich@3.4.3"));
+  EXPECT_THROW(repo.validate(), PackageError);
+}
+
+TEST(Repository, ValidateCatchesVersionlessPackage) {
+  Repository repo;
+  repo.add(PackageDef("empty"));
+  EXPECT_THROW(repo.validate(), PackageError);
+}
+
+TEST(Repository, ValidatePassesOnConsistentRepo) {
+  Repository repo;
+  repo.add(PackageDef("zlib").version("1.2.11").version("1.3.1"));
+  repo.add(PackageDef("mpich").version("3.4.3").provides("mpi"));
+  repo.add(figure1_example());
+  repo.add(PackageDef("bzip2").version("1.0.8"));
+  repo.add(PackageDef("example-ng").version("2.3.2").variant("compat", true));
+  EXPECT_NO_THROW(repo.validate());
+}
+
+TEST(Repository, LookupApi) {
+  Repository repo;
+  repo.add(PackageDef("zlib").version("1.2"));
+  EXPECT_NE(repo.find("zlib"), nullptr);
+  EXPECT_EQ(repo.find("nope"), nullptr);
+  EXPECT_NO_THROW(repo.get("zlib"));
+  EXPECT_THROW(repo.get("nope"), PackageError);
+  EXPECT_EQ(repo.size(), 1u);
+}
+
+}  // namespace
+}  // namespace splice::repo

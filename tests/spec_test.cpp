@@ -1,0 +1,363 @@
+// Unit + property tests for the Spec DAG model: parsing (Table 1 of the
+// paper), satisfies/intersects/constrain, hashing, serialization.
+#include <gtest/gtest.h>
+
+#include "src/spec/spec.hpp"
+#include "src/support/error.hpp"
+
+namespace splice::spec {
+namespace {
+
+// ---- parsing: every row of Table 1 ----
+
+TEST(SpecParse, VersionSigil) {
+  Spec s = Spec::parse("hdf5@1.14.5");
+  EXPECT_EQ(s.root().name, "hdf5");
+  EXPECT_TRUE(s.root().versions.includes(Version::parse("1.14.5.2")));
+  EXPECT_FALSE(s.root().versions.includes(Version::parse("1.15")));
+}
+
+TEST(SpecParse, EnableVariant) {
+  Spec s = Spec::parse("hdf5+cxx");
+  EXPECT_EQ(s.root().variants.at("cxx"), "true");
+}
+
+TEST(SpecParse, DisableVariant) {
+  Spec s = Spec::parse("hdf5~mpi");
+  EXPECT_EQ(s.root().variants.at("mpi"), "false");
+}
+
+TEST(SpecParse, LinkDependency) {
+  Spec s = Spec::parse("hdf5 ^zlib");
+  ASSERT_EQ(s.nodes().size(), 2u);
+  ASSERT_EQ(s.root().deps.size(), 1u);
+  EXPECT_EQ(s.root().deps[0].type, DepType::Link);
+  EXPECT_EQ(s.nodes()[s.root().deps[0].child].name, "zlib");
+}
+
+TEST(SpecParse, BuildDependency) {
+  Spec s = Spec::parse("hdf5%clang");
+  ASSERT_EQ(s.root().deps.size(), 1u);
+  EXPECT_EQ(s.root().deps[0].type, DepType::Build);
+  EXPECT_EQ(s.nodes()[1].name, "clang");
+}
+
+TEST(SpecParse, KeyValueAndTarget) {
+  Spec s = Spec::parse("hdf5 target=icelake api=default os=centos8");
+  EXPECT_EQ(s.root().target, "icelake");
+  EXPECT_EQ(s.root().os, "centos8");
+  EXPECT_EQ(s.root().variants.at("api"), "default");
+}
+
+TEST(SpecParse, FullExample) {
+  // The concretization example from paper §3.3.
+  Spec s = Spec::parse(
+      "example@1.0.0 +bzip os=centos8 target=skylake"
+      " ^bzip2@1.0.8 ~debug+pic+shared"
+      " ^zlib@1.2.11 +optimize+pic+shared"
+      " ^mpich@3.1 pmi=pmix");
+  EXPECT_EQ(s.nodes().size(), 4u);
+  EXPECT_EQ(s.root().deps.size(), 3u);
+  const SpecNode* mpich = s.find("mpich");
+  ASSERT_NE(mpich, nullptr);
+  EXPECT_EQ(mpich->variants.at("pmi"), "pmix");
+  const SpecNode* bzip2 = s.find("bzip2");
+  EXPECT_EQ(bzip2->variants.at("debug"), "false");
+  EXPECT_EQ(bzip2->variants.at("pic"), "true");
+}
+
+TEST(SpecParse, GluedAttributes) {
+  Spec s = Spec::parse("example@1.1.0+bzip~debug");
+  EXPECT_TRUE(s.root().versions.includes(Version::parse("1.1.0")));
+  EXPECT_EQ(s.root().variants.at("bzip"), "true");
+  EXPECT_EQ(s.root().variants.at("debug"), "false");
+}
+
+TEST(SpecParse, DuplicateDepNameReusesNode) {
+  // Two mentions of zlib constrain the same node.
+  Spec s = Spec::parse("trilinos ^zlib@1.2 ^zlib+shared");
+  EXPECT_EQ(s.nodes().size(), 2u);
+  const SpecNode* z = s.find("zlib");
+  EXPECT_TRUE(z->versions.includes(Version::parse("1.2.5")));
+  EXPECT_EQ(z->variants.at("shared"), "true");
+}
+
+TEST(SpecParse, Errors) {
+  EXPECT_THROW(Spec::parse(""), ParseError);
+  EXPECT_THROW(Spec::parse("  "), ParseError);
+  EXPECT_THROW(Spec::parse("hdf5 zlib"), ParseError);      // bare second name
+  EXPECT_THROW(Spec::parse("hdf5@"), ParseError);          // empty version
+  EXPECT_THROW(Spec::parse("hdf5+"), ParseError);          // empty variant
+  EXPECT_THROW(Spec::parse("^zlib"), ParseError);          // dep sigil first
+  EXPECT_THROW(Spec::parse("Hdf5"), ParseError);           // uppercase name
+}
+
+TEST(SpecParse, RoundTripThroughStr) {
+  for (const char* text :
+       {"hdf5", "hdf5@1.14.5", "hdf5@1.14.5+cxx~mpi",
+        "example@1.0.0+bzip os=centos8 target=skylake ^zlib@1.2.11+pic"}) {
+    Spec s1 = Spec::parse(text);
+    Spec s2 = Spec::parse(s1.str());
+    EXPECT_EQ(s1.to_json(), s2.to_json()) << text << " -> " << s1.str();
+  }
+}
+
+// ---- satisfies / intersects / constrain ----
+
+Spec concrete_example() {
+  Spec s = Spec::parse(
+      "example@=1.1.0 +bzip os=centos8 target=skylake"
+      " ^zlib@=1.2.11 +pic os=centos8 target=skylake"
+      " ^mpich@=3.4.3 os=centos8 target=skylake");
+  s.add_dep(*s.find_index("example"), *s.find_index("zlib"), DepType::Link);
+  s.finalize_concrete();
+  return s;
+}
+
+TEST(SpecSatisfies, NodeLevel) {
+  Spec s = concrete_example();
+  EXPECT_TRUE(s.satisfies(Spec::parse("example")));
+  EXPECT_TRUE(s.satisfies(Spec::parse("example@1.1")));
+  EXPECT_TRUE(s.satisfies(Spec::parse("example@1.0:1.2")));
+  EXPECT_TRUE(s.satisfies(Spec::parse("example+bzip")));
+  EXPECT_FALSE(s.satisfies(Spec::parse("example~bzip")));
+  EXPECT_FALSE(s.satisfies(Spec::parse("example@1.0.0")));
+  EXPECT_TRUE(s.satisfies(Spec::parse("example target=skylake")));
+  EXPECT_FALSE(s.satisfies(Spec::parse("example target=zen2")));
+}
+
+TEST(SpecSatisfies, DagLevel) {
+  Spec s = concrete_example();
+  EXPECT_TRUE(s.satisfies(Spec::parse("example ^zlib@1.2")));
+  EXPECT_TRUE(s.satisfies(Spec::parse("example ^mpich ^zlib+pic")));
+  EXPECT_FALSE(s.satisfies(Spec::parse("example ^zlib@1.3")));
+  EXPECT_FALSE(s.satisfies(Spec::parse("example ^openmpi")));
+  // Constraint on a dep alone.
+  EXPECT_TRUE(s.satisfies(Spec::parse("zlib@1.2.11")));
+}
+
+TEST(SpecSatisfies, AbstractDoesNotSatisfyTighter) {
+  Spec loose = Spec::parse("example");
+  EXPECT_FALSE(loose.satisfies(Spec::parse("example@1.1.0")));
+  EXPECT_TRUE(Spec::parse("example@1.1.0").satisfies(loose));
+}
+
+TEST(SpecIntersects, Basics) {
+  EXPECT_TRUE(Spec::parse("hdf5@1.2:1.4").intersects(Spec::parse("hdf5@1.3:")));
+  EXPECT_FALSE(Spec::parse("hdf5@1.2").intersects(Spec::parse("hdf5@1.3")));
+  EXPECT_FALSE(Spec::parse("hdf5+cxx").intersects(Spec::parse("hdf5~cxx")));
+  // Different packages in the DAG don't clash.
+  EXPECT_TRUE(Spec::parse("hdf5 ^zlib@1.2").intersects(Spec::parse("hdf5 ^mpich")));
+  EXPECT_FALSE(
+      Spec::parse("hdf5 ^zlib@1.2").intersects(Spec::parse("hdf5 ^zlib@1.3")));
+}
+
+TEST(SpecConstrain, MergesAttributesAndDeps) {
+  Spec s = Spec::parse("hdf5@1.10:");
+  s.constrain(Spec::parse("hdf5@:1.14 +cxx ^zlib@1.2"));
+  EXPECT_TRUE(s.root().versions.includes(Version::parse("1.12")));
+  EXPECT_FALSE(s.root().versions.includes(Version::parse("1.15")));
+  EXPECT_EQ(s.root().variants.at("cxx"), "true");
+  ASSERT_NE(s.find("zlib"), nullptr);
+}
+
+TEST(SpecConstrain, ConflictsThrow) {
+  Spec s = Spec::parse("hdf5+cxx");
+  EXPECT_THROW(s.constrain(Spec::parse("hdf5~cxx")), SpecError);
+  Spec s2 = Spec::parse("hdf5@1.2");
+  EXPECT_THROW(s2.constrain(Spec::parse("hdf5@2.0")), SpecError);
+  Spec s3 = Spec::parse("hdf5 target=skylake");
+  EXPECT_THROW(s3.constrain(Spec::parse("hdf5 target=zen2")), SpecError);
+}
+
+// ---- hashing ----
+
+TEST(SpecHash, StableAndSensitive) {
+  Spec a = concrete_example();
+  Spec b = concrete_example();
+  EXPECT_EQ(a.dag_hash(), b.dag_hash());
+  EXPECT_EQ(a.dag_hash().size(), 26u);
+
+  // Changing a leaf changes every ancestor hash (Merkle property).
+  Spec c = Spec::parse(
+      "example@=1.1.0 +bzip os=centos8 target=skylake"
+      " ^zlib@=1.2.12 +pic os=centos8 target=skylake"
+      " ^mpich@=3.4.3 os=centos8 target=skylake");
+  c.add_dep(0, *c.find_index("zlib"), DepType::Link);
+  c.finalize_concrete();
+  EXPECT_NE(a.dag_hash(), c.dag_hash());
+  EXPECT_NE(a.find("zlib")->hash, c.find("zlib")->hash);
+  EXPECT_EQ(a.find("mpich")->hash, c.find("mpich")->hash);  // untouched leaf
+}
+
+TEST(SpecHash, IndependentOfNodeInsertionOrder) {
+  // Same logical DAG built in two different node orders.
+  Spec a = Spec::make("app");
+  std::size_t z1 = a.add_node([] {
+    SpecNode n;
+    n.name = "zlib";
+    return n;
+  }());
+  std::size_t m1 = a.add_node([] {
+    SpecNode n;
+    n.name = "mpich";
+    return n;
+  }());
+  a.add_dep(0, z1, DepType::Link);
+  a.add_dep(0, m1, DepType::Link);
+
+  Spec b = Spec::make("app");
+  std::size_t m2 = b.add_node([] {
+    SpecNode n;
+    n.name = "mpich";
+    return n;
+  }());
+  std::size_t z2 = b.add_node([] {
+    SpecNode n;
+    n.name = "zlib";
+    return n;
+  }());
+  b.add_dep(0, m2, DepType::Link);
+  b.add_dep(0, z2, DepType::Link);
+
+  for (Spec* s : {&a, &b}) {
+    for (SpecNode& n : s->nodes()) {
+      n.versions = VersionConstraint::exactly(Version::parse("1.0"));
+      n.os = "linux";
+      n.target = "x86_64";
+    }
+    s->finalize_concrete();
+  }
+  EXPECT_EQ(a.dag_hash(), b.dag_hash());
+}
+
+TEST(SpecHash, RequiresConcreteness) {
+  Spec s = Spec::parse("hdf5@1.2:1.4");
+  EXPECT_THROW(s.finalize_concrete(), SpecError);
+}
+
+TEST(SpecHash, BuildDepsDoNotAffectHash) {
+  // The DAG hash identifies the runtime artifact: link-run deps contribute,
+  // build-only deps do not (so pruning build deps after a splice keeps the
+  // hash aligned with the binary).
+  auto build = [](DepType t) {
+    Spec s = Spec::make("app");
+    SpecNode n;
+    n.name = "zlib";
+    std::size_t z = s.add_node(std::move(n));
+    s.add_dep(0, z, t);
+    for (SpecNode& node : s.nodes()) {
+      node.versions = VersionConstraint::exactly(Version::parse("1.0"));
+      node.os = "linux";
+      node.target = "x86_64";
+    }
+    s.finalize_concrete();
+    return s;
+  };
+  Spec with_link = build(DepType::Link);
+  Spec with_build = build(DepType::Build);
+  EXPECT_NE(with_link.dag_hash(), with_build.dag_hash());  // link dep counts
+  Spec bare = build(DepType::Build);
+  EXPECT_EQ(with_build.dag_hash(), bare.dag_hash());
+  // Dropping the build dep leaves the hash unchanged.
+  Spec pruned = with_build;
+  pruned.root().deps.clear();
+  pruned.finalize_concrete();
+  EXPECT_EQ(pruned.dag_hash(), with_build.dag_hash());
+}
+
+// ---- structure ----
+
+TEST(SpecDag, TopologicalOrder) {
+  Spec s = concrete_example();
+  auto order = s.topological_order();
+  // Children appear before parents.
+  std::vector<std::size_t> pos(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (std::size_t n = 0; n < s.nodes().size(); ++n) {
+    for (const DepEdge& e : s.nodes()[n].deps) {
+      EXPECT_LT(pos[e.child], pos[n]);
+    }
+  }
+}
+
+TEST(SpecDag, CycleDetection) {
+  Spec s = Spec::make("a");
+  SpecNode b;
+  b.name = "b";
+  std::size_t bi = s.add_node(std::move(b));
+  s.add_dep(0, bi, DepType::Link);
+  s.add_dep(bi, 0, DepType::Link);
+  EXPECT_THROW(s.topological_order(), SpecError);
+}
+
+TEST(SpecDag, Subdag) {
+  Spec s = concrete_example();
+  Spec z = s.subdag(*s.find_index("zlib"));
+  EXPECT_EQ(z.nodes().size(), 1u);
+  EXPECT_EQ(z.root().name, "zlib");
+  EXPECT_EQ(z.root().hash, s.find("zlib")->hash);
+}
+
+TEST(SpecDag, SubdagKeepsSharedStructure) {
+  // app -> lib -> zlib, app -> zlib: subdag(lib) contains zlib once.
+  Spec s = Spec::make("app");
+  SpecNode lib;
+  lib.name = "lib";
+  SpecNode zlib;
+  zlib.name = "zlib";
+  std::size_t li = s.add_node(std::move(lib));
+  std::size_t zi = s.add_node(std::move(zlib));
+  s.add_dep(0, li, DepType::Link);
+  s.add_dep(0, zi, DepType::Link);
+  s.add_dep(li, zi, DepType::Link);
+  Spec sub = s.subdag(li);
+  EXPECT_EQ(sub.nodes().size(), 2u);
+  EXPECT_EQ(sub.root().name, "lib");
+  EXPECT_NE(sub.find("zlib"), nullptr);
+}
+
+// ---- serialization ----
+
+TEST(SpecJson, RoundTrip) {
+  Spec s = concrete_example();
+  Spec back = Spec::from_json(s.to_json());
+  EXPECT_EQ(s.to_json(), back.to_json());
+  EXPECT_EQ(back.dag_hash(), s.dag_hash());
+  EXPECT_TRUE(back.is_concrete());
+}
+
+TEST(SpecJson, RoundTripWithBuildSpec) {
+  Spec s = concrete_example();
+  Spec provenance = concrete_example();
+  s.nodes()[0].build_spec = std::make_shared<Spec>(provenance);
+  Spec back = Spec::from_json(s.to_json());
+  ASSERT_NE(back.root().build_spec, nullptr);
+  EXPECT_TRUE(back.is_spliced());
+  EXPECT_EQ(back.root().build_spec->dag_hash(), provenance.dag_hash());
+}
+
+TEST(SpecJson, MalformedInputs) {
+  EXPECT_THROW(Spec::from_json(json::parse("{}")), ParseError);
+  EXPECT_THROW(Spec::from_json(json::parse(R"({"nodes":[{}]})")), ParseError);
+}
+
+TEST(SpecTree, RendersAllNodes) {
+  Spec s = concrete_example();
+  std::string t = s.tree();
+  EXPECT_NE(t.find("example"), std::string::npos);
+  EXPECT_NE(t.find("^zlib"), std::string::npos);
+  EXPECT_NE(t.find("^mpich"), std::string::npos);
+}
+
+TEST(SpecConcreteness, Checks) {
+  EXPECT_FALSE(Spec::parse("hdf5@1.2").is_concrete());
+  EXPECT_TRUE(concrete_example().is_concrete());
+  Spec s = Spec::parse("hdf5@=1.2 os=linux target=x86_64");
+  EXPECT_FALSE(s.is_concrete());  // no hash yet
+  s.finalize_concrete();
+  EXPECT_TRUE(s.is_concrete());
+}
+
+}  // namespace
+}  // namespace splice::spec

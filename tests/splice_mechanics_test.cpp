@@ -1,0 +1,277 @@
+// Integration tests for splice mechanics, reproducing Figure 2 of the paper:
+// the T / H / H' / S / Z scenario with transitive and intransitive splices
+// and build-provenance bookkeeping.
+#include <gtest/gtest.h>
+
+#include "src/concretize/splice.hpp"
+#include "src/support/error.hpp"
+
+namespace splice::concretize {
+namespace {
+
+using spec::DepType;
+using spec::Spec;
+using spec::Version;
+
+Spec make_concrete(const std::string& text) {
+  Spec s = Spec::parse(text);
+  for (auto& n : s.nodes()) {
+    if (!n.versions.concrete()) {
+      // Tests write @=v for exactness; default anything left to 1.0.
+      n.versions = spec::VersionConstraint::exactly(Version::parse("1.0"));
+    }
+    n.os = "linux";
+    n.target = "x86_64";
+  }
+  s.finalize_concrete();
+  return s;
+}
+
+/// T ^H ^Z@1.0 with H also depending on Z (the gray rectangular DAG).
+Spec figure2_target() {
+  Spec t = make_concrete("t ^h ^z@=1.0");
+  t.add_dep(*t.find_index("h"), *t.find_index("z"), DepType::Link);
+  t.finalize_concrete();
+  return t;
+}
+
+/// H' ^S ^Z@1.1 (the gray rounded DAG).
+Spec figure2_replacement() {
+  Spec h = make_concrete("hprime ^s ^z@=1.1");
+  return h;
+}
+
+TEST(SpliceMechanics, TransitiveSpliceFigure2Blue) {
+  Spec t = figure2_target();
+  Spec hp = figure2_replacement();
+  Spec result = splice(t, "h", hp, /*transitive=*/true);
+
+  // Resulting DAG: T ^H' ^S ^Z@1.1 -- H is gone, Z upgraded everywhere.
+  EXPECT_EQ(result.root().name, "t");
+  EXPECT_EQ(result.find("h"), nullptr);
+  ASSERT_NE(result.find("hprime"), nullptr);
+  ASSERT_NE(result.find("s"), nullptr);
+  const auto* z = result.find("z");
+  ASSERT_NE(z, nullptr);
+  EXPECT_EQ(z->concrete_version(), Version::parse("1.1"));
+  EXPECT_TRUE(result.is_concrete());
+
+  // T changed (new deps) -> fresh hash + provenance to the original T.
+  EXPECT_NE(result.dag_hash(), t.dag_hash());
+  ASSERT_NE(result.root().build_spec, nullptr);
+  EXPECT_EQ(result.root().build_spec->dag_hash(), t.dag_hash());
+
+  // H' itself did not change: same hash as the prebuilt H', no provenance.
+  EXPECT_EQ(result.find("hprime")->hash, hp.dag_hash());
+  EXPECT_EQ(result.find("hprime")->build_spec, nullptr);
+  EXPECT_EQ(result.find("z")->hash, hp.find("z")->hash);
+}
+
+TEST(SpliceMechanics, IntransitiveSpliceFigure2Red) {
+  // First transitively splice H' into T, then splice Z@1.0 back in:
+  // the paper's recipe for satisfying T ^H' ^Z@1.0.
+  Spec t = figure2_target();
+  Spec hp = figure2_replacement();
+  Spec blue = splice(t, "h", hp, /*transitive=*/true);
+
+  Spec z10 = make_concrete("z@=1.0");
+  Spec red = splice(blue, "z", z10, /*transitive=*/false);
+
+  const auto* z = red.find("z");
+  ASSERT_NE(z, nullptr);
+  EXPECT_EQ(z->concrete_version(), Version::parse("1.0"));
+  // H' now depends on Z@1.0 -> it changed, gets provenance to original H'.
+  const auto* hprime = red.find("hprime");
+  ASSERT_NE(hprime, nullptr);
+  EXPECT_NE(hprime->hash, hp.dag_hash());
+  ASSERT_NE(hprime->build_spec, nullptr);
+  EXPECT_EQ(hprime->build_spec->dag_hash(), hp.dag_hash());
+
+  // T's provenance still points at the ORIGINAL T build (provenance does not
+  // chain through intermediate splices).
+  ASSERT_NE(red.root().build_spec, nullptr);
+  EXPECT_EQ(red.root().build_spec->dag_hash(), t.dag_hash());
+}
+
+TEST(SpliceMechanics, IntransitiveDirectKeepsSharedDeps) {
+  // Directly splice H' intransitively: shared Z stays at the target's 1.0,
+  // and H' is rewired to it.
+  Spec t = figure2_target();
+  Spec hp = figure2_replacement();
+  Spec result = splice(t, "h", hp, /*transitive=*/false);
+
+  EXPECT_EQ(result.find("z")->concrete_version(), Version::parse("1.0"));
+  EXPECT_EQ(result.find("z")->hash, t.find("z")->hash);  // untouched
+  ASSERT_NE(result.find("hprime")->build_spec, nullptr);
+  EXPECT_EQ(result.find("hprime")->build_spec->dag_hash(), hp.dag_hash());
+  // S is reachable via H'.
+  EXPECT_NE(result.find("s"), nullptr);
+}
+
+TEST(SpliceMechanics, SameNameVersionUpgrade) {
+  // The dependency-update scenario (paper §4): swap zlib 1.0 -> 1.1 without
+  // rebuilding the dependents.
+  Spec t = figure2_target();
+  Spec z11 = make_concrete("z@=1.1");
+  Spec result = splice(t, "z", z11, /*transitive=*/true);
+
+  EXPECT_EQ(result.find("z")->concrete_version(), Version::parse("1.1"));
+  // Both T and H changed (both depended on Z).
+  ASSERT_NE(result.root().build_spec, nullptr);
+  ASSERT_NE(result.find("h")->build_spec, nullptr);
+  EXPECT_EQ(result.find("h")->build_spec->root().name, "h");
+  EXPECT_NE(result.find("h")->hash, t.find("h")->hash);
+}
+
+TEST(SpliceMechanics, UnrelatedSubtreesKeepHashes) {
+  // app -> {liba -> zlib, libb}; splicing zlib leaves libb untouched.
+  Spec app = make_concrete("app ^liba ^libb ^zlib@=1.0");
+  app.add_dep(*app.find_index("liba"), *app.find_index("zlib"), DepType::Link);
+  app.finalize_concrete();
+  Spec z = make_concrete("zlib@=1.1");
+  Spec result = splice(app, "zlib", z, true);
+
+  EXPECT_EQ(result.find("libb")->hash, app.find("libb")->hash);
+  EXPECT_EQ(result.find("libb")->build_spec, nullptr);
+  EXPECT_NE(result.find("liba")->hash, app.find("liba")->hash);
+  EXPECT_NE(result.find("liba")->build_spec, nullptr);
+}
+
+TEST(SpliceMechanics, BuildDepsDroppedFromChangedNodes) {
+  Spec app = Spec::parse("app@=2.0 ^zlib@=1.0 %cmake@=3.20");
+  for (auto& n : app.nodes()) {
+    n.os = "linux";
+    n.target = "x86_64";
+  }
+  app.finalize_concrete();
+  ASSERT_EQ(app.root().deps.size(), 2u);
+
+  Spec z = make_concrete("zlib@=1.1");
+  Spec result = splice(app, "zlib", z, true);
+  // cmake (build-only) is gone from the runtime spec...
+  EXPECT_EQ(result.find("cmake"), nullptr);
+  ASSERT_EQ(result.root().deps.size(), 1u);
+  // ...but preserved in the build spec.
+  ASSERT_NE(result.root().build_spec, nullptr);
+  EXPECT_NE(result.root().build_spec->find("cmake"), nullptr);
+}
+
+TEST(SpliceMechanics, DifferentPackageNameSplice) {
+  // example-ng replacing example (paper Figure 1's second can_splice).
+  Spec app = make_concrete("app ^example@=1.0.0");
+  Spec ng = make_concrete("example-ng@=2.3.2");
+  Spec result = splice(app, "example", ng, true);
+  EXPECT_EQ(result.find("example"), nullptr);
+  ASSERT_NE(result.find("example-ng"), nullptr);
+  EXPECT_EQ(result.find("example-ng")->hash, ng.dag_hash());
+  ASSERT_NE(result.root().build_spec, nullptr);
+  EXPECT_EQ(result.root().build_spec->find("example")->hash,
+            app.find("example")->hash);
+}
+
+TEST(SpliceMechanics, NoOpSpliceSameHash) {
+  // Splicing in a bit-identical replacement changes nothing: no provenance,
+  // same DAG hash.
+  Spec t = figure2_target();
+  Spec same_z = t.subdag(*t.find_index("z"));
+  Spec result = splice(t, "z", same_z, true);
+  EXPECT_EQ(result.dag_hash(), t.dag_hash());
+  EXPECT_FALSE(result.is_spliced());
+}
+
+TEST(SpliceMechanics, SpliceIsIdempotentPerReplacement) {
+  Spec t = figure2_target();
+  Spec z11 = make_concrete("z@=1.1");
+  Spec once = splice(t, "z", z11, true);
+  Spec twice = splice(once, "z", z11, true);
+  EXPECT_EQ(once.dag_hash(), twice.dag_hash());
+  // Provenance still points at the original builds after re-splicing.
+  EXPECT_EQ(twice.root().build_spec->dag_hash(), t.dag_hash());
+}
+
+TEST(SpliceMechanics, HashEqualsFreshBuildOfSameConfiguration) {
+  // A spliced T ^H' ^S ^Z@1.1 and a from-scratch build of the same
+  // configuration share a DAG hash; only the build_spec distinguishes them
+  // (paper: "T ^H' ^Z@1.1 *could* have been how the binaries were built").
+  Spec t = figure2_target();
+  Spec hp = figure2_replacement();
+  Spec spliced = splice(t, "h", hp, true);
+
+  Spec fresh = make_concrete("t ^hprime ^z@=1.1");
+  fresh.add_dep(*fresh.find_index("hprime"), *fresh.find_index("z"),
+                DepType::Link);
+  std::size_t s_idx = fresh.add_node([] {
+    spec::SpecNode n;
+    n.name = "s";
+    n.versions = spec::VersionConstraint::exactly(Version::parse("1.0"));
+    n.os = "linux";
+    n.target = "x86_64";
+    return n;
+  }());
+  fresh.add_dep(*fresh.find_index("hprime"), s_idx, DepType::Link);
+  fresh.finalize_concrete();
+
+  EXPECT_EQ(spliced.dag_hash(), fresh.dag_hash());
+  EXPECT_TRUE(spliced.is_spliced());
+  EXPECT_FALSE(fresh.is_spliced());
+}
+
+TEST(SpliceMechanics, Preconditions) {
+  Spec t = figure2_target();
+  Spec abstract = Spec::parse("z@1.1");
+  EXPECT_THROW(splice(t, "z", abstract, true), SpecError);
+  EXPECT_THROW(splice(abstract, "z", t, true), SpecError);
+  Spec z11 = make_concrete("z@=1.1");
+  EXPECT_THROW(splice(t, "nosuch", z11, true), SpecError);
+  EXPECT_THROW(splice(t, "t", z11, true), SpecError);  // root
+  // Replacement name collides with an unrelated node already in the target
+  // (h exists in t and is not the node being replaced).
+  Spec h_repl = make_concrete("h@=9.9");
+  EXPECT_THROW(splice(t, "z", h_repl, true), SpecError);
+}
+
+// Property sweep: for any node choice in a chain DAG, splicing a new leaf
+// version marks exactly the ancestors as changed.
+class ChainSpliceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChainSpliceTest, AncestorsChangeDescendantsDoNot) {
+  int depth = GetParam();
+  // chain: n0 -> n1 -> ... -> n_depth
+  Spec chain = Spec::make("n0");
+  chain.root().versions = spec::VersionConstraint::exactly(Version::parse("1.0"));
+  chain.root().os = "linux";
+  chain.root().target = "x86_64";
+  for (int i = 1; i <= depth; ++i) {
+    spec::SpecNode n;
+    n.name = "n" + std::to_string(i);
+    n.versions = spec::VersionConstraint::exactly(Version::parse("1.0"));
+    n.os = "linux";
+    n.target = "x86_64";
+    std::size_t idx = chain.add_node(std::move(n));
+    chain.add_dep(idx - 1, idx, DepType::Link);
+  }
+  chain.finalize_concrete();
+
+  // Splice a new version of the middle node.
+  int mid = depth / 2 + 1;
+  Spec repl = make_concrete("n" + std::to_string(mid) + "@=2.0");
+  // repl has no deps; the original subtree of n_mid is dropped.
+  Spec result = splice(chain, "n" + std::to_string(mid), repl, true);
+
+  for (int i = 0; i < mid; ++i) {
+    const auto* n = result.find("n" + std::to_string(i));
+    ASSERT_NE(n, nullptr) << i;
+    EXPECT_NE(n->build_spec, nullptr) << "ancestor n" << i << " must change";
+  }
+  // The replaced node's old subtree is unreachable and pruned.
+  for (int i = mid + 1; i <= depth; ++i) {
+    EXPECT_EQ(result.find("n" + std::to_string(i)), nullptr);
+  }
+  EXPECT_EQ(result.find("n" + std::to_string(mid))->concrete_version(),
+            Version::parse("2.0"));
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, ChainSpliceTest, ::testing::Values(2, 3, 5, 8));
+
+}  // namespace
+}  // namespace splice::concretize

@@ -1,0 +1,127 @@
+// Unit tests for src/support: hashing and string utilities.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/support/hash.hpp"
+#include "src/support/strings.hpp"
+
+namespace splice {
+namespace {
+
+TEST(Hash, Deterministic) {
+  EXPECT_EQ(stable_hash_b32("hello"), stable_hash_b32("hello"));
+  EXPECT_EQ(stable_hash_u64("hello"), stable_hash_u64("hello"));
+}
+
+TEST(Hash, DistinctInputsDistinctDigests) {
+  std::set<std::string> digests;
+  for (int i = 0; i < 1000; ++i) {
+    digests.insert(stable_hash_b32("input-" + std::to_string(i)));
+  }
+  EXPECT_EQ(digests.size(), 1000u);
+}
+
+TEST(Hash, B32FormatIsSpackLike) {
+  std::string d = stable_hash_b32("zlib@1.2.11");
+  EXPECT_EQ(d.size(), 26u);
+  for (char c : d) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= '2' && c <= '7');
+    EXPECT_TRUE(ok) << "bad base32 char: " << c;
+  }
+}
+
+TEST(Hash, HexFormat) {
+  Hasher h;
+  h.update("x");
+  std::string hex = h.hex();
+  EXPECT_EQ(hex.size(), 32u);
+  for (char c : hex) {
+    bool ok = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    EXPECT_TRUE(ok);
+  }
+}
+
+TEST(Hash, FieldFramingIsInjective) {
+  // ("ab","c") must differ from ("a","bc"): field() length-prefixes.
+  Hasher h1;
+  h1.field("ab");
+  h1.field("c");
+  Hasher h2;
+  h2.field("a");
+  h2.field("bc");
+  EXPECT_NE(h1.hex(), h2.hex());
+}
+
+TEST(Hash, EmptyFieldsMatter) {
+  Hasher h1;
+  h1.field("");
+  Hasher h2;
+  EXPECT_NE(h1.hex(), h2.hex());
+}
+
+TEST(Strings, SplitBasic) {
+  auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, SplitNoDelimiter) {
+  auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, SplitEmpty) {
+  auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Strings, SplitWs) {
+  auto parts = split_ws("  hdf5  ^zlib\t^mpich \n");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "hdf5");
+  EXPECT_EQ(parts[1], "^zlib");
+  EXPECT_EQ(parts[2], "^mpich");
+}
+
+TEST(Strings, JoinRoundTrip) {
+  std::vector<std::string> parts{"a", "b", "c"};
+  EXPECT_EQ(join(parts, "-"), "a-b-c");
+  EXPECT_EQ(join({}, "-"), "");
+  EXPECT_EQ(join({"x"}, "-"), "x");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("a b"), "a b");
+}
+
+TEST(Strings, IsIdentifier) {
+  EXPECT_TRUE(is_identifier("zlib"));
+  EXPECT_TRUE(is_identifier("py-shroud"));
+  EXPECT_TRUE(is_identifier("mpiabi_07"));
+  EXPECT_TRUE(is_identifier("7zip"));
+  EXPECT_FALSE(is_identifier(""));
+  EXPECT_FALSE(is_identifier("Zlib"));
+  EXPECT_FALSE(is_identifier("-zlib"));
+  EXPECT_FALSE(is_identifier("has space"));
+  EXPECT_FALSE(is_identifier("dot.name"));
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(replace_all("/old/prefix/lib:/old/prefix/bin", "/old/prefix", "/new"),
+            "/new/lib:/new/bin");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(replace_all("x", "", "y"), "x");
+  // Replacement containing the needle must not loop.
+  EXPECT_EQ(replace_all("ab", "a", "aa"), "aab");
+}
+
+}  // namespace
+}  // namespace splice
