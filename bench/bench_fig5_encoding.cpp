@@ -99,7 +99,7 @@ int main(int argc, char** argv) {
               s.roots.size(), s.reps, workload::distinct_nodes(s.local),
               workload::distinct_nodes(s.pub));
 
-  for (const std::string& cache : {"local", "public"}) {
+  for (const std::string cache : {"local", "public"}) {
     for (bool indirect : {false, true}) {
       std::string enc = indirect ? "new" : "old";
       for (const std::string& root : s.roots) {

@@ -132,7 +132,7 @@ int main(int argc, char** argv) {
               s.roots.size(), s.reps, workload::distinct_nodes(s.local),
               workload::distinct_nodes(s.pub));
 
-  for (const std::string& cache : {"local", "public"}) {
+  for (const std::string cache : {"local", "public"}) {
     for (bool splice_spack : {false, true}) {
       for (const std::string& root : s.roots) {
         std::string name = "fig6/" + cache + "/" +

@@ -1,0 +1,594 @@
+#include "src/asp/analyze.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace splice::asp {
+
+std::string_view diag_kind_str(DiagKind kind) {
+  switch (kind) {
+    case DiagKind::ArityMismatch: return "arity-mismatch";
+    case DiagKind::UndefinedPredicate: return "undefined-predicate";
+    case DiagKind::DeadPredicate: return "dead-predicate";
+    case DiagKind::SingletonVariable: return "singleton-variable";
+    case DiagKind::Unstratified: return "unstratified";
+  }
+  return "?";
+}
+
+std::string_view diag_severity_str(DiagSeverity severity) {
+  switch (severity) {
+    case DiagSeverity::Info: return "info";
+    case DiagSeverity::Warning: return "warning";
+    case DiagSeverity::Error: return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::str() const {
+  std::string out(diag_severity_str(severity));
+  out += ": ";
+  out += diag_kind_str(kind);
+  if (loc.known()) {
+    out += " at ";
+    out += loc.str();
+  }
+  out += ": ";
+  out += message;
+  return out;
+}
+
+std::size_t AnalysisReport::count(DiagSeverity severity) const {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [&](const Diagnostic& d) { return d.severity == severity; }));
+}
+
+std::size_t AnalysisReport::count(DiagKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [&](const Diagnostic& d) { return d.kind == kind; }));
+}
+
+std::string AnalysisReport::str() const {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    out += d.str();
+    out += "\n";
+  }
+  return out;
+}
+
+namespace {
+
+/// Predicate name without the "/arity" suffix.
+std::string sig_name(const std::string& sig) {
+  return sig.substr(0, sig.rfind('/'));
+}
+
+/// Does the whitelist mention the predicate, either by bare name or by full
+/// "name/arity" signature?
+bool listed(const std::set<std::string>& set, const std::string& sig) {
+  return set.count(sig) > 0 || set.count(sig_name(sig)) > 0;
+}
+
+/// Occurrence counter over every variable in a term (occurrences, not
+/// distinct variables — collect_vars dedups, which is wrong for singleton
+/// detection).
+void count_vars(Term t, std::map<Term, int>& counts) {
+  if (!t.valid()) return;
+  if (t.kind() == TermKind::Var) {
+    ++counts[t];
+    return;
+  }
+  if (t.kind() == TermKind::Fun) {
+    for (Term a : t.args()) count_vars(a, counts);
+  }
+}
+
+/// Abbreviated rule text for diagnostics.
+std::string rule_excerpt(const Rule& rule) {
+  std::string s = rule.str();
+  if (s.size() > 90) {
+    s.resize(87);
+    s += "...";
+  }
+  return s;
+}
+
+class Analyzer {
+ public:
+  Analyzer(const Program& program, const AnalyzeOptions& opts)
+      : program_(program), opts_(opts) {}
+
+  AnalysisReport run() {
+    collect();
+    check_arity();
+    check_undefined();
+    check_dead();
+    check_singletons();
+    check_stratification();
+    std::stable_sort(report_.diagnostics.begin(), report_.diagnostics.end(),
+                     [](const Diagnostic& a, const Diagnostic& b) {
+                       return a.severity > b.severity;
+                     });
+    return std::move(report_);
+  }
+
+ private:
+  struct Edge {
+    int to;
+    bool negative;
+    bool choice;
+    SourceLoc loc;
+  };
+
+  struct PredInfo {
+    bool defined = false;  // head, fact, or choice element
+    bool used = false;     // body literal, condition, or minimize condition
+    SourceLoc first_def;
+    SourceLoc first_use;
+  };
+
+  int node(const std::string& sig) {
+    auto it = node_of_.find(sig);
+    if (it != node_of_.end()) return it->second;
+    int id = static_cast<int>(sigs_.size());
+    node_of_.emplace(sig, id);
+    sigs_.push_back(sig);
+    edges_.emplace_back();
+    info_.emplace_back();
+    return id;
+  }
+
+  void define(const std::string& sig, SourceLoc loc) {
+    PredInfo& p = info_[node(sig)];
+    if (!p.defined) p.first_def = loc;
+    p.defined = true;
+    arity_seen(sig, loc);
+  }
+
+  void use(const std::string& sig, SourceLoc loc) {
+    PredInfo& p = info_[node(sig)];
+    if (!p.used) p.first_use = loc;
+    p.used = true;
+    arity_seen(sig, loc);
+  }
+
+  void arity_seen(const std::string& sig, SourceLoc loc) {
+    std::string name = sig_name(sig);
+    auto& arities = arities_[name];
+    std::size_t slash = sig.rfind('/');
+    int arity = std::stoi(sig.substr(slash + 1));
+    arities.emplace(arity, loc);
+  }
+
+  void edge(const std::string& from, const std::string& to, bool negative,
+            bool choice, SourceLoc loc) {
+    int f = node(from);
+    int t = node(to);
+    edges_[f].push_back(Edge{t, negative, choice, loc});
+  }
+
+  // -- occurrence collection ------------------------------------------------
+
+  void collect() {
+    for (const Rule& r : program_.rules()) {
+      std::vector<std::string> heads;  // head signatures; tagged choice?
+      bool choice = r.head.kind == Head::Kind::Choice;
+      switch (r.head.kind) {
+        case Head::Kind::Atom:
+          define(r.head.atom.signature(), r.loc);
+          heads.push_back(r.head.atom.signature());
+          break;
+        case Head::Kind::Choice:
+          for (const ChoiceElement& e : r.head.elements) {
+            define(e.atom.signature(), r.loc);
+            heads.push_back(e.atom.signature());
+            for (const Literal& l : e.condition) {
+              use(l.atom.signature(), r.loc);
+              edge(e.atom.signature(), l.atom.signature(), !l.positive, true,
+                   r.loc);
+            }
+          }
+          break;
+        case Head::Kind::None:
+          break;
+      }
+      for (const Literal& l : r.body) {
+        use(l.atom.signature(), r.loc);
+        for (const std::string& h : heads) {
+          edge(h, l.atom.signature(), !l.positive, choice, r.loc);
+        }
+      }
+    }
+    for (const MinimizeElement& m : program_.minimizes()) {
+      for (const Literal& l : m.condition) use(l.atom.signature(), m.loc);
+    }
+  }
+
+  // -- checks ---------------------------------------------------------------
+
+  void check_arity() {
+    for (const auto& [name, arities] : arities_) {
+      if (arities.size() < 2 || opts_.mixed_arity_ok.count(name) > 0) continue;
+      std::string list;
+      SourceLoc loc;
+      for (const auto& [arity, at] : arities) {
+        if (!list.empty()) list += ", ";
+        list += name + "/" + std::to_string(arity);
+        if (!loc.known()) loc = at;
+      }
+      report_.diagnostics.push_back(Diagnostic{
+          DiagKind::ArityMismatch, DiagSeverity::Error, name,
+          "predicate '" + name + "' used at inconsistent arities: " + list,
+          loc});
+    }
+  }
+
+  void check_undefined() {
+    for (std::size_t i = 0; i < sigs_.size(); ++i) {
+      const PredInfo& p = info_[i];
+      if (!p.used || p.defined || listed(opts_.externals, sigs_[i])) continue;
+      report_.diagnostics.push_back(Diagnostic{
+          DiagKind::UndefinedPredicate, DiagSeverity::Error, sigs_[i],
+          "predicate '" + sigs_[i] +
+              "' is used in a body but never derivable from any head, fact, "
+              "or choice element",
+          p.first_use});
+    }
+  }
+
+  void check_dead() {
+    for (std::size_t i = 0; i < sigs_.size(); ++i) {
+      const PredInfo& p = info_[i];
+      if (!p.defined || p.used || listed(opts_.outputs, sigs_[i])) continue;
+      report_.diagnostics.push_back(Diagnostic{
+          DiagKind::DeadPredicate, DiagSeverity::Warning, sigs_[i],
+          "predicate '" + sigs_[i] +
+              "' is derived but never consumed (whitelist it as an output if "
+              "the caller reads it from the model)",
+          p.first_def});
+    }
+  }
+
+  void check_singletons() {
+    for (const Rule& r : program_.rules()) {
+      // Global scope: head atom, body literals, comparisons.
+      std::map<Term, int> global;
+      if (r.head.kind == Head::Kind::Atom) count_vars(r.head.atom, global);
+      for (const Literal& l : r.body) count_vars(l.atom, global);
+      for (const Comparison& c : r.comparisons) {
+        count_vars(c.lhs, global);
+        count_vars(c.rhs, global);
+      }
+      // Choice elements are local scopes: a body variable reused inside an
+      // element counts toward the global tally; element-only variables are
+      // judged within their element.
+      for (const ChoiceElement& e : r.head.elements) {
+        std::map<Term, int> local;
+        count_vars(e.atom, local);
+        for (const Literal& l : e.condition) count_vars(l.atom, local);
+        for (const auto& [var, n] : local) {
+          auto git = global.find(var);
+          if (git != global.end()) {
+            git->second += n;
+          } else if (n == 1) {
+            singleton(var, r.loc, rule_excerpt(r));
+          }
+        }
+      }
+      for (const auto& [var, n] : global) {
+        if (n == 1) singleton(var, r.loc, rule_excerpt(r));
+      }
+    }
+    for (const MinimizeElement& m : program_.minimizes()) {
+      std::map<Term, int> counts;
+      count_vars(m.weight, counts);
+      for (Term t : m.tuple) count_vars(t, counts);
+      for (const Literal& l : m.condition) count_vars(l.atom, counts);
+      for (const auto& [var, n] : counts) {
+        if (n == 1) singleton(var, m.loc, "#minimize element");
+      }
+    }
+  }
+
+  void singleton(Term var, SourceLoc loc, const std::string& context) {
+    if (!var.name().empty() && var.name().front() == '_') return;
+    report_.diagnostics.push_back(Diagnostic{
+        DiagKind::SingletonVariable, DiagSeverity::Warning, "",
+        "variable '" + std::string(var.name()) +
+            "' occurs only once in: " + context +
+            " (prefix with '_' if intentional)",
+        loc});
+  }
+
+  void check_stratification() {
+    // Iterative Tarjan over the predicate dependency graph.
+    std::size_t n = sigs_.size();
+    std::vector<int> index(n, -1), low(n, 0), comp_of(n, -1);
+    std::vector<bool> on_stack(n, false);
+    std::vector<int> stack;
+    std::vector<std::vector<int>> components;
+    int next_index = 0;
+    struct Frame {
+      int v;
+      std::size_t child;
+    };
+    for (std::size_t root = 0; root < n; ++root) {
+      if (index[root] != -1) continue;
+      std::vector<Frame> frames{{static_cast<int>(root), 0}};
+      index[root] = low[root] = next_index++;
+      stack.push_back(static_cast<int>(root));
+      on_stack[root] = true;
+      while (!frames.empty()) {
+        Frame& f = frames.back();
+        if (f.child < edges_[f.v].size()) {
+          int w = edges_[f.v][f.child++].to;
+          if (index[w] == -1) {
+            index[w] = low[w] = next_index++;
+            stack.push_back(w);
+            on_stack[w] = true;
+            frames.push_back({w, 0});
+          } else if (on_stack[w]) {
+            low[f.v] = std::min(low[f.v], index[w]);
+          }
+        } else {
+          if (low[f.v] == index[f.v]) {
+            std::vector<int> comp;
+            while (true) {
+              int w = stack.back();
+              stack.pop_back();
+              on_stack[w] = false;
+              comp_of[w] = static_cast<int>(components.size());
+              comp.push_back(w);
+              if (w == f.v) break;
+            }
+            components.push_back(std::move(comp));
+          }
+          int done = f.v;
+          frames.pop_back();
+          if (!frames.empty()) {
+            low[frames.back().v] = std::min(low[frames.back().v], low[done]);
+          }
+        }
+      }
+    }
+
+    for (const std::vector<int>& comp : components) {
+      bool self_loop = false;
+      bool negative = false;
+      bool choice = false;
+      SourceLoc loc;
+      int cid = comp_of[comp.front()];
+      for (int v : comp) {
+        for (const Edge& e : edges_[v]) {
+          if (comp_of[e.to] != cid) continue;
+          if (e.to == v) self_loop = true;
+          if (comp.size() > 1 || e.to == v) {
+            if (e.negative) negative = true;
+            if (e.choice) choice = true;
+            if (!loc.known()) loc = e.loc;
+          }
+        }
+      }
+      if (comp.size() < 2 && !self_loop) continue;
+
+      PredicateScc scc;
+      for (int v : comp) scc.predicates.push_back(sigs_[v]);
+      std::sort(scc.predicates.begin(), scc.predicates.end());
+      scc.has_negative_edge = negative;
+      scc.has_choice_edge = choice;
+      report_.recursive_components.push_back(scc);
+
+      if (negative || choice) {
+        if (negative) report_.stratified = false;
+        std::string preds;
+        for (const std::string& s : scc.predicates) {
+          if (!preds.empty()) preds += ", ";
+          preds += s;
+        }
+        std::string via = negative && choice ? "negation and choice"
+                          : negative         ? "negation"
+                                             : "choice";
+        report_.diagnostics.push_back(Diagnostic{
+            DiagKind::Unstratified, DiagSeverity::Info, scc.predicates.front(),
+            "recursive component {" + preds + "} cycles through " + via +
+                "; the solver falls back to unfounded-set checking here",
+            loc});
+      }
+    }
+  }
+
+  const Program& program_;
+  const AnalyzeOptions& opts_;
+
+  std::unordered_map<std::string, int> node_of_;
+  std::vector<std::string> sigs_;
+  std::vector<std::vector<Edge>> edges_;
+  std::vector<PredInfo> info_;
+  // name -> arity -> first location seen.
+  std::map<std::string, std::map<int, SourceLoc>> arities_;
+
+  AnalysisReport report_;
+};
+
+}  // namespace
+
+AnalysisReport analyze(const Program& program, const AnalyzeOptions& opts) {
+  return Analyzer(program, opts).run();
+}
+
+// ---- answer-set verification ------------------------------------------------
+
+namespace {
+
+bool glit_holds(const GLit& l, const std::vector<bool>& in_model) {
+  return in_model[l.atom] == l.positive;
+}
+
+bool gbody_holds(const std::vector<GLit>& body,
+                 const std::vector<bool>& in_model) {
+  return std::all_of(body.begin(), body.end(), [&](const GLit& l) {
+    return glit_holds(l, in_model);
+  });
+}
+
+std::string gbody_str(const GroundProgram& gp, const std::vector<GLit>& body) {
+  std::string out;
+  for (const GLit& l : body) {
+    if (!out.empty()) out += ", ";
+    if (!l.positive) out += "not ";
+    out += gp.atom_term(l.atom).str_repr();
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string VerifyResult::str() const {
+  if (ok) return "model verified";
+  std::string out = "model verification FAILED:\n";
+  for (const std::string& v : violations) {
+    out += "  " + v + "\n";
+  }
+  return out;
+}
+
+VerifyResult verify_model(const GroundProgram& gp, const Model& model) {
+  VerifyResult result;
+  auto violate = [&](std::string msg) {
+    result.ok = false;
+    result.violations.push_back(std::move(msg));
+  };
+
+  // Map the model onto the ground program's atom universe; anything outside
+  // it cannot have support.
+  std::vector<bool> in_model(gp.num_atoms(), false);
+  for (Term t : model.atoms) {
+    if (auto id = gp.find_atom(t)) {
+      in_model[*id] = true;
+    } else {
+      violate("atom " + t.str_repr() + " is not in the ground program");
+    }
+  }
+
+  // 1. Every unconditional fact must hold.
+  for (AtomId f : gp.facts) {
+    if (!in_model[f]) {
+      violate("fact " + gp.atom_term(f).str_repr() + " missing from model");
+    }
+  }
+
+  // 2. Normal rules classically satisfied; integrity constraints not fired.
+  for (const GRule& r : gp.rules) {
+    if (!gbody_holds(r.body, in_model)) continue;
+    if (!r.has_head) {
+      violate("integrity constraint fired: :- " + gbody_str(gp, r.body));
+    } else if (!in_model[r.head]) {
+      violate("rule not satisfied: " + gp.atom_term(r.head).str_repr() +
+              " :- " + gbody_str(gp, r.body));
+    }
+  }
+
+  // 3. Choice bounds.
+  for (const GChoice& c : gp.choices) {
+    if (!gbody_holds(c.body, in_model)) continue;
+    std::int64_t count = 0;
+    for (const GChoiceElem& e : c.elements) {
+      if (in_model[e.atom] && gbody_holds(e.condition, in_model)) ++count;
+    }
+    if (c.lower && count < *c.lower) {
+      violate("choice lower bound violated: " + std::to_string(count) + " < " +
+              std::to_string(*c.lower));
+    }
+    if (c.upper && count > *c.upper) {
+      violate("choice upper bound violated: " + std::to_string(count) + " > " +
+              std::to_string(*c.upper));
+    }
+  }
+
+  // 4. Stability: the model must equal the least model of its
+  // Gelfond-Lifschitz reduct.  Positive literals grow the fixpoint; negative
+  // literals and choice memberships are evaluated against the model.
+  std::vector<bool> lfp(gp.num_atoms(), false);
+  for (AtomId f : gp.facts) lfp[f] = true;
+  auto reduct_body_holds = [&](const std::vector<GLit>& body) {
+    for (const GLit& l : body) {
+      if (l.positive) {
+        if (!lfp[l.atom]) return false;
+      } else {
+        if (in_model[l.atom]) return false;
+      }
+    }
+    return true;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const GRule& r : gp.rules) {
+      if (!r.has_head || lfp[r.head]) continue;
+      if (reduct_body_holds(r.body)) {
+        lfp[r.head] = true;
+        changed = true;
+      }
+    }
+    for (const GChoice& c : gp.choices) {
+      if (!reduct_body_holds(c.body)) continue;
+      for (const GChoiceElem& e : c.elements) {
+        // A chosen atom supports itself when eligible (a :- body, cond,
+        // not not a in the reduct).
+        if (in_model[e.atom] && !lfp[e.atom] &&
+            reduct_body_holds(e.condition)) {
+          lfp[e.atom] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+  for (AtomId a = 0; a < gp.num_atoms(); ++a) {
+    if (in_model[a] && !lfp[a]) {
+      violate("unfounded atom: " + gp.atom_term(a).str_repr() +
+              " is true but has no non-circular support");
+    }
+  }
+
+  // 5. Recompute the objective per priority, highest first.
+  std::vector<std::int64_t> priorities;
+  for (const GMinTerm& m : gp.minimize) {
+    if (std::find(priorities.begin(), priorities.end(), m.priority) ==
+        priorities.end()) {
+      priorities.push_back(m.priority);
+    }
+  }
+  std::sort(priorities.rbegin(), priorities.rend());
+  for (std::int64_t prio : priorities) {
+    std::int64_t cost = 0;
+    for (const GMinTerm& m : gp.minimize) {
+      if (m.priority != prio) continue;
+      for (const auto& cond : m.conditions) {
+        if (gbody_holds(cond, in_model)) {
+          cost += m.weight;
+          break;
+        }
+      }
+    }
+    result.costs.emplace_back(prio, cost);
+  }
+  if (!model.costs.empty() && model.costs != result.costs) {
+    std::string got, want;
+    for (const auto& [p, c] : model.costs) {
+      got += "(" + std::to_string(p) + "," + std::to_string(c) + ")";
+    }
+    for (const auto& [p, c] : result.costs) {
+      want += "(" + std::to_string(p) + "," + std::to_string(c) + ")";
+    }
+    violate("reported costs " + got + " do not match recomputed costs " + want);
+  }
+
+  return result;
+}
+
+}  // namespace splice::asp

@@ -1,0 +1,122 @@
+// Static analysis over non-ground Programs and independent verification of
+// answer sets — the diagnostics layer guarding the concretizer encoding.
+//
+// The analyzer builds the predicate dependency graph (an edge head -> body
+// predicate per rule, tagged with the literal's sign and whether it crosses a
+// choice head) and condenses it with Tarjan's SCC algorithm.  On top of that
+// it reports the classic encoding-bug classes that clingo and aspcud-style
+// preprocessors warn about:
+//
+//   arity-mismatch       same predicate name at different arities (error)
+//   undefined-predicate  consumed but never derivable (error)
+//   dead-predicate       derived but never consumed nor whitelisted (warning)
+//   singleton-variable   a variable occurring exactly once in a rule, the
+//                        classic typo signal; names starting with '_' are
+//                        exempt, marking intentional singletons (warning)
+//   unstratified         negation or choice membership inside a nontrivial
+//                        SCC, forcing the solver's unfounded-set machinery
+//                        (info — legal, but worth knowing about)
+//
+// `verify_model` is the paired runtime oracle: it re-checks a solver result
+// against every ground rule, integrity constraint and choice bound, replays
+// the Gelfond-Lifschitz reduct fixpoint to confirm stability, and recomputes
+// the objective per priority — completely independently of the SAT
+// translation, so a bug in translation or optimization cannot hide.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/asp/ground.hpp"
+#include "src/asp/program.hpp"
+#include "src/asp/solve.hpp"
+
+namespace splice::asp {
+
+enum class DiagKind : std::uint8_t {
+  ArityMismatch,       ///< predicate used at inconsistent arities
+  UndefinedPredicate,  ///< consumed in a body but never derivable
+  DeadPredicate,       ///< derived but never consumed and not whitelisted
+  SingletonVariable,   ///< variable occurs exactly once in its rule
+  Unstratified,        ///< negation/choice cycle through an SCC
+};
+
+enum class DiagSeverity : std::uint8_t { Info, Warning, Error };
+
+std::string_view diag_kind_str(DiagKind kind);
+std::string_view diag_severity_str(DiagSeverity severity);
+
+struct Diagnostic {
+  DiagKind kind;
+  DiagSeverity severity;
+  /// "name/arity" of the predicate at fault (empty for singleton variables).
+  std::string predicate;
+  std::string message;
+  /// Source position of the offending rule; unknown for rules built through
+  /// the Term API.
+  SourceLoc loc;
+
+  /// "error: undefined-predicate at 3:1: ..." one-line rendering.
+  std::string str() const;
+};
+
+struct AnalyzeOptions {
+  /// Predicate *names* (not signatures) allowed to appear at several
+  /// arities.  Spack's encoding uses attr/2..4 on purpose; ours does too.
+  std::set<std::string> mixed_arity_ok;
+  /// Predicates assumed to be defined externally (facts added later, or a
+  /// program fragment loaded only in some configurations); suppresses
+  /// undefined-predicate for them.  Accepts names or "name/arity".
+  std::set<std::string> externals;
+  /// Output predicates: consumed by the caller from the model rather than by
+  /// other rules; suppresses dead-predicate.  Accepts names or "name/arity".
+  std::set<std::string> outputs;
+};
+
+/// One strongly connected component of the predicate dependency graph.
+struct PredicateScc {
+  std::vector<std::string> predicates;  ///< signatures, sorted
+  bool has_negative_edge = false;       ///< negation inside the component
+  bool has_choice_edge = false;         ///< choice-head membership inside it
+};
+
+struct AnalysisReport {
+  std::vector<Diagnostic> diagnostics;
+  /// Nontrivial SCCs (size > 1 or self-loop) of the predicate graph.
+  std::vector<PredicateScc> recursive_components;
+  /// True when every predicate is defined before use through negation:
+  /// no negative or choice edge closes a cycle.
+  bool stratified = true;
+
+  bool has_errors() const { return count(DiagSeverity::Error) > 0; }
+  std::size_t count(DiagSeverity severity) const;
+  std::size_t count(DiagKind kind) const;
+  /// Multi-line human-readable rendering of every diagnostic.
+  std::string str() const;
+};
+
+/// Statically analyze `program`.  Never throws on findings; the caller
+/// decides what severity is fatal.
+AnalysisReport analyze(const Program& program, const AnalyzeOptions& opts = {});
+
+/// Result of independently verifying a model against a ground program.
+struct VerifyResult {
+  bool ok = true;
+  /// Human-readable descriptions of every violated rule/constraint/bound.
+  std::vector<std::string> violations;
+  /// Objective recomputed from the model atoms, (priority, cost) pairs,
+  /// highest priority first — compare against Model::costs.
+  std::vector<std::pair<std::int64_t, std::int64_t>> costs;
+
+  std::string str() const;
+};
+
+/// Re-check `model` against `gp`: every fact present, every normal rule
+/// classically satisfied, no integrity constraint fires, all choice bounds
+/// hold, the model is *stable* (least model of its reduct), and the reported
+/// costs (when non-empty) match the recomputed objective.
+VerifyResult verify_model(const GroundProgram& gp, const Model& model);
+
+}  // namespace splice::asp

@@ -13,6 +13,7 @@
 //   if (r.sat) { ... r.model.atoms ... }
 #pragma once
 
+#include "src/asp/analyze.hpp"   // IWYU pragma: export
 #include "src/asp/ground.hpp"    // IWYU pragma: export
 #include "src/asp/parser.hpp"    // IWYU pragma: export
 #include "src/asp/program.hpp"   // IWYU pragma: export

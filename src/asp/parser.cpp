@@ -22,6 +22,8 @@ struct Token {
   std::string text;
   std::int64_t value = 0;
   std::size_t pos = 0;
+  std::uint32_t line = 0;  // 1-based source position
+  std::uint32_t col = 0;
 };
 
 class Lexer {
@@ -37,16 +39,32 @@ class Lexer {
   }
 
   [[noreturn]] void fail(const std::string& why) const {
-    throw ParseError("asp: " + why, std::string(text_.substr(0, 120)),
-                     current_.pos);
+    std::string tok =
+        current_.kind == Tok::End ? "end of input" : current_.text;
+    throw ParseError("asp: " + why, "", current_.pos, current_.line,
+                     current_.col, tok);
   }
 
  private:
+  std::uint32_t col_at(std::size_t pos) const {
+    return static_cast<std::uint32_t>(pos - line_start_ + 1);
+  }
+
+  [[noreturn]] void fail_here(const std::string& why, std::size_t pos,
+                              const std::string& token) const {
+    throw ParseError("asp: " + why, "", pos,
+                     static_cast<std::uint32_t>(line_), col_at(pos), token);
+  }
+
   void advance() {
     skip_trivia();
     current_.pos = pos_;
+    current_.line = static_cast<std::uint32_t>(line_);
+    current_.col = col_at(pos_);
     if (pos_ >= text_.size()) {
-      current_ = {Tok::End, "", 0, pos_};
+      current_.kind = Tok::End;
+      current_.text.clear();
+      current_.value = 0;
       return;
     }
     char c = text_[pos_];
@@ -61,7 +79,7 @@ class Lexer {
     if (c == '#') { single(Tok::Hash); return; }
     if (c == ':') {
       if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '-') {
-        current_ = {Tok::If, ":-", 0, pos_};
+        emit(Tok::If, ":-");
         pos_ += 2;
       } else {
         single(Tok::Colon);
@@ -70,34 +88,34 @@ class Lexer {
     }
     if (c == '=') {
       std::size_t len = (pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') ? 2 : 1;
-      current_ = {Tok::CmpEq, "=", 0, pos_};
+      emit(Tok::CmpEq, "=");
       pos_ += len;
       return;
     }
     if (c == '!') {
       if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
-        current_ = {Tok::CmpNe, "!=", 0, pos_};
+        emit(Tok::CmpNe, "!=");
         pos_ += 2;
         return;
       }
-      throw ParseError("asp: stray '!'", std::string(text_.substr(0, 120)), pos_);
+      fail_here("stray '!'", pos_, "!");
     }
     if (c == '<') {
       if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
-        current_ = {Tok::CmpLe, "<=", 0, pos_};
+        emit(Tok::CmpLe, "<=");
         pos_ += 2;
       } else {
-        current_ = {Tok::CmpLt, "<", 0, pos_};
+        emit(Tok::CmpLt, "<");
         pos_ += 1;
       }
       return;
     }
     if (c == '>') {
       if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
-        current_ = {Tok::CmpGe, ">=", 0, pos_};
+        emit(Tok::CmpGe, ">=");
         pos_ += 2;
       } else {
-        current_ = {Tok::CmpGt, ">", 0, pos_};
+        emit(Tok::CmpGt, ">");
         pos_ += 1;
       }
       return;
@@ -110,16 +128,21 @@ class Lexer {
           ++pos_;
           out.push_back(text_[pos_] == 'n' ? '\n' : text_[pos_]);
         } else {
+          if (text_[pos_] == '\n') {
+            ++line_;
+            line_start_ = pos_ + 1;
+          }
           out.push_back(text_[pos_]);
         }
         ++pos_;
       }
       if (pos_ >= text_.size()) {
-        throw ParseError("asp: unterminated string",
-                         std::string(text_.substr(start - 1, 60)), start);
+        fail_here("unterminated string", current_.pos,
+                  std::string(text_.substr(start - 1, std::min<std::size_t>(
+                                               text_.size() - (start - 1), 20))));
       }
       ++pos_;  // closing quote
-      current_ = {Tok::Str, std::move(out), 0, start - 1};
+      emit(Tok::Str, std::move(out));
       return;
     }
     if (std::isdigit(static_cast<unsigned char>(c)) ||
@@ -132,7 +155,7 @@ class Lexer {
         ++pos_;
       }
       std::string num(text_.substr(start, pos_ - start));
-      current_ = {Tok::Int, num, std::stoll(num), start};
+      emit(Tok::Int, num, std::stoll(num));
       return;
     }
     if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
@@ -144,23 +167,26 @@ class Lexer {
       }
       std::string word(text_.substr(start, pos_ - start));
       if (word == "not") {
-        current_ = {Tok::Not, word, 0, start};
+        emit(Tok::Not, word);
       } else if (std::isupper(static_cast<unsigned char>(word[0])) ||
                  word[0] == '_') {
-        current_ = {Tok::Variable, word, 0, start};
+        emit(Tok::Variable, word);
       } else {
-        current_ = {Tok::Ident, word, 0, start};
+        emit(Tok::Ident, word);
       }
       return;
     }
-    throw ParseError("asp: unexpected character",
-                     std::string(text_.substr(0, 120)), pos_);
+    fail_here("unexpected character", pos_, std::string(1, c));
   }
 
   void skip_trivia() {
     while (pos_ < text_.size()) {
       char c = text_[pos_];
-      if (std::isspace(static_cast<unsigned char>(c))) {
+      if (c == '\n') {
+        ++pos_;
+        ++line_;
+        line_start_ = pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
         ++pos_;
       } else if (c == '%') {
         while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
@@ -171,12 +197,22 @@ class Lexer {
   }
 
   void single(Tok kind) {
-    current_ = {kind, std::string(1, text_[pos_]), 0, pos_};
+    emit(kind, std::string(1, text_[pos_]));
     ++pos_;
+  }
+
+  /// Fill in the current token's kind/text/value; pos/line/col were already
+  /// recorded at the token's first character by advance().
+  void emit(Tok kind, std::string text, std::int64_t value = 0) {
+    current_.kind = kind;
+    current_.text = std::move(text);
+    current_.value = value;
   }
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::size_t line_ = 1;        // 1-based current line
+  std::size_t line_start_ = 0;  // offset of the current line's first char
   Token current_;
 };
 
@@ -203,6 +239,7 @@ class AspParser {
 
   void statement() {
     const Token& t = lex_.peek();
+    SourceLoc loc{t.line, t.col};
     if (t.kind == Tok::Hash) {
       minimize();
       return;
@@ -210,6 +247,7 @@ class AspParser {
     if (t.kind == Tok::If) {
       lex_.take();
       Rule r;
+      r.loc = loc;
       r.head.kind = Head::Kind::None;
       parse_body(r);
       expect(Tok::Dot, "'.'");
@@ -217,11 +255,12 @@ class AspParser {
       return;
     }
     if (t.kind == Tok::LBrace || t.kind == Tok::Int) {
-      choice_rule();
+      choice_rule(loc);
       return;
     }
     // Normal rule.
     Rule r;
+    r.loc = loc;
     r.head.kind = Head::Kind::Atom;
     r.head.atom = atom();
     if (lex_.peek().kind == Tok::If) {
@@ -232,8 +271,9 @@ class AspParser {
     program_.add_rule(std::move(r));
   }
 
-  void choice_rule() {
+  void choice_rule(SourceLoc loc) {
     Rule r;
+    r.loc = loc;
     r.head.kind = Head::Kind::Choice;
     if (lex_.peek().kind == Tok::Int) {
       r.head.lower = lex_.take().value;
@@ -278,6 +318,7 @@ class AspParser {
     while (true) {
       MinimizeElement m;
       const Token& w = lex_.peek();
+      m.loc = SourceLoc{w.line, w.col};
       if (w.kind != Tok::Int && w.kind != Tok::Variable) {
         lex_.fail("minimize element must start with a weight (integer or variable)");
       }
@@ -368,6 +409,16 @@ class AspParser {
   }
 
   Term term() {
+    switch (lex_.peek().kind) {
+      case Tok::Int:
+      case Tok::Str:
+      case Tok::Variable:
+      case Tok::Ident:
+        break;
+      default:
+        // Diagnose before consuming so the error points at this token.
+        lex_.fail("expected a term");
+    }
     Token t = lex_.take();
     switch (t.kind) {
       case Tok::Int: return Term::integer(t.value);

@@ -6,6 +6,11 @@
 
 namespace splice::asp {
 
+std::string SourceLoc::str() const {
+  if (!known()) return "?";
+  return std::to_string(line) + ":" + std::to_string(col);
+}
+
 std::string_view cmp_op_str(CmpOp op) {
   switch (op) {
     case CmpOp::Eq: return "=";
@@ -132,7 +137,8 @@ void Program::add_minimize(MinimizeElement elem) {
   for (Term v : used) {
     if (!is_bound(v)) {
       throw AspError("unsafe variable " + std::string(v.name()) +
-                     " in #minimize element");
+                         " in #minimize element",
+                     elem.loc.line, elem.loc.col);
     }
   }
   minimizes_.push_back(std::move(elem));
@@ -181,7 +187,8 @@ void Program::check_safety(const Rule& rule) const {
           if (std::find(local_bound.begin(), local_bound.end(), v) ==
               local_bound.end()) {
             throw AspError("unsafe variable " + std::string(v.name()) +
-                           " in choice element of rule: " + rule.str());
+                               " in choice element of rule: " + rule.str(),
+                           rule.loc.line, rule.loc.col);
           }
         }
       }
@@ -190,7 +197,8 @@ void Program::check_safety(const Rule& rule) const {
   for (Term v : used) {
     if (!is_bound(v)) {
       throw AspError("unsafe variable " + std::string(v.name()) +
-                     " in rule: " + rule.str());
+                         " in rule: " + rule.str(),
+                     rule.loc.line, rule.loc.col);
     }
   }
 }

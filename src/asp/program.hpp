@@ -22,6 +22,18 @@
 
 namespace splice::asp {
 
+/// 1-based source position of a statement within the text it was parsed
+/// from.  Statements built programmatically (Term API) have line == 0 and
+/// compare as "unknown"; diagnostics fall back to the rule's printed form.
+struct SourceLoc {
+  std::uint32_t line = 0;
+  std::uint32_t col = 0;
+
+  bool known() const { return line > 0; }
+  /// "line:col", or "?" when unknown.
+  std::string str() const;
+};
+
 /// A (possibly negated) atom occurrence in a rule body.
 struct Literal {
   Term atom;
@@ -67,6 +79,7 @@ struct Rule {
   Head head;
   std::vector<Literal> body;
   std::vector<Comparison> comparisons;
+  SourceLoc loc;
 
   std::string str() const;
 };
@@ -81,6 +94,7 @@ struct MinimizeElement {
   std::int64_t priority = 0;
   std::vector<Term> tuple;
   std::vector<Literal> condition;
+  SourceLoc loc;
 };
 
 /// A non-ground program: rules plus weak constraints.

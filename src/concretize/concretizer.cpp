@@ -38,13 +38,13 @@ constexpr std::string_view kBaseLogic = R"(
 % Any known package may appear as a node (choice, externally supported);
 % non-root nodes must be depended upon by another node.
 { attr("node", node(P)) } :- pkg_fact(P, package).
-node_used(P) :- attr("depends_on", node(Q), node(P), T), attr("node", node(Q)).
+node_used(P) :- attr("depends_on", node(Q), node(P), _T), attr("node", node(Q)).
 :- attr("node", node(P)), not node_used(P), not attr("root", node(P)).
 :- attr("root", node(P)), not attr("node", node(P)).
-:- attr("depends_on", node(P), node(D), T), attr("node", node(P)), not attr("node", node(D)).
+:- attr("depends_on", node(P), node(D), _T), attr("node", node(P)), not attr("node", node(D)).
 
 % ---- versions --------------------------------------------------------------
-1 { attr("version", node(P), V) : pkg_fact(P, version_declared(V, W)) } 1 :- attr("node", node(P)).
+1 { attr("version", node(P), V) : pkg_fact(P, version_declared(V, _W)) } 1 :- attr("node", node(P)).
 :- attr("version", node(P), V1), attr("version", node(P), V2), V1 < V2.
 
 % ---- variants ---------------------------------------------------------------
@@ -55,8 +55,8 @@ variant_not_default(P, Var) :- attr("variant", node(P), Var, Val), pkg_fact(P, v
 % ---- os / target: one value per node, uniform across the DAG ---------------
 1 { attr("node_os", node(P), O) : allowed_os(O) } 1 :- attr("node", node(P)).
 1 { attr("node_target", node(P), T) : allowed_target(T) } 1 :- attr("node", node(P)).
-:- attr("node_os", node(P), O1), attr("node_os", node(Q), O2), O1 < O2.
-:- attr("node_target", node(P), T1), attr("node_target", node(Q), T2), T1 < T2.
+:- attr("node_os", node(_P), O1), attr("node_os", node(_Q), O2), O1 < O2.
+:- attr("node_target", node(_P), T1), attr("node_target", node(_Q), T2), T1 < T2.
 
 % ---- virtual dependencies ---------------------------------------------------
 virtual_used(V) :- attr("virtual_dep", node(P), V), attr("node", node(P)).
@@ -70,7 +70,7 @@ attr("depends_on", node(P), node(R), "link") :- attr("virtual_dep", node(P), V),
 { attr("hash", node(P), H) : installed_hash(P, H) } 1 :- attr("node", node(P)).
 :- attr("hash", node(P), H1), attr("hash", node(P), H2), H1 < H2.
 impose(H, node(P)) :- attr("hash", node(P), H), attr("node", node(P)).
-reused(P) :- attr("hash", node(P), H), attr("node", node(P)).
+reused(P) :- attr("hash", node(P), _H), attr("node", node(P)).
 build(P) :- attr("node", node(P)), not reused(P).
 
 attr("version", node(P), V) :- impose(H, node(P)), imposed_constraint(H, "version", P, V).
@@ -78,7 +78,7 @@ attr("variant", node(P), Var, Val) :- impose(H, node(P)), imposed_constraint(H, 
 attr("node_os", node(P), O) :- impose(H, node(P)), imposed_constraint(H, "node_os", P, O).
 attr("node_target", node(P), T) :- impose(H, node(P)), imposed_constraint(H, "node_target", P, T).
 attr("depends_on", node(P), node(D), "link") :- impose(H, node(P)), imposed_constraint(H, "depends_on", P, D).
-attr("hash", node(D), DH) :- impose(H, node(P)), imposed_constraint(H, "hash", D, DH).
+attr("hash", node(D), DH) :- impose(H, node(_P)), imposed_constraint(H, "hash", D, DH).
 
 % ---- objectives --------------------------------------------------------------
 % Prefer the host platform: non-default os/target choices are penalized
@@ -104,7 +104,7 @@ imposed_constraint(H, "version", P, V) :- hash_attr(H, "version", P, V).
 imposed_constraint(H, "variant", P, Var, Val) :- hash_attr(H, "variant", P, Var, Val).
 imposed_constraint(H, "node_os", P, O) :- hash_attr(H, "node_os", P, O).
 imposed_constraint(H, "node_target", P, T) :- hash_attr(H, "node_target", P, T).
-imposed_constraint(H, "depends_on", P, D) :- hash_attr(H, "depends_on", P, D), hash_attr(H, "hash", D, DH), not spliced_away(H, D).
+imposed_constraint(H, "depends_on", P, D) :- hash_attr(H, "depends_on", P, D), hash_attr(H, "hash", D, _DH), not spliced_away(H, D).
 imposed_constraint(H, "hash", D, DH) :- hash_attr(H, "hash", D, DH), not spliced_away(H, D).
 )";
 
@@ -114,11 +114,11 @@ imposed_constraint(H, "hash", D, DH) :- hash_attr(H, "hash", D, DH), not spliced
 /// compatible replacement in.
 constexpr std::string_view kSpliceLogic = R"(
 splice_candidate(H, D, R) :- hash_attr(H, "hash", D, DH), can_splice(node(R), D, DH).
-spliceable(H, D) :- splice_candidate(H, D, R).
-imposed_any(H) :- impose(H, node(P)).
+spliceable(H, D) :- splice_candidate(H, D, _R).
+imposed_any(H) :- impose(H, node(_P)).
 { spliced_away(H, D) } :- spliceable(H, D), imposed_any(H).
 1 { splice_with(H, D, R) : splice_candidate(H, D, R) } 1 :- spliced_away(H, D).
-attr("depends_on", node(P), node(R), "link") :- impose(H, node(P)), splice_with(H, D, R).
+attr("depends_on", node(P), node(R), "link") :- impose(H, node(P)), splice_with(H, _D, R).
 attr("splice", node(P), D, R) :- impose(H, node(P)), splice_with(H, D, R).
 % Mild penalty so plain reuse beats an equivalent spliced solution.
 #minimize { 1@50, H, D : spliced_away(H, D) }.
@@ -514,6 +514,29 @@ class Concretizer::Compiler {
 };
 
 // ---- Concretizer ------------------------------------------------------------
+
+asp::Program Concretizer::compile_program(
+    const std::vector<Request>& requests) const {
+  Compiler compiler(repo_, opts_, reusable_);
+  return compiler.compile(requests);
+}
+
+asp::AnalyzeOptions Concretizer::lint_options() {
+  asp::AnalyzeOptions o;
+  // attr/2..4 carries node, version/os/target/hash, variant and depends_on
+  // payloads; the reuse fact predicates mirror that shape at 4 and 5.
+  o.mixed_arity_ok = {"attr", "imposed_constraint", "hash_attr"};
+  // Fact predicates that are legitimately absent in some configurations:
+  // no reusable specs, no virtual packages, no can_splice directives, or the
+  // splice fragment not loaded (spliced_away then has no deriving rule by
+  // design, paper Figure 3b).
+  o.externals = {"installed_hash", "imposed_constraint", "hash_attr",
+                 "can_splice",     "spliced_away",       "range_allows",
+                 "provides_now"};
+  // attr is read back from the model by the solution extractor, not by rules.
+  o.outputs = {"attr"};
+  return o;
+}
 
 Concretizer::Concretizer(const repo::Repository& repo, ConcretizerOptions opts)
     : repo_(repo), opts_(opts) {

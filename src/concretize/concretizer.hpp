@@ -116,6 +116,17 @@ class Concretizer {
   /// all roots.  Throws UnsatisfiableError when no unified solution exists.
   EnvironmentResult concretize_together(const std::vector<Request>& requests);
 
+  /// Compile the request set to its full ASP program (facts, specialized
+  /// rules and the static logic fragments) without solving — the input to
+  /// asp::analyze and the asp_lint regression checks.
+  asp::Program compile_program(const std::vector<Request>& requests) const;
+
+  /// Analyzer whitelists matching this encoding: attr and the reuse fact
+  /// predicates are intentionally multi-arity, attr is consumed by the model
+  /// extractor rather than by rules, and the reuse/splice fact predicates may
+  /// be absent in some configurations.
+  static asp::AnalyzeOptions lint_options();
+
   std::size_t num_reusable() const { return reusable_.size(); }
   const ConcretizerOptions& options() const { return opts_; }
 

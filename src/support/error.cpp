@@ -17,4 +17,32 @@ ParseError::ParseError(const std::string& what, const std::string& input,
                        std::size_t pos)
     : Error(format_parse_error(what, input, pos)), pos_(pos) {}
 
+namespace {
+std::string format_located_error(const std::string& what, const std::string& input,
+                                 std::size_t line, std::size_t column,
+                                 const std::string& token) {
+  std::ostringstream os;
+  os << what << " at " << line << ":" << column;
+  if (!token.empty()) os << " near '" << token << "'";
+  if (!input.empty()) os << " in: " << input;
+  return os.str();
+}
+}  // namespace
+
+ParseError::ParseError(const std::string& what, const std::string& input,
+                       std::size_t pos, std::size_t line, std::size_t column,
+                       const std::string& token)
+    : Error(format_located_error(what, input, line, column, token)),
+      pos_(pos),
+      line_(line),
+      column_(column),
+      token_(token) {}
+
+AspError::AspError(const std::string& msg, std::size_t line, std::size_t column)
+    : Error(line > 0 ? msg + " (at " + std::to_string(line) + ":" +
+                           std::to_string(column) + ")"
+                     : msg),
+      line_(line),
+      column_(column) {}
+
 }  // namespace splice

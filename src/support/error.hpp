@@ -21,12 +21,23 @@ class Error : public std::runtime_error {
 class ParseError : public Error {
  public:
   ParseError(const std::string& what, const std::string& input, std::size_t pos);
+  /// Position-rich form: 1-based line/column plus the offending token text,
+  /// formatted as "<what> at <line>:<col> near '<token>'".
+  ParseError(const std::string& what, const std::string& input, std::size_t pos,
+             std::size_t line, std::size_t column, const std::string& token);
   explicit ParseError(const std::string& msg) : Error(msg) {}
 
   std::size_t position() const { return pos_; }
+  /// 1-based source line/column; 0 when the throw site had no line info.
+  std::size_t line() const { return line_; }
+  std::size_t column() const { return column_; }
+  const std::string& token() const { return token_; }
 
  private:
   std::size_t pos_ = 0;
+  std::size_t line_ = 0;
+  std::size_t column_ = 0;
+  std::string token_;
 };
 
 /// A package definition or repository is internally inconsistent.
@@ -42,9 +53,19 @@ class UnsatisfiableError : public Error {
 };
 
 /// The ASP engine was given a program outside its supported fragment.
+/// Carries the 1-based line/column of the offending rule when the program
+/// came from text (0/0 for programs built through the Term API).
 class AspError : public Error {
  public:
   using Error::Error;
+  AspError(const std::string& msg, std::size_t line, std::size_t column);
+
+  std::size_t line() const { return line_; }
+  std::size_t column() const { return column_; }
+
+ private:
+  std::size_t line_ = 0;
+  std::size_t column_ = 0;
 };
 
 /// Binary-level failures: corrupt mock binaries, failed relocation/rewiring.

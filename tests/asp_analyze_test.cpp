@@ -1,0 +1,388 @@
+// Tests for the static analyzer (predicate graph diagnostics) and the
+// independent answer-set verifier.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/asp/asp.hpp"
+
+namespace splice::asp {
+namespace {
+
+AnalysisReport lint(const std::string& text, const AnalyzeOptions& opts = {}) {
+  return analyze(parse_program(text), opts);
+}
+
+bool mentions(const AnalysisReport& r, DiagKind kind,
+              const std::string& needle) {
+  return std::any_of(r.diagnostics.begin(), r.diagnostics.end(),
+                     [&](const Diagnostic& d) {
+                       return d.kind == kind &&
+                              d.message.find(needle) != std::string::npos;
+                     });
+}
+
+// ---- clean programs ---------------------------------------------------------
+
+TEST(Analyze, CleanProgramHasNoDiagnostics) {
+  AnalyzeOptions opts;
+  opts.outputs = {"path"};
+  AnalysisReport r = lint(R"(
+    edge(a, b). edge(b, c).
+    path(X, Y) :- edge(X, Y).
+    path(X, Z) :- path(X, Y), edge(Y, Z).
+  )", opts);
+  EXPECT_TRUE(r.diagnostics.empty()) << r.str();
+  EXPECT_FALSE(r.has_errors());
+  EXPECT_TRUE(r.stratified);
+  // path is positively recursive: one component, no negation/choice.
+  ASSERT_EQ(r.recursive_components.size(), 1u);
+  EXPECT_EQ(r.recursive_components[0].predicates,
+            std::vector<std::string>{"path/2"});
+  EXPECT_FALSE(r.recursive_components[0].has_negative_edge);
+}
+
+// ---- arity mismatch ---------------------------------------------------------
+
+TEST(Analyze, ArityMismatchReported) {
+  AnalyzeOptions opts;
+  opts.outputs = {"q"};
+  AnalysisReport r = lint("p(1). p(1, 2). q(X) :- p(X).", opts);
+  EXPECT_TRUE(r.has_errors());
+  EXPECT_EQ(r.count(DiagKind::ArityMismatch), 1u);
+  EXPECT_TRUE(mentions(r, DiagKind::ArityMismatch, "p/1"));
+  EXPECT_TRUE(mentions(r, DiagKind::ArityMismatch, "p/2"));
+}
+
+TEST(Analyze, ArityMismatchWhitelisted) {
+  AnalyzeOptions opts;
+  opts.mixed_arity_ok = {"attr"};
+  opts.outputs = {"attr"};
+  AnalysisReport r = lint(R"(attr("node", n1). attr("version", n1, "1.0").)",
+                          opts);
+  EXPECT_EQ(r.count(DiagKind::ArityMismatch), 0u) << r.str();
+  EXPECT_FALSE(r.has_errors());
+}
+
+TEST(Analyze, ArityMismatchIsSeverityError) {
+  AnalyzeOptions opts;
+  opts.outputs = {"p"};
+  AnalysisReport r = lint("p(1). p(1, 2).", opts);
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_EQ(r.diagnostics[0].severity, DiagSeverity::Error);
+  EXPECT_EQ(r.count(DiagSeverity::Error), 1u);
+}
+
+// ---- undefined predicates ---------------------------------------------------
+
+TEST(Analyze, UndefinedPredicateReported) {
+  AnalyzeOptions opts;
+  opts.outputs = {"q"};
+  AnalysisReport r = lint("base(1). q(X) :- base(X), missing(X).", opts);
+  EXPECT_TRUE(r.has_errors());
+  EXPECT_EQ(r.count(DiagKind::UndefinedPredicate), 1u);
+  EXPECT_TRUE(mentions(r, DiagKind::UndefinedPredicate, "missing/1"));
+}
+
+TEST(Analyze, UndefinedSeenThroughNegationAndConditions) {
+  AnalyzeOptions opts;
+  opts.outputs = {"q", "pick"};
+  AnalysisReport r = lint(R"(
+    base(1).
+    q(X) :- base(X), not ghost(X).
+    { pick(X) : base(X), phantom(X) }.
+    #minimize { 1@1, X : base(X), spook(X) }.
+  )", opts);
+  EXPECT_EQ(r.count(DiagKind::UndefinedPredicate), 3u) << r.str();
+  EXPECT_TRUE(mentions(r, DiagKind::UndefinedPredicate, "ghost/1"));
+  EXPECT_TRUE(mentions(r, DiagKind::UndefinedPredicate, "phantom/1"));
+  EXPECT_TRUE(mentions(r, DiagKind::UndefinedPredicate, "spook/1"));
+}
+
+TEST(Analyze, ExternalsSuppressUndefined) {
+  AnalyzeOptions opts;
+  opts.outputs = {"q"};
+  opts.externals = {"missing", "also_missing/2"};  // name and name/arity
+  AnalysisReport r = lint(
+      "base(1). q(X) :- base(X), missing(X), also_missing(X, X).", opts);
+  EXPECT_EQ(r.count(DiagKind::UndefinedPredicate), 0u) << r.str();
+}
+
+// ---- dead predicates --------------------------------------------------------
+
+TEST(Analyze, DeadPredicateReported) {
+  AnalysisReport r = lint("alive. zombie :- alive. :- not alive.");
+  EXPECT_EQ(r.count(DiagKind::DeadPredicate), 1u) << r.str();
+  EXPECT_TRUE(mentions(r, DiagKind::DeadPredicate, "zombie/0"));
+  // Warning, not error.
+  EXPECT_FALSE(r.has_errors());
+  EXPECT_EQ(r.count(DiagSeverity::Warning), 1u);
+}
+
+TEST(Analyze, OutputsSuppressDead) {
+  AnalyzeOptions opts;
+  opts.outputs = {"zombie/0"};
+  AnalysisReport r = lint("alive. zombie :- alive. :- not alive.", opts);
+  EXPECT_EQ(r.count(DiagKind::DeadPredicate), 0u) << r.str();
+}
+
+// ---- singleton variables ----------------------------------------------------
+
+TEST(Analyze, SingletonVariableReported) {
+  AnalyzeOptions opts;
+  opts.outputs = {"p"};
+  AnalysisReport r = lint("q(1, 2). p(X) :- q(X, Y).", opts);
+  EXPECT_EQ(r.count(DiagKind::SingletonVariable), 1u) << r.str();
+  EXPECT_TRUE(mentions(r, DiagKind::SingletonVariable, "'Y'"));
+}
+
+TEST(Analyze, UnderscorePrefixExemptsSingleton) {
+  AnalyzeOptions opts;
+  opts.outputs = {"p"};
+  AnalysisReport r = lint("q(1, 2). p(X) :- q(X, _Y).", opts);
+  EXPECT_EQ(r.count(DiagKind::SingletonVariable), 0u) << r.str();
+}
+
+TEST(Analyze, ChoiceElementScopes) {
+  AnalyzeOptions opts;
+  opts.outputs = {"pick"};
+  // X is shared between element and body: not a singleton anywhere.
+  // W occurs once inside its element: singleton.
+  AnalysisReport r = lint(R"(
+    node(a). opt(a, 1). opt(a, 2). weight(a, 1, 5). weight(a, 2, 6).
+    1 { pick(X, V) : opt(X, V), weight(X, V, W) } 1 :- node(X).
+  )", opts);
+  EXPECT_EQ(r.count(DiagKind::SingletonVariable), 1u) << r.str();
+  EXPECT_TRUE(mentions(r, DiagKind::SingletonVariable, "'W'"));
+}
+
+TEST(Analyze, MinimizeElementSingleton) {
+  AnalyzeOptions opts;
+  opts.outputs = {"pick"};
+  AnalysisReport r = lint(R"(
+    opt(a). cost(a, 1, x).
+    { pick(X) : opt(X) }.
+    #minimize { 1@1, X : pick(X), cost(X, C, T) }.
+  )", opts);
+  // C and T each occur once in the minimize element.
+  EXPECT_EQ(r.count(DiagKind::SingletonVariable), 2u) << r.str();
+}
+
+TEST(Analyze, ComparisonUseCountsTowardOccurrences) {
+  AnalyzeOptions opts;
+  opts.outputs = {"p"};
+  AnalysisReport r = lint("q(1). q(2). p(X) :- q(X), q(Y), X < Y.", opts);
+  EXPECT_EQ(r.count(DiagKind::SingletonVariable), 0u) << r.str();
+}
+
+// ---- stratification ---------------------------------------------------------
+
+TEST(Analyze, NegativeCycleUnstratified) {
+  AnalyzeOptions opts;
+  opts.outputs = {"a", "b"};
+  AnalysisReport r = lint("a :- not b. b :- not a.", opts);
+  EXPECT_FALSE(r.stratified);
+  EXPECT_EQ(r.count(DiagKind::Unstratified), 1u) << r.str();
+  ASSERT_EQ(r.recursive_components.size(), 1u);
+  EXPECT_TRUE(r.recursive_components[0].has_negative_edge);
+  // Info severity: legal, not an error.
+  EXPECT_FALSE(r.has_errors());
+  EXPECT_EQ(r.count(DiagSeverity::Info), 1u);
+}
+
+TEST(Analyze, PositiveRecursionIsStratified) {
+  AnalyzeOptions opts;
+  opts.outputs = {"reach"};
+  AnalysisReport r = lint(R"(
+    edge(a, b).
+    reach(X, Y) :- edge(X, Y).
+    reach(X, Z) :- reach(X, Y), edge(Y, Z).
+  )", opts);
+  EXPECT_TRUE(r.stratified);
+  EXPECT_EQ(r.count(DiagKind::Unstratified), 0u);
+  EXPECT_EQ(r.recursive_components.size(), 1u);
+}
+
+TEST(Analyze, ChoiceCycleReportedButStratified) {
+  AnalyzeOptions opts;
+  opts.outputs = {"sel", "seen"};
+  // sel depends on seen through a choice; seen depends on sel: a cycle
+  // through a choice head but with no negation.
+  AnalysisReport r = lint(R"(
+    item(a).
+    { sel(X) : item(X), seen(X) }.
+    seen(X) :- sel(X).
+    seen(X) :- item(X).
+  )", opts);
+  EXPECT_TRUE(r.stratified);  // no negative edge
+  EXPECT_EQ(r.count(DiagKind::Unstratified), 1u) << r.str();
+  EXPECT_TRUE(mentions(r, DiagKind::Unstratified, "choice"));
+  ASSERT_EQ(r.recursive_components.size(), 1u);
+  EXPECT_TRUE(r.recursive_components[0].has_choice_edge);
+  EXPECT_FALSE(r.recursive_components[0].has_negative_edge);
+}
+
+TEST(Analyze, SelfLoopCounts) {
+  AnalyzeOptions opts;
+  opts.outputs = {"p"};
+  AnalysisReport r = lint("p :- not p.", opts);
+  EXPECT_FALSE(r.stratified);
+  ASSERT_EQ(r.recursive_components.size(), 1u);
+  EXPECT_EQ(r.recursive_components[0].predicates,
+            std::vector<std::string>{"p/0"});
+}
+
+// ---- report ergonomics ------------------------------------------------------
+
+TEST(Analyze, DiagnosticRenderingAndOrdering) {
+  AnalysisReport r = lint(R"(
+    p(1). p(1, 2).
+    dead :- p(1).
+  )");
+  // Errors sort before warnings.
+  ASSERT_GE(r.diagnostics.size(), 2u);
+  EXPECT_EQ(r.diagnostics.front().severity, DiagSeverity::Error);
+  std::string line = r.diagnostics.front().str();
+  EXPECT_NE(line.find("error: arity-mismatch"), std::string::npos) << line;
+  // Parsed rules carry locations; they appear in the rendering.
+  EXPECT_NE(line.find(" at "), std::string::npos) << line;
+}
+
+TEST(Analyze, LocationsPointAtTheRule) {
+  AnalyzeOptions opts;
+  opts.externals = {"r", "s"};
+  opts.outputs = {"q"};
+  AnalysisReport r = lint("ok.\n\nq(X) :- ok, r(X, Y), s(X).\n", opts);
+  ASSERT_EQ(r.count(DiagKind::SingletonVariable), 1u) << r.str();
+  auto it = std::find_if(r.diagnostics.begin(), r.diagnostics.end(),
+                         [](const Diagnostic& d) {
+                           return d.kind == DiagKind::SingletonVariable;
+                         });
+  EXPECT_EQ(it->loc.line, 3u);
+  EXPECT_EQ(it->loc.col, 1u);
+}
+
+// ---- verify_model -----------------------------------------------------------
+
+Model model_of(std::initializer_list<const char*> atoms) {
+  Model m;
+  for (const char* a : atoms) m.atoms.insert(parse_term_text(a));
+  return m;
+}
+
+TEST(VerifyModel, AcceptsSolverModel) {
+  Program p = parse_program(R"(
+    opt(a). opt(b). cost(a, 2). cost(b, 1).
+    1 { pick(X) : opt(X) } 1.
+    chosen :- pick(a).
+    chosen :- pick(b).
+    :- not chosen.
+    #minimize { W@1, X : pick(X), cost(X, W) }.
+  )");
+  GroundProgram gp = ground(p);
+  SolveResult r = solve_ground(gp);
+  ASSERT_TRUE(r.sat);
+  VerifyResult v = verify_model(gp, r.model);
+  EXPECT_TRUE(v.ok) << v.str();
+  ASSERT_EQ(v.costs.size(), 1u);
+  EXPECT_EQ(v.costs[0], (std::pair<std::int64_t, std::int64_t>{1, 1}));
+}
+
+TEST(VerifyModel, RejectsMissingFact) {
+  GroundProgram gp = ground(parse_program("a. b."));
+  VerifyResult v = verify_model(gp, model_of({"a"}));
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.str().find("fact"), std::string::npos) << v.str();
+}
+
+TEST(VerifyModel, RejectsUnsatisfiedRule) {
+  // With a plain fact the grounder folds b into the certain set, so use a
+  // choice to keep the rule conditional.
+  GroundProgram gp = ground(parse_program("{ a }. b :- a."));
+  VerifyResult v = verify_model(gp, model_of({"a"}));
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.str().find("rule not satisfied"), std::string::npos) << v.str();
+  EXPECT_TRUE(verify_model(gp, model_of({"a", "b"})).ok);
+  EXPECT_TRUE(verify_model(gp, model_of({})).ok);
+}
+
+TEST(VerifyModel, RejectsFiredConstraint) {
+  GroundProgram gp = ground(parse_program("{ a }. :- a."));
+  VerifyResult v = verify_model(gp, model_of({"a"}));
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.str().find("integrity constraint"), std::string::npos)
+      << v.str();
+}
+
+TEST(VerifyModel, RejectsUnfoundedLoop) {
+  // With s false, {a, b} satisfies every rule classically but the loop has
+  // no external support: not stable.  (The choice on s keeps a and b in the
+  // grounder's possible set.)
+  GroundProgram gp = ground(parse_program("{ s }. a :- b. b :- a. a :- s."));
+  VerifyResult v = verify_model(gp, model_of({"a", "b"}));
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.str().find("unfounded"), std::string::npos) << v.str();
+  // The supported variants are stable.
+  EXPECT_TRUE(verify_model(gp, model_of({"s", "a", "b"})).ok);
+  EXPECT_TRUE(verify_model(gp, model_of({})).ok);
+}
+
+TEST(VerifyModel, RejectsChoiceBoundViolations) {
+  GroundProgram gp = ground(parse_program("1 { a ; b } 1."));
+  EXPECT_FALSE(verify_model(gp, model_of({"a", "b"})).ok);  // upper
+  EXPECT_FALSE(verify_model(gp, model_of({})).ok);          // lower
+  EXPECT_TRUE(verify_model(gp, model_of({"a"})).ok);
+  EXPECT_TRUE(verify_model(gp, model_of({"b"})).ok);
+}
+
+TEST(VerifyModel, RejectsAtomOutsideProgram) {
+  GroundProgram gp = ground(parse_program("a."));
+  Model m = model_of({"a", "mystery(42)"});
+  VerifyResult v = verify_model(gp, m);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.str().find("not in the ground program"), std::string::npos)
+      << v.str();
+}
+
+TEST(VerifyModel, RejectsMisreportedCosts) {
+  Program p = parse_program("{ a }. :- not a. #minimize { 3@2 : a }.");
+  GroundProgram gp = ground(p);
+  SolveResult r = solve_ground(gp);
+  ASSERT_TRUE(r.sat);
+  ASSERT_EQ(r.model.costs.size(), 1u);
+  EXPECT_TRUE(verify_model(gp, r.model).ok);
+
+  Model tampered = r.model;
+  tampered.costs[0].second = 0;  // claim the penalty was avoided
+  VerifyResult v = verify_model(gp, tampered);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.str().find("recomputed"), std::string::npos) << v.str();
+}
+
+TEST(VerifyModel, RecomputesCostsPerPriorityHighestFirst) {
+  Program p = parse_program(R"(
+    a. b.
+    #minimize { 1@1 : a ; 5@3 : b ; 2@1 : b }.
+  )");
+  GroundProgram gp = ground(p);
+  VerifyResult v = verify_model(gp, model_of({"a", "b"}));
+  EXPECT_TRUE(v.ok) << v.str();
+  ASSERT_EQ(v.costs.size(), 2u);
+  EXPECT_EQ(v.costs[0], (std::pair<std::int64_t, std::int64_t>{3, 5}));
+  EXPECT_EQ(v.costs[1], (std::pair<std::int64_t, std::int64_t>{1, 3}));
+}
+
+TEST(VerifyModel, ConditionalChoiceElementEligibility) {
+  // pick(b) is only eligible while its condition holds; a model choosing an
+  // ineligible element must be rejected as unfounded.
+  Program p = parse_program(R"(
+    opt(a).
+    { pick(X) : opt(X) }.
+  )");
+  GroundProgram gp = ground(p);
+  EXPECT_TRUE(verify_model(gp, model_of({"opt(a)", "pick(a)"})).ok);
+  EXPECT_TRUE(verify_model(gp, model_of({"opt(a)"})).ok);
+}
+
+}  // namespace
+}  // namespace splice::asp

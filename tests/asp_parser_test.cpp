@@ -150,6 +150,58 @@ TEST(AspParser, SyntaxErrors) {
   EXPECT_THROW(parse_program("a ! b."), ParseError);
 }
 
+// Errors carry 1-based line/column of the offending token plus its text.
+TEST(AspParser, ErrorPositions) {
+  try {
+    parse_program("a.\nb :- c & d.\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_EQ(e.column(), 8u);
+    EXPECT_EQ(e.token(), "&");
+    EXPECT_NE(std::string(e.what()).find("2:8"), std::string::npos) << e.what();
+  }
+
+  try {
+    parse_program("% comment line\n\nfoo(1) bar.\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_EQ(e.column(), 8u);
+    EXPECT_EQ(e.token(), "bar");
+  }
+
+  try {
+    parse_program("a :- b,\n     not .\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_EQ(e.column(), 10u);
+    EXPECT_EQ(e.token(), ".");
+  }
+
+  try {
+    parse_program("ok.\nbad");  // missing final dot -> error at end of input
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_NE(std::string(e.what()).find("end of input"), std::string::npos)
+        << e.what();
+  }
+}
+
+// Safety errors point at the rule that tripped them.
+TEST(AspParser, SafetyErrorPositions) {
+  try {
+    parse_program("ok.\n\nhead(X) :- not b(X).\n");
+    FAIL() << "expected AspError";
+  } catch (const AspError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_EQ(e.column(), 1u);
+    EXPECT_NE(std::string(e.what()).find("3:1"), std::string::npos) << e.what();
+  }
+}
+
 TEST(AspParser, ProgramPrintingRoundTrips) {
   const std::string text =
       "1 { pick(X) : opt(X) } 1 :- go.\n"

@@ -165,6 +165,10 @@ TEST_P(OracleTest, SolverAgreesWithBruteForce) {
   bool found = std::find(stable.begin(), stable.end(), got) != stable.end();
   EXPECT_TRUE(found) << "solver model is not stable for:\n" << GetParam();
 
+  // The independent verifier must agree with the brute-force oracle.
+  VerifyResult v = verify_model(gp, r.model);
+  EXPECT_TRUE(v.ok) << v.str() << "for:\n" << GetParam();
+
   // Optimality: no stable model is lexicographically cheaper.
   for (const AtomSet& m : stable) {
     EXPECT_FALSE(cost_less(gp, m, got))
@@ -230,6 +234,7 @@ TEST_P(EvenLoopChainTest, CountStableModels) {
   ASSERT_TRUE(r.sat);
   EXPECT_TRUE(std::find(stable.begin(), stable.end(),
                         model_atoms(gp, r.model)) != stable.end());
+  EXPECT_TRUE(verify_model(gp, r.model).ok);
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, EvenLoopChainTest, ::testing::Values(1, 2, 4, 8));
@@ -246,7 +251,11 @@ TEST_P(EnumerationTest, MatchesBruteForce) {
   ASSERT_EQ(got.size(), expected.size()) << GetParam();
   std::set<AtomSet> expected_set(expected.begin(), expected.end());
   std::set<AtomSet> got_set;
-  for (const Model& m : got) got_set.insert(model_atoms(gp, m));
+  for (const Model& m : got) {
+    got_set.insert(model_atoms(gp, m));
+    VerifyResult v = verify_model(gp, m);
+    EXPECT_TRUE(v.ok) << v.str() << "for:\n" << GetParam();
+  }
   EXPECT_EQ(got_set, expected_set) << GetParam();
 }
 

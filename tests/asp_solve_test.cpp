@@ -10,8 +10,21 @@ bool holds(const SolveResult& r, const std::string& atom) {
   return r.model.contains(parse_term_text(atom));
 }
 
+// Ground, solve, and independently re-check any model with verify_model, the
+// answer-set oracle from the diagnostics layer: every test in this suite
+// doubles as a verifier test.
+SolveResult solve_verified(const Program& p, const SolveOptions& opts = {}) {
+  GroundProgram gp = ground(p);
+  SolveResult r = solve_ground(gp, opts);
+  if (r.sat) {
+    VerifyResult v = verify_model(gp, r.model);
+    EXPECT_TRUE(v.ok) << v.str();
+  }
+  return r;
+}
+
 TEST(Solve, FactsOnly) {
-  SolveResult r = solve_program(parse_program("a. b(1). c(\"x\")."));
+  SolveResult r = solve_verified(parse_program("a. b(1). c(\"x\")."));
   ASSERT_TRUE(r.sat);
   EXPECT_TRUE(holds(r, "a"));
   EXPECT_TRUE(holds(r, "b(1)"));
@@ -19,7 +32,7 @@ TEST(Solve, FactsOnly) {
 }
 
 TEST(Solve, DeductiveClosure) {
-  SolveResult r = solve_program(parse_program(R"(
+  SolveResult r = solve_verified(parse_program(R"(
     edge(a, b). edge(b, c).
     path(X, Y) :- edge(X, Y).
     path(X, Z) :- path(X, Y), edge(Y, Z).
@@ -30,13 +43,13 @@ TEST(Solve, DeductiveClosure) {
 }
 
 TEST(Solve, ConstraintMakesUnsat) {
-  SolveResult r = solve_program(parse_program("a. :- a."));
+  SolveResult r = solve_verified(parse_program("a. :- a."));
   EXPECT_FALSE(r.sat);
 }
 
 TEST(Solve, DefaultNegationPrefersFalse) {
   // Stable model semantics: single model {b} (a has no support).
-  SolveResult r = solve_program(parse_program("b :- not a."));
+  SolveResult r = solve_verified(parse_program("b :- not a."));
   ASSERT_TRUE(r.sat);
   EXPECT_TRUE(holds(r, "b"));
   EXPECT_FALSE(holds(r, "a"));
@@ -44,14 +57,14 @@ TEST(Solve, DefaultNegationPrefersFalse) {
 
 TEST(Solve, EvenLoopHasStableModels) {
   // a :- not b.  b :- not a.  Two stable models: {a} and {b}.
-  SolveResult r = solve_program(parse_program("a :- not b. b :- not a."));
+  SolveResult r = solve_verified(parse_program("a :- not b. b :- not a."));
   ASSERT_TRUE(r.sat);
   EXPECT_NE(holds(r, "a"), holds(r, "b"));
 }
 
 TEST(Solve, PositiveLoopIsUnfounded) {
   // a :- b. b :- a.  Completion alone admits {a, b}; stable semantics do not.
-  SolveResult r = solve_program(parse_program(R"(
+  SolveResult r = solve_verified(parse_program(R"(
     a :- b.
     b :- a.
   )"));
@@ -62,7 +75,7 @@ TEST(Solve, PositiveLoopIsUnfounded) {
 
 TEST(Solve, PositiveLoopWithChoiceEscape) {
   // The loop can be supported externally through a choice.
-  SolveResult r = solve_program(parse_program(R"(
+  SolveResult r = solve_verified(parse_program(R"(
     { seed }.
     a :- b. b :- a. a :- seed.
     :- not b.
@@ -77,7 +90,7 @@ TEST(Solve, PositiveLoopWithChoiceEscape) {
 TEST(Solve, LargerUnfoundedLoopRejected) {
   // A 4-cycle with no external support must be all-false even though the
   // constraint pressures it to be true -> UNSAT.
-  SolveResult r = solve_program(parse_program(R"(
+  SolveResult r = solve_verified(parse_program(R"(
     p1 :- p2. p2 :- p3. p3 :- p4. p4 :- p1.
     :- not p1.
   )"));
@@ -85,7 +98,7 @@ TEST(Solve, LargerUnfoundedLoopRejected) {
 }
 
 TEST(Solve, ChoiceExactlyOne) {
-  SolveResult r = solve_program(parse_program(R"(
+  SolveResult r = solve_verified(parse_program(R"(
     opt(a). opt(b). opt(c).
     1 { pick(X) : opt(X) } 1.
   )"));
@@ -95,7 +108,7 @@ TEST(Solve, ChoiceExactlyOne) {
 }
 
 TEST(Solve, ChoiceUpperBoundTwo) {
-  SolveResult r = solve_program(parse_program(R"(
+  SolveResult r = solve_verified(parse_program(R"(
     opt(a). opt(b). opt(c).
     { pick(X) : opt(X) } 2.
     :- not pick(a).
@@ -108,7 +121,7 @@ TEST(Solve, ChoiceUpperBoundTwo) {
 }
 
 TEST(Solve, ChoiceLowerBoundTwo) {
-  SolveResult r = solve_program(parse_program(R"(
+  SolveResult r = solve_verified(parse_program(R"(
     opt(a). opt(b). opt(c).
     2 { pick(X) : opt(X) }.
   )"));
@@ -118,7 +131,7 @@ TEST(Solve, ChoiceLowerBoundTwo) {
 }
 
 TEST(Solve, ChoiceUpperBoundExceededUnsat) {
-  SolveResult r = solve_program(parse_program(R"(
+  SolveResult r = solve_verified(parse_program(R"(
     opt(a). opt(b).
     { pick(X) : opt(X) } 1.
     :- not pick(a).
@@ -128,7 +141,7 @@ TEST(Solve, ChoiceUpperBoundExceededUnsat) {
 }
 
 TEST(Solve, ConditionalChoiceBodyGuards) {
-  SolveResult r = solve_program(parse_program(R"(
+  SolveResult r = solve_verified(parse_program(R"(
     { enabled }.
     1 { mode(fast) ; mode(slow) } 1 :- enabled.
     :- not enabled.
@@ -138,7 +151,7 @@ TEST(Solve, ConditionalChoiceBodyGuards) {
 }
 
 TEST(Solve, ChoiceNotForcedWhenBodyFalse) {
-  SolveResult r = solve_program(parse_program(R"(
+  SolveResult r = solve_verified(parse_program(R"(
     { enabled }.
     1 { mode(fast) ; mode(slow) } 1 :- enabled.
     :- enabled.
@@ -149,7 +162,7 @@ TEST(Solve, ChoiceNotForcedWhenBodyFalse) {
 }
 
 TEST(Solve, MinimizeVariableWeight) {
-  SolveResult r = solve_program(parse_program(R"(
+  SolveResult r = solve_verified(parse_program(R"(
     opt(a). opt(b). opt(c).
     1 { pick(X) : opt(X) }.
     cost(a, 3). cost(b, 1). cost(c, 2).
@@ -164,7 +177,7 @@ TEST(Solve, MinimizeVariableWeight) {
 }
 
 TEST(Solve, MinimizePicksCheapest) {
-  SolveResult r = solve_program(parse_program(R"(
+  SolveResult r = solve_verified(parse_program(R"(
     opt(a). opt(b). opt(c).
     1 { pick(X) : opt(X) }.
     penalty_a :- pick(a).
@@ -181,7 +194,7 @@ TEST(Solve, MinimizePicksCheapest) {
 
 TEST(Solve, MinimizeCountsTuplesOnce) {
   // Both conditions hold but share the tuple -> cost 1, not 2.
-  SolveResult r = solve_program(parse_program(R"(
+  SolveResult r = solve_verified(parse_program(R"(
     a. b.
     t :- a.
     t :- b.
@@ -195,7 +208,7 @@ TEST(Solve, MinimizeCountsTuplesOnce) {
 TEST(Solve, LexicographicPriorities) {
   // High priority: minimize builds (forces reuse). Low priority would prefer
   // the other branch; high priority must win.
-  SolveResult r = solve_program(parse_program(R"(
+  SolveResult r = solve_verified(parse_program(R"(
     1 { route(cheap_build) ; route(fast_run) } 1.
     build_cost :- route(fast_run).
     run_cost :- route(cheap_build).
@@ -210,7 +223,7 @@ TEST(Solve, LexicographicPriorities) {
 }
 
 TEST(Solve, LexicographicTieBrokenByLowerLevel) {
-  SolveResult r = solve_program(parse_program(R"(
+  SolveResult r = solve_verified(parse_program(R"(
     1 { v(1) ; v(2) ; v(3) } 1.
     % all equal at priority 2
     #minimize { 1@2 : v(1) ; 1@2 : v(2) ; 1@2 : v(3) }.
@@ -223,7 +236,7 @@ TEST(Solve, LexicographicTieBrokenByLowerLevel) {
 
 TEST(Solve, WeightedMinimizeOptimum) {
   // Knapsack-flavored: pick subset covering {x,y,z} with min weight.
-  SolveResult r = solve_program(parse_program(R"(
+  SolveResult r = solve_verified(parse_program(R"(
     item(a). item(b). item(c).
     { take(I) : item(I) }.
     covers(a, x). covers(a, y). covers(b, y). covers(b, z). covers(c, x).
@@ -243,7 +256,7 @@ TEST(Solve, WeightedMinimizeOptimum) {
 }
 
 TEST(Solve, ModelWithSignature) {
-  SolveResult r = solve_program(parse_program("p(a). p(b). q(c)."));
+  SolveResult r = solve_verified(parse_program("p(a). p(b). q(c)."));
   ASSERT_TRUE(r.sat);
   EXPECT_EQ(r.model.with_signature("p/1").size(), 2u);
   EXPECT_EQ(r.model.with_signature("q/1").size(), 1u);
@@ -251,7 +264,7 @@ TEST(Solve, ModelWithSignature) {
 }
 
 TEST(Solve, StatsPopulated) {
-  SolveResult r = solve_program(parse_program(R"(
+  SolveResult r = solve_verified(parse_program(R"(
     opt(a). opt(b). 1 { pick(X) : opt(X) } 1.
   )"));
   ASSERT_TRUE(r.sat);
@@ -286,7 +299,7 @@ TEST_P(QueensTest, Satisfiable) {
       }
     }
   }
-  SolveResult r = solve_program(parse_program(prog));
+  SolveResult r = solve_verified(parse_program(prog));
   ASSERT_TRUE(r.sat) << n << "-queens";
   // Verify: one queen per row, no column repeats.
   auto queens = r.model.with_signature("q/2");

@@ -1,0 +1,109 @@
+// Regression: the full generated concretizer encoding must be clean under
+// the static analyzer, and seeded encoding bugs must be caught.  This is the
+// guard the analyzer exists for — a typo'd predicate or arity slip in the
+// encoding otherwise fails silently as an always-false body.
+#include <gtest/gtest.h>
+
+#include "src/asp/asp.hpp"
+#include "src/concretize/concretizer.hpp"
+
+namespace splice::concretize {
+namespace {
+
+using repo::PackageDef;
+using repo::Repository;
+using spec::Spec;
+
+/// Figure 1 repo plus an ABI-compatible MPI (mpiabi can splice for mpich):
+/// exercises versions, variants, conditional deps, virtuals and splicing.
+Repository full_repo() {
+  Repository repo;
+  repo.add(PackageDef("zlib").version("1.3").version("1.2"));
+  repo.add(PackageDef("bzip2").version("1.0.8"));
+  repo.add(PackageDef("mpich").version("3.4.3").version("3.1").provides("mpi"));
+  repo.add(PackageDef("openmpi").version("4.1").provides("mpi"));
+  repo.add(PackageDef("mpiabi")
+               .version("2.3.7")
+               .provides("mpi")
+               .can_splice("mpich@3.4.3"));
+  repo.add(PackageDef("example")
+               .version("1.1.0")
+               .version("1.0.0")
+               .variant("bzip", true)
+               .depends_on("bzip2", "+bzip")
+               .depends_on("zlib@1.2", "@1.0.0")
+               .depends_on("zlib@1.3", "@1.1.0")
+               .depends_on("mpi"));
+  repo.validate();
+  return repo;
+}
+
+asp::AnalysisReport lint_encoding(const Concretizer& c,
+                                  const std::vector<Request>& requests) {
+  return asp::analyze(c.compile_program(requests), Concretizer::lint_options());
+}
+
+TEST(ConcretizerLint, DirectEncodingIsClean) {
+  Repository repo = full_repo();
+  ConcretizerOptions opts;
+  opts.encoding = ReuseEncoding::Direct;
+  Concretizer c(repo, opts);
+  asp::AnalysisReport r = lint_encoding(c, {Request("example ^mpich")});
+  EXPECT_EQ(r.count(asp::DiagSeverity::Error), 0u) << r.str();
+  EXPECT_EQ(r.count(asp::DiagSeverity::Warning), 0u) << r.str();
+}
+
+TEST(ConcretizerLint, IndirectSplicingEncodingIsClean) {
+  Repository repo = full_repo();
+  // Prebuild example^mpich as buildcache content so the reuse and splice
+  // fragments (installed_hash, hash_attr, can_splice facts) are all present.
+  ConcretizerOptions direct;
+  direct.encoding = ReuseEncoding::Direct;
+  Spec cached = Concretizer(repo, direct)
+                    .concretize(Request("example ^mpich"))
+                    .spec;
+
+  ConcretizerOptions opts;
+  opts.encoding = ReuseEncoding::Indirect;
+  opts.enable_splicing = true;
+  Concretizer c(repo, opts);
+  c.add_reusable(cached);
+
+  asp::AnalysisReport r = lint_encoding(c, {Request("example ^mpiabi")});
+  EXPECT_EQ(r.count(asp::DiagSeverity::Error), 0u) << r.str();
+  EXPECT_EQ(r.count(asp::DiagSeverity::Warning), 0u) << r.str();
+
+  // The splice feedback loop (attr -> impose -> spliced_away -> attr) is an
+  // expected unstratified component, reported as info only.
+  EXPECT_FALSE(r.stratified);
+  EXPECT_GE(r.count(asp::DiagKind::Unstratified), 1u);
+  EXPECT_GE(r.recursive_components.size(), 1u);
+}
+
+TEST(ConcretizerLint, SeededArityTypoIsCaught) {
+  Repository repo = full_repo();
+  Concretizer c(repo);
+  asp::Program p = c.compile_program({Request("example")});
+  // A buggy rule reading pkg_fact at the wrong arity (the classic slip the
+  // paper's encoding changes risk: one forgotten argument).
+  p.extend(asp::parse_program(
+      ":- pkg_fact(P, V, Extra), node_used(P), node_used(V), "
+      "node_used(Extra)."));
+  asp::AnalysisReport r = asp::analyze(p, Concretizer::lint_options());
+  EXPECT_TRUE(r.has_errors()) << r.str();
+  EXPECT_GE(r.count(asp::DiagKind::ArityMismatch), 1u) << r.str();
+}
+
+TEST(ConcretizerLint, SeededUndefinedPredicateIsCaught) {
+  Repository repo = full_repo();
+  Concretizer c(repo);
+  asp::Program p = c.compile_program({Request("example")});
+  // "pkg_facts" for "pkg_fact": a misspelled predicate is never derivable.
+  p.extend(asp::parse_program("bad(P) :- pkg_facts(P, package)."));
+  asp::AnalysisReport r = asp::analyze(p, Concretizer::lint_options());
+  EXPECT_TRUE(r.has_errors()) << r.str();
+  EXPECT_GE(r.count(asp::DiagKind::UndefinedPredicate), 1u) << r.str();
+}
+
+}  // namespace
+}  // namespace splice::concretize

@@ -159,7 +159,9 @@ class ConstraintPropertyTest
 TEST_P(ConstraintPropertyTest, SubsetImpliesIntersects) {
   auto [a_text, b_text] = GetParam();
   VersionConstraint a = vc(a_text), b = vc(b_text);
-  if (a.subset_of(b)) EXPECT_TRUE(a.intersects(b)) << a_text << " vs " << b_text;
+  if (a.subset_of(b)) {
+    EXPECT_TRUE(a.intersects(b)) << a_text << " vs " << b_text;
+  }
   // Constrain narrows: anything in (a ∩ b) is in both.
   VersionConstraint merged = a;
   if (merged.constrain(b)) {

@@ -1,0 +1,137 @@
+// asp_lint: static analyzer CLI for the mini-ASP dialect.
+//
+// Parses one or more .lp files (or stdin when no file is given), runs the
+// predicate-graph analyzer over the combined program and prints one
+// diagnostic per line as `severity: kind at line:col: message`.
+//
+//   asp_lint encoding.lp facts.lp
+//   asp_lint --external installed_hash --output attr encoding.lp
+//   splice-concretize-dump | asp_lint -
+//
+// Exit status: 0 clean (or warnings only), 1 errors found (or warnings with
+// --werror), 2 usage / parse failure.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/asp/asp.hpp"
+#include "src/support/error.hpp"
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: asp_lint [options] [file.lp ...]
+
+Statically analyzes ASP programs: arity mismatches, undefined predicates,
+dead predicates, singleton variables and stratification.  Reads stdin when
+no file (or "-") is given; several files are linted as one program.
+
+options:
+  --mixed-arity NAME   allow NAME at several arities (repeatable)
+  --external PRED      treat PRED (name or name/arity) as externally
+                       defined; suppresses undefined-predicate (repeatable)
+  --output PRED        treat PRED as a model output; suppresses
+                       dead-predicate (repeatable)
+  --werror             exit nonzero on warnings too
+  --report             also print the recursive-component summary
+  -h, --help           this message
+)";
+
+bool read_stream(std::istream& in, std::string& out) {
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return !in.bad();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using splice::asp::AnalyzeOptions;
+  AnalyzeOptions opts;
+  std::vector<std::string> files;
+  bool werror = false;
+  bool report = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "asp_lint: " << flag << " needs an argument\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "-h" || arg == "--help") {
+      std::cout << kUsage;
+      return 0;
+    } else if (arg == "--mixed-arity") {
+      opts.mixed_arity_ok.insert(value("--mixed-arity"));
+    } else if (arg == "--external") {
+      opts.externals.insert(value("--external"));
+    } else if (arg == "--output") {
+      opts.outputs.insert(value("--output"));
+    } else if (arg == "--werror") {
+      werror = true;
+    } else if (arg == "--report") {
+      report = true;
+    } else if (arg == "-") {
+      files.push_back("-");
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "asp_lint: unknown option '" << arg << "'\n" << kUsage;
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) files.push_back("-");
+
+  std::string text;
+  for (const auto& file : files) {
+    std::string chunk;
+    if (file == "-") {
+      if (!read_stream(std::cin, chunk)) {
+        std::cerr << "asp_lint: failed reading stdin\n";
+        return 2;
+      }
+    } else {
+      std::ifstream in(file);
+      if (!in || !read_stream(in, chunk)) {
+        std::cerr << "asp_lint: cannot read '" << file << "'\n";
+        return 2;
+      }
+    }
+    text += chunk;
+    if (!text.empty() && text.back() != '\n') text += '\n';
+  }
+
+  splice::asp::Program program;
+  try {
+    program = splice::asp::parse_program(text);
+  } catch (const splice::ParseError& e) {
+    std::cerr << "asp_lint: parse error: " << e.what() << "\n";
+    return 2;
+  }
+
+  const splice::asp::AnalysisReport result =
+      splice::asp::analyze(program, opts);
+  for (const auto& d : result.diagnostics) std::cout << d.str() << "\n";
+  if (report) {
+    std::cout << "-- " << program.rules().size() << " rules, "
+              << result.recursive_components.size()
+              << " recursive component(s), "
+              << (result.stratified ? "stratified" : "unstratified") << "\n";
+    for (const auto& scc : result.recursive_components) {
+      std::cout << "   component:";
+      for (const auto& p : scc.predicates) std::cout << " " << p;
+      if (scc.has_negative_edge) std::cout << " [negation]";
+      if (scc.has_choice_edge) std::cout << " [choice]";
+      std::cout << "\n";
+    }
+  }
+
+  if (result.has_errors()) return 1;
+  if (werror && result.count(splice::asp::DiagSeverity::Warning) > 0) return 1;
+  return 0;
+}
