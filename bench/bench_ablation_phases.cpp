@@ -31,6 +31,7 @@ struct Setup {
 };
 
 Setup* setup = nullptr;
+Samples samples;
 
 struct Phases {
   double ground = 0, translate = 0, solve = 0;
@@ -55,6 +56,10 @@ void run_cell(benchmark::State& state, const std::string& key,
     p.translate += result.stats.translate_seconds;
     p.solve += result.stats.solve_seconds;
     p.n += 1;
+    samples.add(key, "total", seconds);
+    samples.add(key, "ground", result.stats.ground_seconds);
+    samples.add(key, "translate", result.stats.translate_seconds);
+    samples.add(key, "solve", result.stats.solve_seconds);
     state.SetIterationTime(seconds);
   }
 }
@@ -116,5 +121,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   print_summary();
+  write_bench_json("ablation_phases", samples);
   return 0;
 }

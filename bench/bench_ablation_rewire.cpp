@@ -26,6 +26,8 @@ namespace fs = std::filesystem;
 // compile/patch per-byte ratios are far larger still).
 constexpr std::size_t kCompileEffort = 24;
 
+Samples samples;
+
 struct Scratch {
   fs::path root;
   explicit Scratch(const std::string& tag) {
@@ -87,6 +89,8 @@ void bench_path(benchmark::State& state, std::size_t code_size, bool rewire) {
       }
     });
     inst.verify_runnable(updated);
+    samples.add(rewire ? "splice_rewire" : "rebuild",
+                "code_kb:" + std::to_string(code_size >> 10), measured);
     state.SetIterationTime(measured);
   }
   state.counters["code_size"] = static_cast<double>(code_size);
@@ -121,5 +125,6 @@ int main(int argc, char** argv) {
               "regenerates all bytes);\nsplice+rewire only patches embedded "
               "paths, so the gap widens with code size --\nthe simulator-scale "
               "analogue of the paper's 'minutes of solve vs hours of build'.\n");
+  splice::bench::write_bench_json("ablation_rewire", samples);
   return 0;
 }

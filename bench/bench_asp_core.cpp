@@ -6,6 +6,7 @@
 
 #include <string>
 
+#include "bench/bench_common.hpp"
 #include "src/asp/asp.hpp"
 
 namespace {
@@ -111,4 +112,6 @@ BENCHMARK(BM_UnfoundedSetChecking)->Arg(8)->Arg(32)->Arg(128);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return splice::bench::run_benchmarks_and_write_json(argc, argv, "asp_core");
+}

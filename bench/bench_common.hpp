@@ -7,18 +7,30 @@
 //                        container — raise for paper scale)
 //   SPLICE_BENCH_ROOTS   comma-separated subset of RADIUSS roots to run
 //                        (default: the per-figure selection)
+//   SPLICE_BENCH_JSON_DIR  directory for the BENCH_<name>.json result files
+//                        (default: current directory)
+//
+// Every bench binary writes a machine-readable BENCH_<name>.json next to its
+// console summary (schema "splice-bench-v1"): per (series, label) cell the
+// sample count, mean, stddev, median, p90, min and max in seconds.  The
+// bench_logs/ directory keeps committed snapshots for regression claims.
 #pragma once
+
+#include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "src/concretize/concretizer.hpp"
+#include "src/support/json.hpp"
+#include "src/support/trace.hpp"
 #include "src/workload/caches.hpp"
 #include "src/workload/radiuss.hpp"
 
@@ -56,6 +68,7 @@ class Samples {
 
   struct Stat {
     double mean = 0, stddev = 0, min = 0, max = 0;
+    double median = 0, p90 = 0;  // nearest-rank, as in MetricsRegistry
     std::size_t n = 0;
   };
 
@@ -74,6 +87,15 @@ class Samples {
     s.mean /= static_cast<double>(v.size());
     for (double x : v) s.stddev += (x - s.mean) * (x - s.mean);
     s.stddev = v.size() > 1 ? std::sqrt(s.stddev / static_cast<double>(v.size() - 1)) : 0;
+    std::vector<double> sorted(v);
+    std::sort(sorted.begin(), sorted.end());
+    auto rank = [&](double p) {
+      std::size_t r = static_cast<std::size_t>(
+          p / 100.0 * static_cast<double>(sorted.size()) + 0.5);
+      return sorted[std::max<std::size_t>(1, r) - 1];
+    };
+    s.median = rank(50);
+    s.p90 = rank(90);
     return s;
   }
 
@@ -99,21 +121,115 @@ class Samples {
     return out;
   }
 
+  std::vector<std::string> series() const {
+    std::vector<std::string> out;
+    for (const auto& [name, labels] : data_) out.push_back(name);
+    return out;
+  }
+
+  /// {"<series>": {"<label>": {n, mean_seconds, stddev_seconds,
+  /// median_seconds, p90_seconds, min_seconds, max_seconds}}}.
+  json::Value to_json() const {
+    json::Object out;
+    for (const auto& [name, labels] : data_) {
+      json::Object per_series;
+      for (const auto& [label, v] : labels) {
+        Stat s = stat(name, label);
+        json::Object cell;
+        cell["n"] = static_cast<std::int64_t>(s.n);
+        cell["mean_seconds"] = s.mean;
+        cell["stddev_seconds"] = s.stddev;
+        cell["median_seconds"] = s.median;
+        cell["p90_seconds"] = s.p90;
+        cell["min_seconds"] = s.min;
+        cell["max_seconds"] = s.max;
+        per_series[label] = json::Value(std::move(cell));
+      }
+      out[name] = json::Value(std::move(per_series));
+    }
+    return json::Value(std::move(out));
+  }
+
  private:
   std::map<std::string, std::map<std::string, std::vector<double>>> data_;
 };
 
-/// Time one call.
+/// Time one call through a tracer span (category "bench").  When tracing is
+/// disabled this is exactly one steady_clock read on each side; when
+/// SPLICE_TRACE is set the per-iteration spans land in the Chrome trace.
 template <typename F>
-double time_call(F&& f) {
-  auto t0 = std::chrono::steady_clock::now();
+double time_call(F&& f, std::string_view label = "call") {
+  trace::Span span(label, "bench");
   f();
-  auto t1 = std::chrono::steady_clock::now();
-  return std::chrono::duration<double>(t1 - t0).count();
+  double seconds = span.seconds();
+  span.end();
+  return seconds;
 }
 
 inline double pct_increase(double base, double value) {
   return base > 0 ? (value - base) / base * 100.0 : 0.0;
+}
+
+/// Where BENCH_<name>.json goes: $SPLICE_BENCH_JSON_DIR or the current dir.
+inline std::string bench_json_path(const std::string& name) {
+  const char* dir = std::getenv("SPLICE_BENCH_JSON_DIR");
+  std::string prefix = (dir != nullptr && *dir != '\0') ? std::string(dir) : ".";
+  if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+  return prefix + "BENCH_" + name + ".json";
+}
+
+/// Write the machine-readable result file every bench binary emits.
+inline bool write_bench_json(const std::string& name, const Samples& samples) {
+  json::Object obj;
+  obj["schema"] = "splice-bench-v1";
+  obj["bench"] = name;
+  obj["series"] = samples.to_json();
+  json::Value doc(std::move(obj));
+  std::string path = bench_json_path(name);
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << doc.dump_pretty() << '\n';
+  // stderr: stdout may be carrying --benchmark_format=json output.
+  std::fprintf(stderr, "bench: wrote %s\n", path.c_str());
+  return true;
+}
+
+/// Console reporter that additionally captures per-iteration real times so
+/// BENCHMARK()-style binaries can emit BENCH_<name>.json without touching
+/// the timed loops.
+class BenchJsonReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      if (run.iterations == 0) continue;
+      samples_.add("bench", run.benchmark_name(),
+                   run.real_accumulated_time /
+                       static_cast<double>(run.iterations));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  const Samples& samples() const { return samples_; }
+
+ private:
+  Samples samples_;
+};
+
+/// Drop-in replacement for BENCHMARK_MAIN()'s body: run the registered
+/// benchmarks and write BENCH_<name>.json from the captured real times.
+inline int run_benchmarks_and_write_json(int argc, char** argv,
+                                         const std::string& name) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  BenchJsonReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  write_bench_json(name, reporter.samples());
+  return 0;
 }
 
 }  // namespace splice::bench

@@ -122,5 +122,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   print_summary();
+  write_bench_json("fig5_encoding", samples);
   return 0;
 }

@@ -155,5 +155,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   print_summary();
+  write_bench_json("fig6_splicing", samples);
   return 0;
 }

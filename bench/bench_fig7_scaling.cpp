@@ -154,5 +154,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   print_summary();
+  write_bench_json("fig7_scaling", samples);
   return 0;
 }

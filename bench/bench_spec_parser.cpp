@@ -4,6 +4,7 @@
 // compiler pays per reusable spec.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.hpp"
 #include "src/spec/spec.hpp"
 
 namespace {
@@ -84,4 +85,7 @@ BENCHMARK(BM_JsonRoundTrip);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return splice::bench::run_benchmarks_and_write_json(argc, argv,
+                                                      "spec_parser");
+}

@@ -6,6 +6,7 @@
 
 #include "src/support/error.hpp"
 #include "src/support/hash.hpp"
+#include "src/support/trace.hpp"
 
 namespace splice::asp {
 
@@ -111,6 +112,7 @@ class Grounder {
   explicit Grounder(const Program& program) : program_(program) {}
 
   GroundProgram run() {
+    trace::Span span("ground", "asp");
     auto t0 = std::chrono::steady_clock::now();
     prepare_rules();
     fixpoint();
@@ -123,7 +125,25 @@ class Grounder {
     out.stats.choices = out.choices.size();
     out.stats.iterations = iterations_;
     out.stats.seconds = std::chrono::duration<double>(t1 - t0).count();
+    span.attr("possible_atoms", out.stats.possible_atoms);
+    span.attr("certain_atoms", out.stats.certain_atoms);
+    span.attr("rules", out.stats.rules);
+    span.attr("choices", out.stats.choices);
+    span.attr("iterations", out.stats.iterations);
+    record_predicate_counts();
     return out;
+  }
+
+  /// Per-predicate possible-atom counts into the global metrics registry.
+  /// Costs a walk of the possible set, so only runs while tracing.
+  void record_predicate_counts() const {
+    trace::Tracer& tracer = trace::Tracer::global();
+    if (!tracer.enabled()) return;
+    std::map<std::string, std::int64_t> counts;
+    for (const Term& t : possible_) ++counts[t.signature()];
+    for (const auto& [sig, n] : counts) {
+      tracer.metrics().add("ground.atoms/" + sig, n);
+    }
   }
 
  private:
@@ -565,5 +585,16 @@ class Grounder {
 }  // namespace
 
 GroundProgram ground(const Program& program) { return Grounder(program).run(); }
+
+json::Value GroundStats::to_json() const {
+  json::Object o;
+  o["possible_atoms"] = static_cast<std::int64_t>(possible_atoms);
+  o["certain_atoms"] = static_cast<std::int64_t>(certain_atoms);
+  o["rules"] = static_cast<std::int64_t>(rules);
+  o["choices"] = static_cast<std::int64_t>(choices);
+  o["iterations"] = static_cast<std::int64_t>(iterations);
+  o["seconds"] = seconds;
+  return json::Value(std::move(o));
+}
 
 }  // namespace splice::asp

@@ -26,6 +26,7 @@
 
 #include "src/asp/program.hpp"
 #include "src/asp/term.hpp"
+#include "src/support/json.hpp"
 
 namespace splice::asp {
 
@@ -74,6 +75,9 @@ struct GroundStats {
   std::size_t choices = 0;
   std::size_t iterations = 0;
   double seconds = 0;
+
+  /// Flat object, one field per counter (stats-JSON schema leaf).
+  json::Value to_json() const;
 };
 
 /// The propositional program handed to the translation/solving layer.

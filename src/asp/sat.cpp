@@ -24,7 +24,31 @@ constexpr std::uint64_t kRestartUnit = 64;
 constexpr double kVarDecay = 0.95;
 }  // namespace
 
+json::Value SatStats::to_json() const {
+  json::Object o;
+  o["decisions"] = decisions;
+  o["conflicts"] = conflicts;
+  o["propagations"] = propagations;
+  o["restarts"] = restarts;
+  o["learned"] = learned;
+  o["deleted"] = deleted;
+  return json::Value(std::move(o));
+}
+
 Solver::Solver() = default;
+
+std::size_t Solver::num_clauses() const {
+  std::size_t n = 0;
+  for (const Clause& c : clauses_) {
+    if (!c.dead) ++n;
+  }
+  return n;
+}
+
+void Solver::set_progress(ProgressFn fn, std::uint64_t conflict_interval) {
+  progress_ = std::move(fn);
+  progress_interval_ = conflict_interval == 0 ? 1 : conflict_interval;
+}
 
 Var Solver::new_var() {
   auto v = static_cast<Var>(assigns_.size());
@@ -388,6 +412,9 @@ Solver::Result Solver::solve() {
     if (confl != kNoReason) {
       ++stats_.conflicts;
       ++conflicts_since_restart;
+      if (progress_ && stats_.conflicts % progress_interval_ == 0) {
+        progress_(Progress{Progress::Kind::Conflicts, stats_, trail_.size()});
+      }
       if (trail_lim_.empty() || unsat_) {
         unsat_ = true;
         return Result::Unsat;
@@ -418,6 +445,9 @@ Solver::Result Solver::solve() {
       restart_limit = kRestartUnit * luby(stats_.restarts);
       backtrack(0);
       reduce_db();
+      if (progress_) {
+        progress_(Progress{Progress::Kind::Restart, stats_, trail_.size()});
+      }
       continue;
     }
 

@@ -15,7 +15,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
+
+#include "src/support/json.hpp"
 
 namespace splice::asp::sat {
 
@@ -37,7 +40,23 @@ struct SatStats {
   std::uint64_t restarts = 0;
   std::uint64_t learned = 0;
   std::uint64_t deleted = 0;
+
+  /// Flat object, one field per counter (stats-JSON schema leaf).
+  json::Value to_json() const;
 };
+
+/// A solver progress notification: emitted on every restart and after each
+/// `conflict_interval` conflicts, carrying a snapshot of the search
+/// counters.  Used to stream CDCL progress into the tracing layer without
+/// polling.
+struct Progress {
+  enum class Kind : std::uint8_t { Restart, Conflicts };
+  Kind kind;
+  SatStats stats;            ///< counters at emission time
+  std::size_t trail_size;    ///< current assignment depth
+};
+
+using ProgressFn = std::function<void(const Progress&)>;
 
 class Solver {
  public:
@@ -63,6 +82,14 @@ class Solver {
   bool model_value(Var v) const { return model_[v]; }
 
   const SatStats& stats() const { return stats_; }
+
+  /// Clauses currently in the database (original + learned, minus deleted).
+  std::size_t num_clauses() const;
+
+  /// Install a progress callback, invoked from inside solve() on every
+  /// restart and after every `conflict_interval` conflicts.  Pass an empty
+  /// function to uninstall.  The callback must not touch the solver.
+  void set_progress(ProgressFn fn, std::uint64_t conflict_interval = 2048);
 
   /// True once the clause database is known unsatisfiable.
   bool in_conflict() const { return unsat_; }
@@ -140,6 +167,8 @@ class Solver {
 
   std::uint64_t num_learned_limit_ = 4096;
   SatStats stats_;
+  ProgressFn progress_;
+  std::uint64_t progress_interval_ = 2048;
 };
 
 }  // namespace splice::asp::sat

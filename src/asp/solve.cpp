@@ -7,8 +7,39 @@
 
 #include "src/asp/sat.hpp"
 #include "src/support/error.hpp"
+#include "src/support/trace.hpp"
 
 namespace splice::asp {
+
+std::string_view solve_event_name(SolveEvent::Kind kind) {
+  switch (kind) {
+    case SolveEvent::Kind::SatRestart: return "sat.restart";
+    case SolveEvent::Kind::SatConflicts: return "sat.conflicts";
+    case SolveEvent::Kind::ModelFound: return "asp.model";
+    case SolveEvent::Kind::LoopNogood: return "asp.loop_nogood";
+    case SolveEvent::Kind::BoundImproved: return "asp.bound";
+    case SolveEvent::Kind::LevelDone: return "asp.level_done";
+  }
+  return "asp.unknown";
+}
+
+json::Value SolveStats::to_json() const {
+  json::Object o;
+  o["ground_seconds"] = ground_seconds;
+  o["translate_seconds"] = translate_seconds;
+  o["solve_seconds"] = solve_seconds;
+  o["total_seconds"] = total_seconds();
+  o["sat_vars"] = sat_vars;
+  o["sat_clauses"] = sat_clauses;
+  o["conflicts"] = conflicts;
+  o["decisions"] = decisions;
+  o["propagations"] = propagations;
+  o["restarts"] = restarts;
+  o["models_enumerated"] = models_enumerated;
+  o["loop_nogoods"] = loop_nogoods;
+  o["ground"] = ground.to_json();
+  return json::Value(std::move(o));
+}
 
 std::vector<Term> Model::with_signature(std::string_view sig) const {
   std::vector<Term> out;
@@ -376,23 +407,39 @@ class Translation {
   bool tight_ = true;
 };
 
+using EventFn = std::function<void(SolveEvent)>;
+
 /// Run the SAT search until a *stable* model is found (or UNSAT), learning
 /// loop nogoods along the way.  `persistent_nogoods` accumulates them so
-/// rebuilds re-assert them.
+/// rebuilds re-assert them.  `emit` (optional) streams ModelFound /
+/// LoopNogood milestones.
 sat::Solver::Result solve_stable(Translation& tr,
                                  std::vector<std::vector<Lit>>& persistent,
-                                 SolveStats& stats) {
+                                 SolveStats& stats, const EventFn& emit = {}) {
   while (true) {
     if (tr.solver().solve() == sat::Solver::Result::Unsat) {
       return sat::Solver::Result::Unsat;
     }
     ++stats.models_enumerated;
     auto nogoods = tr.unfounded_nogoods();
-    if (nogoods.empty()) return sat::Solver::Result::Sat;
+    if (nogoods.empty()) {
+      if (emit) {
+        SolveEvent ev;
+        ev.kind = SolveEvent::Kind::ModelFound;
+        emit(ev);
+      }
+      return sat::Solver::Result::Sat;
+    }
     for (auto& ng : nogoods) {
       ++stats.loop_nogoods;
       persistent.push_back(ng);
       tr.solver().add_clause(std::move(ng));
+    }
+    if (emit) {
+      SolveEvent ev;
+      ev.kind = SolveEvent::Kind::LoopNogood;
+      ev.cost = static_cast<std::int64_t>(nogoods.size());
+      emit(ev);
     }
   }
 }
@@ -404,11 +451,57 @@ SolveResult solve_ground(const GroundProgram& gp, const SolveOptions& opts) {
   result.stats.ground = gp.stats;
   result.stats.ground_seconds = gp.stats.seconds;
 
+  trace::Tracer& tracer = trace::Tracer::global();
+  trace::Span span("solve", "asp");
+
+  // Event plumbing: solve_stable / the optimization loop call `emit`, which
+  // completes the counters and forwards to the user callback and the tracer.
+  const bool want_events = static_cast<bool>(opts.progress) || tracer.enabled();
+  EventFn emit;
+
   auto t0 = std::chrono::steady_clock::now();
-  auto tr = std::make_unique<Translation>(gp);
+  std::unique_ptr<Translation> tr;
+  {
+    trace::Span ts("translate", "asp");
+    tr = std::make_unique<Translation>(gp);
+  }
   auto t1 = std::chrono::steady_clock::now();
   result.stats.translate_seconds = std::chrono::duration<double>(t1 - t0).count();
   result.stats.sat_vars = tr->solver().num_vars();
+  result.stats.sat_clauses = tr->solver().num_clauses();
+  span.attr("sat_vars", result.stats.sat_vars);
+  span.attr("sat_clauses", result.stats.sat_clauses);
+
+  if (want_events) {
+    emit = [&opts, &tracer, &result, &tr](SolveEvent ev) {
+      ev.conflicts = result.stats.conflicts + tr->solver().stats().conflicts;
+      ev.models = result.stats.models_enumerated;
+      if (opts.progress) opts.progress(ev);
+      if (tracer.enabled()) {
+        tracer.instant(solve_event_name(ev.kind), "asp",
+                       {{"priority", json::Value(ev.priority)},
+                        {"cost", json::Value(ev.cost)},
+                        {"conflicts", json::Value(ev.conflicts)},
+                        {"models", json::Value(ev.models)}});
+      }
+    };
+  }
+
+  // Relay the CDCL core's restart/conflict-batch callback.  Re-attached to
+  // every rebuilt translation with the then-current conflict base.
+  auto attach_progress = [&](Translation& t) {
+    if (!want_events) return;
+    std::uint64_t base = result.stats.conflicts;
+    t.solver().set_progress([&emit, base](const sat::Progress& p) {
+      SolveEvent ev;
+      ev.kind = p.kind == sat::Progress::Kind::Restart
+                    ? SolveEvent::Kind::SatRestart
+                    : SolveEvent::Kind::SatConflicts;
+      ev.conflicts = base + p.stats.conflicts;
+      emit(ev);
+    });
+  };
+  attach_progress(*tr);
 
   std::vector<std::vector<Lit>> persistent_nogoods;
   // (priority, bound) pairs already fixed by finished levels.
@@ -425,15 +518,18 @@ SolveResult solve_ground(const GroundProgram& gp, const SolveOptions& opts) {
   auto finish_stats = [&](Translation& t) {
     result.stats.conflicts += t.solver().stats().conflicts;
     result.stats.decisions += t.solver().stats().decisions;
+    result.stats.propagations += t.solver().stats().propagations;
     result.stats.restarts += t.solver().stats().restarts;
   };
 
-  if (solve_stable(*tr, persistent_nogoods, result.stats) ==
+  if (solve_stable(*tr, persistent_nogoods, result.stats, emit) ==
       sat::Solver::Result::Unsat) {
     finish_stats(*tr);
     auto t2 = std::chrono::steady_clock::now();
     result.stats.solve_seconds = std::chrono::duration<double>(t2 - t1).count();
     result.sat = false;
+    span.attr("sat", false);
+    span.attr("conflicts", result.stats.conflicts);
     return result;
   }
   result.sat = true;
@@ -451,6 +547,8 @@ SolveResult solve_ground(const GroundProgram& gp, const SolveOptions& opts) {
 
   if (opts.optimize && !priorities.empty()) {
     for (std::int64_t prio : priorities) {
+      trace::Span level_span("optimize_level", "asp");
+      level_span.attr("priority", prio);
       std::int64_t best_cost = tr->eval_cost(prio);
       // Tighten within this level until UNSAT.
       bool level_open = best_cost > 0;
@@ -463,27 +561,46 @@ SolveResult solve_ground(const GroundProgram& gp, const SolveOptions& opts) {
         if (!tr->solver().add_pb_le(std::move(terms), best_cost - 1)) {
           break;  // no improvement possible
         }
-        if (solve_stable(*tr, persistent_nogoods, result.stats) ==
+        if (solve_stable(*tr, persistent_nogoods, result.stats, emit) ==
             sat::Solver::Result::Unsat) {
           break;
         }
         best_cost = tr->eval_cost(prio);
         best = snapshot_model(*tr);
+        if (emit) {
+          SolveEvent ev;
+          ev.kind = SolveEvent::Kind::BoundImproved;
+          ev.priority = prio;
+          ev.cost = best_cost;
+          emit(ev);
+        }
         if (best_cost == 0) level_open = false;
       }
       fixed_bounds.emplace_back(prio, best_cost);
+      if (emit) {
+        SolveEvent ev;
+        ev.kind = SolveEvent::Kind::LevelDone;
+        ev.priority = prio;
+        ev.cost = best_cost;
+        emit(ev);
+      }
+      level_span.attr("cost", best_cost);
       // Rebuild for the next level: the within-level bound chase left the
       // solver UNSAT; recreate it with all finished levels pinned.
       if (prio != priorities.back()) {
         finish_stats(*tr);
-        tr = std::make_unique<Translation>(gp);
+        {
+          trace::Span ts("translate", "asp");
+          tr = std::make_unique<Translation>(gp);
+        }
+        attach_progress(*tr);
         for (const auto& ng : persistent_nogoods) {
           tr->solver().add_clause(ng);
         }
         for (const auto& [p, bound] : fixed_bounds) {
           tr->solver().add_pb_le(tr->objective_terms(p), bound);
         }
-        if (solve_stable(*tr, persistent_nogoods, result.stats) ==
+        if (solve_stable(*tr, persistent_nogoods, result.stats, emit) ==
             sat::Solver::Result::Unsat) {
           throw AspError("internal: optimum model lost across level rebuild");
         }
@@ -499,9 +616,13 @@ SolveResult solve_ground(const GroundProgram& gp, const SolveOptions& opts) {
 
   finish_stats(*tr);
   auto t3 = std::chrono::steady_clock::now();
-  result.stats.solve_seconds = std::chrono::duration<double>(t3 - t1).count() -
-                               result.stats.translate_seconds;
+  result.stats.solve_seconds = std::chrono::duration<double>(t3 - t1).count();
   result.model = std::move(best);
+  span.attr("sat", true);
+  span.attr("conflicts", result.stats.conflicts);
+  span.attr("decisions", result.stats.decisions);
+  span.attr("models_enumerated", result.stats.models_enumerated);
+  span.attr("loop_nogoods", result.stats.loop_nogoods);
   return result;
 }
 

@@ -13,11 +13,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <string_view>
 #include <unordered_set>
 #include <vector>
 
 #include "src/asp/ground.hpp"
 #include "src/asp/program.hpp"
+#include "src/support/json.hpp"
 
 namespace splice::asp {
 
@@ -29,6 +32,7 @@ struct SolveStats {
   std::uint64_t sat_clauses = 0;
   std::uint64_t conflicts = 0;
   std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
   std::uint64_t restarts = 0;
   std::uint64_t models_enumerated = 0;   // candidate models during optimization
   std::uint64_t loop_nogoods = 0;        // unfounded-set refutations
@@ -37,7 +41,35 @@ struct SolveStats {
   double total_seconds() const {
     return ground_seconds + translate_seconds + solve_seconds;
   }
+
+  /// Stats-JSON object: timings, SAT counters, and the nested ground stats.
+  json::Value to_json() const;
 };
+
+/// One streamed solver progress notification.  SatRestart/SatConflicts relay
+/// the CDCL core's progress callback; the others mark ASP-level milestones:
+/// candidate models, unfounded-set refutations, and optimization bound
+/// improvements / finished priority levels.
+struct SolveEvent {
+  enum class Kind : std::uint8_t {
+    SatRestart,
+    SatConflicts,
+    ModelFound,
+    LoopNogood,
+    BoundImproved,
+    LevelDone,
+  };
+  Kind kind;
+  std::int64_t priority = 0;   ///< BoundImproved/LevelDone: #minimize level
+  std::int64_t cost = 0;       ///< BoundImproved/LevelDone: best cost so far
+  std::uint64_t conflicts = 0; ///< cumulative CDCL conflicts at emission
+  std::uint64_t models = 0;    ///< candidate models enumerated so far
+};
+
+/// Stable event name, e.g. "sat.restart", "asp.bound" (trace event names).
+std::string_view solve_event_name(SolveEvent::Kind kind);
+
+using SolveProgressFn = std::function<void(const SolveEvent&)>;
 
 /// A stable (and, when minimize statements exist, optimal) model.
 struct Model {
@@ -64,6 +96,9 @@ struct SolveOptions {
   std::uint64_t max_models = 0;
   /// Skip optimization: return the first stable model.
   bool optimize = true;
+  /// Streamed search progress.  Independently of this callback, the same
+  /// events are mirrored as instants into the global tracer when enabled.
+  SolveProgressFn progress;
 };
 
 /// Solve an already-ground program.

@@ -6,6 +6,7 @@
 
 #include "src/support/error.hpp"
 #include "src/support/strings.hpp"
+#include "src/support/trace.hpp"
 
 namespace splice::binary {
 
@@ -91,6 +92,7 @@ void Installer::write_node_binary(const spec::SpecNode& node,
 }
 
 InstallReport Installer::install_from_source(const spec::Spec& concrete) {
+  trace::Span span("install_from_source", "install");
   if (!concrete.is_concrete()) {
     throw BinaryError("install_from_source: spec is not concrete");
   }
@@ -113,6 +115,7 @@ InstallReport Installer::install_from_source(const spec::Spec& concrete) {
 
 InstallReport Installer::install_from_cache(const spec::Spec& concrete,
                                             const BuildCache& cache) {
+  trace::Span span("install_from_cache", "install");
   if (!concrete.is_concrete()) {
     throw BinaryError("install_from_cache: spec is not concrete");
   }
@@ -174,6 +177,8 @@ std::string Installer::locate_original_binary(const spec::Spec& build_spec,
 
 InstallReport Installer::rewire(const spec::Spec& spliced,
                                 const BuildCache& cache) {
+  trace::Span span("rewire", "install");
+  span.attr("root", spliced.root().name);
   if (!spliced.is_concrete()) {
     throw BinaryError("rewire: spec is not concrete");
   }
@@ -266,6 +271,17 @@ InstallReport Installer::rewire(const spec::Spec& spliced,
     report.bytes_written += out.size();
     ++report.rewired;
     db_.add(spliced.subdag(i), layout.prefix(node), i == 0);
+  }
+  span.attr("rewired", report.rewired);
+  span.attr("relocated", report.relocated);
+  span.attr("built", report.built);
+  span.attr("bytes_written", report.bytes_written);
+  trace::Tracer& tracer = trace::Tracer::global();
+  if (tracer.enabled()) {
+    tracer.metrics().add("install.rewired",
+                         static_cast<std::int64_t>(report.rewired));
+    tracer.metrics().add("install.bytes_written",
+                         static_cast<std::int64_t>(report.bytes_written));
   }
   return report;
 }

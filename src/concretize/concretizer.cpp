@@ -4,6 +4,7 @@
 #include <set>
 
 #include "src/support/error.hpp"
+#include "src/support/trace.hpp"
 
 namespace splice::concretize {
 
@@ -573,13 +574,36 @@ struct SolvedDag {
 
 /// Solve and interpret; the combined DAG holds every solution node (all are
 /// reachable from some root by the node_used constraint).
+///
+/// The four phases — compile (facts + specialized rules), ground, solve, and
+/// extract (model -> concrete spec) — each run under a trace span so the
+/// observability layer can attribute end-to-end concretization time.
 static SolvedDag solve_requests(const repo::Repository& repo,
                                 const ConcretizerOptions& opts,
                                 const std::map<std::string, Spec>& reusable,
                                 const std::vector<Request>& requests) {
-  Concretizer::Compiler compiler(repo, opts, reusable);
-  Program program = compiler.compile(requests);
-  asp::SolveResult solved = asp::solve_program(program);
+  trace::Span span("concretize", "concretize");
+  span.attr("requests", requests.size());
+  span.attr("reusable", reusable.size());
+  span.attr("splicing", opts.enable_splicing);
+
+  Program program;
+  {
+    trace::Span phase("compile", "concretize");
+    Concretizer::Compiler compiler(repo, opts, reusable);
+    program = compiler.compile(requests);
+    phase.attr("rules", program.rules().size());
+  }
+  asp::GroundProgram gp;
+  {
+    trace::Span phase("ground", "concretize");
+    gp = asp::ground(program);
+  }
+  asp::SolveResult solved;
+  {
+    trace::Span phase("solve", "concretize");
+    solved = asp::solve_ground(gp);
+  }
   if (!solved.sat) {
     std::string what = "no concretization satisfies:";
     for (const Request& r : requests) what += " " + r.root.str() + ";";
@@ -587,6 +611,7 @@ static SolvedDag solve_requests(const repo::Repository& repo,
   }
   const asp::Model& model = solved.model;
 
+  trace::Span extract_span("extract", "concretize");
   SolvedDag result;
   result.stats = solved.stats;
 
@@ -705,7 +730,12 @@ static SolvedDag solve_requests(const repo::Repository& repo,
     result.splices.push_back(SpliceDecision{
         parent, hash_of.at(parent), replaced, replacement});
   }
+  extract_span.end();
 
+  span.attr("nodes", result.combined.nodes().size());
+  span.attr("builds", result.build_names.size());
+  span.attr("reused", result.reused_hashes.size());
+  span.attr("splices", result.splices.size());
   return result;
 }
 

@@ -1,0 +1,327 @@
+#include "src/support/trace.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+
+namespace splice::trace {
+
+// ---- MetricsRegistry -------------------------------------------------------
+
+void MetricsRegistry::add(const std::string& name, std::int64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::set_gauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::observe(const std::string& name, double sample) {
+  std::lock_guard<std::mutex> lock(mu_);
+  histograms_[name].push_back(sample);
+}
+
+std::int64_t MetricsRegistry::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second;
+}
+
+namespace {
+
+/// Nearest-rank percentile over a sorted sample vector.
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  auto rank = static_cast<std::size_t>(
+      p / 100.0 * static_cast<double>(sorted.size()) + 0.5);
+  if (rank == 0) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
+
+MetricsRegistry::HistSummary summarize(std::vector<double> samples) {
+  MetricsRegistry::HistSummary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.min = samples.front();
+  s.max = samples.back();
+  for (double x : samples) s.mean += x;
+  s.mean /= static_cast<double>(samples.size());
+  s.p50 = percentile(samples, 50);
+  s.p90 = percentile(samples, 90);
+  s.p99 = percentile(samples, 99);
+  return s;
+}
+
+json::Value hist_json(const MetricsRegistry::HistSummary& s) {
+  json::Object o;
+  o["count"] = static_cast<std::int64_t>(s.count);
+  o["min"] = s.min;
+  o["max"] = s.max;
+  o["mean"] = s.mean;
+  o["p50"] = s.p50;
+  o["p90"] = s.p90;
+  o["p99"] = s.p99;
+  return json::Value(std::move(o));
+}
+
+}  // namespace
+
+MetricsRegistry::HistSummary MetricsRegistry::histogram(
+    const std::string& name) const {
+  std::vector<double> samples;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = histograms_.find(name);
+    if (it != histograms_.end()) samples = it->second;
+  }
+  return summarize(std::move(samples));
+}
+
+json::Value MetricsRegistry::to_json() const {
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, std::vector<double>> histograms;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters = counters_;
+    gauges = gauges_;
+    histograms = histograms_;
+  }
+  json::Object out;
+  json::Object jc;
+  for (const auto& [k, v] : counters) jc[k] = v;
+  out["counters"] = json::Value(std::move(jc));
+  json::Object jg;
+  for (const auto& [k, v] : gauges) jg[k] = v;
+  out["gauges"] = json::Value(std::move(jg));
+  json::Object jh;
+  for (auto& [k, v] : histograms) jh[k] = hist_json(summarize(std::move(v)));
+  out["histograms"] = json::Value(std::move(jh));
+  return json::Value(std::move(out));
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+// ---- Tracer ----------------------------------------------------------------
+
+namespace {
+
+thread_local std::uint32_t t_depth = 0;
+
+/// Small consecutive thread ids keep Chrome trace rows compact.
+std::uint32_t next_thread_id() {
+  static std::atomic<std::uint32_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+std::uint32_t Tracer::thread_id() {
+  thread_local std::uint32_t id = next_thread_id();
+  return id;
+}
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer& Tracer::global() {
+  static Tracer* tracer = [] {
+    auto* t = new Tracer();  // never destroyed: usable from atexit handlers
+    const char* trace_path = std::getenv("SPLICE_TRACE");
+    const char* stats_path = std::getenv("SPLICE_TRACE_STATS");
+    if ((trace_path && *trace_path) || (stats_path && *stats_path)) {
+      t->set_enabled(true);
+      std::atexit([] {
+        Tracer& g = Tracer::global();
+        if (const char* p = std::getenv("SPLICE_TRACE"); p && *p) {
+          g.write_chrome_trace(p);
+        }
+        if (const char* p = std::getenv("SPLICE_TRACE_STATS"); p && *p) {
+          g.write_stats(p);
+        }
+      });
+    }
+    return t;
+  }();
+  return *tracer;
+}
+
+double Tracer::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void Tracer::instant(std::string_view name, std::string_view category,
+                     std::vector<std::pair<std::string, json::Value>> args) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = std::string(name);
+  ev.category = std::string(category);
+  ev.phase = TraceEvent::Phase::Instant;
+  ev.ts_us = now_us();
+  ev.tid = thread_id();
+  ev.depth = t_depth;
+  ev.args = std::move(args);
+  record(std::move(ev));
+}
+
+void Tracer::record(TraceEvent ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(ev));
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+json::Value Tracer::chrome_trace() const {
+  json::Array out;
+  for (const TraceEvent& ev : events()) {
+    json::Object e;
+    e["name"] = ev.name;
+    if (!ev.category.empty()) e["cat"] = ev.category;
+    e["ph"] = ev.phase == TraceEvent::Phase::Complete ? "X" : "i";
+    e["ts"] = ev.ts_us;
+    if (ev.phase == TraceEvent::Phase::Complete) {
+      e["dur"] = ev.dur_us;
+    } else {
+      e["s"] = "t";  // thread-scoped instant
+    }
+    e["pid"] = 1;
+    e["tid"] = static_cast<std::int64_t>(ev.tid);
+    if (!ev.args.empty()) {
+      json::Object args;
+      for (const auto& [k, v] : ev.args) args[k] = v;
+      e["args"] = json::Value(std::move(args));
+    }
+    out.push_back(json::Value(std::move(e)));
+  }
+  json::Object doc;
+  doc["displayTimeUnit"] = "ms";
+  doc["traceEvents"] = json::Value(std::move(out));
+  return json::Value(std::move(doc));
+}
+
+json::Value Tracer::stats_json() const {
+  struct SpanAgg {
+    std::size_t count = 0;
+    double total = 0, min = 0, max = 0;
+  };
+  std::map<std::string, SpanAgg> spans;
+  std::map<std::string, std::int64_t> instants;
+  for (const TraceEvent& ev : events()) {
+    std::string key =
+        ev.category.empty() ? ev.name : ev.category + "/" + ev.name;
+    if (ev.phase == TraceEvent::Phase::Instant) {
+      ++instants[key];
+      continue;
+    }
+    SpanAgg& a = spans[key];
+    double s = ev.dur_us * 1e-6;
+    if (a.count == 0 || s < a.min) a.min = s;
+    if (a.count == 0 || s > a.max) a.max = s;
+    a.total += s;
+    ++a.count;
+  }
+  json::Object doc;
+  doc["schema"] = "splice-stats-v1";
+  json::Object jspans;
+  for (const auto& [key, a] : spans) {
+    json::Object o;
+    o["count"] = static_cast<std::int64_t>(a.count);
+    o["total_seconds"] = a.total;
+    o["mean_seconds"] = a.total / static_cast<double>(a.count);
+    o["min_seconds"] = a.min;
+    o["max_seconds"] = a.max;
+    jspans[key] = json::Value(std::move(o));
+  }
+  doc["spans"] = json::Value(std::move(jspans));
+  json::Object jevents;
+  for (const auto& [key, n] : instants) jevents[key] = n;
+  doc["events"] = json::Value(std::move(jevents));
+  doc["metrics"] = metrics_.to_json();
+  return json::Value(std::move(doc));
+}
+
+namespace {
+
+bool write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << text << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+bool Tracer::write_chrome_trace(const std::string& path) const {
+  return write_file(path, chrome_trace().dump_pretty());
+}
+
+bool Tracer::write_stats(const std::string& path) const {
+  return write_file(path, stats_json().dump_pretty());
+}
+
+void Tracer::clear() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.clear();
+  }
+  metrics_.clear();
+}
+
+// ---- Span ------------------------------------------------------------------
+
+Span::Span(std::string_view name, std::string_view category, Tracer& tracer)
+    : start_(std::chrono::steady_clock::now()) {
+  if (!tracer.enabled()) return;  // seconds() still works off start_
+  tracer_ = &tracer;
+  ev_.name = std::string(name);
+  ev_.category = std::string(category);
+  ev_.ts_us = std::chrono::duration<double, std::micro>(start_ - tracer.epoch_)
+                  .count();
+  ev_.tid = Tracer::thread_id();
+  ev_.depth = t_depth++;
+}
+
+Span::~Span() { end(); }
+
+void Span::attr(std::string_view key, json::Value value) {
+  if (tracer_ == nullptr) return;
+  ev_.args.emplace_back(std::string(key), std::move(value));
+}
+
+double Span::seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+void Span::end() {
+  if (tracer_ == nullptr) return;
+  ev_.dur_us =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - start_)
+          .count();
+  --t_depth;
+  tracer_->record(std::move(ev_));
+  tracer_ = nullptr;
+}
+
+}  // namespace splice::trace

@@ -11,13 +11,49 @@
 // Exit status: 0 clean (or warnings only), 1 errors found (or warnings with
 // --werror), 2 usage / parse failure.
 #include <fstream>
+#include <iomanip>
 #include <iostream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/asp/asp.hpp"
 #include "src/support/error.hpp"
+#include "src/support/trace.hpp"
+
+namespace {
+
+/// Count rule/atom/predicate totals into the metrics registry — the numbers
+/// the --report summary prints (and SPLICE_TRACE_STATS exports).
+void record_program_metrics(const splice::asp::Program& program,
+                            splice::trace::MetricsRegistry& metrics) {
+  std::set<std::string> predicates;
+  std::int64_t atoms = 0;
+  auto see = [&](const splice::asp::Term& atom) {
+    predicates.insert(atom.signature());
+    ++atoms;
+  };
+  for (const auto& rule : program.rules()) {
+    if (rule.head.kind == splice::asp::Head::Kind::Atom) {
+      see(rule.head.atom);
+    } else if (rule.head.kind == splice::asp::Head::Kind::Choice) {
+      for (const auto& el : rule.head.elements) {
+        see(el.atom);
+        for (const auto& lit : el.condition) see(lit.atom);
+      }
+    }
+    for (const auto& lit : rule.body) see(lit.atom);
+  }
+  for (const auto& elem : program.minimizes()) {
+    for (const auto& lit : elem.condition) see(lit.atom);
+  }
+  metrics.add("lint.rules", static_cast<std::int64_t>(program.rules().size()));
+  metrics.add("lint.atom_occurrences", atoms);
+  metrics.add("lint.predicates", static_cast<std::int64_t>(predicates.size()));
+}
+
+}  // namespace
 
 namespace {
 
@@ -106,22 +142,39 @@ int main(int argc, char** argv) {
     if (!text.empty() && text.back() != '\n') text += '\n';
   }
 
+  splice::trace::Tracer& tracer = splice::trace::Tracer::global();
+  if (report) tracer.set_enabled(true);
+
   splice::asp::Program program;
   try {
+    splice::trace::Span parse_span("parse", "lint");
     program = splice::asp::parse_program(text);
   } catch (const splice::ParseError& e) {
     std::cerr << "asp_lint: parse error: " << e.what() << "\n";
     return 2;
   }
 
+  splice::trace::Span analyze_span("analyze", "lint");
   const splice::asp::AnalysisReport result =
       splice::asp::analyze(program, opts);
+  double analyze_seconds = analyze_span.seconds();
+  analyze_span.end();
+
   for (const auto& d : result.diagnostics) std::cout << d.str() << "\n";
   if (report) {
-    std::cout << "-- " << program.rules().size() << " rules, "
-              << result.recursive_components.size()
+    splice::trace::MetricsRegistry& metrics = tracer.metrics();
+    record_program_metrics(program, metrics);
+    metrics.set_gauge("lint.analyze_seconds", analyze_seconds);
+    metrics.add("lint.diagnostics",
+                static_cast<std::int64_t>(result.diagnostics.size()));
+    std::cout << "-- " << metrics.counter("lint.rules") << " rules, "
+              << metrics.counter("lint.atom_occurrences")
+              << " atom occurrence(s), " << metrics.counter("lint.predicates")
+              << " predicate(s), " << result.recursive_components.size()
               << " recursive component(s), "
               << (result.stratified ? "stratified" : "unstratified") << "\n";
+    std::cout << "-- analyzed in " << std::fixed << std::setprecision(6)
+              << analyze_seconds << "s\n";
     for (const auto& scc : result.recursive_components) {
       std::cout << "   component:";
       for (const auto& p : scc.predicates) std::cout << " " << p;

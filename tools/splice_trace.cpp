@@ -1,0 +1,174 @@
+// splice_trace: resolve a RADIUSS workload with the tracer enabled and
+// export the Chrome trace-event JSON (chrome://tracing / Perfetto) plus the
+// flat stats JSON (schema "splice-stats-v1").
+//
+// The observability walkthrough from README.md:
+//
+//   tools/splice_trace --splice --trace trace.json --stats stats.json
+//       "visit ^mpiabi"          (one command line)
+//
+// Any binary linking splice_support honours SPLICE_TRACE=<file> /
+// SPLICE_TRACE_STATS=<file> instead; this tool is the explicit front door
+// with workload setup and a per-request console summary.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/concretize/concretizer.hpp"
+#include "src/support/error.hpp"
+#include "src/support/trace.hpp"
+#include "src/workload/caches.hpp"
+#include "src/workload/radiuss.hpp"
+
+namespace {
+
+void usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: splice_trace [options] [root-spec ...]\n"
+               "\n"
+               "Concretize each root-spec against the synthetic RADIUSS "
+               "workload with\ntracing enabled, then write the Chrome trace "
+               "and the stats JSON.\n"
+               "\n"
+               "options:\n"
+               "  --trace FILE   Chrome trace-event output "
+               "(default: trace.json)\n"
+               "  --stats FILE   stats JSON output "
+               "(default: trace-stats.json)\n"
+               "  --splice       enable splicing (indirect encoding)\n"
+               "  --direct       old-spack direct encoding, splicing off\n"
+               "  --public N     reuse against a synthetic public cache of "
+               "~N node specs\n"
+               "                 (default: the local RADIUSS cache)\n"
+               "  --replicas N   add N mpiabi replica packages (RQ4 shape)\n"
+               "  --no-cache     no reusable specs at all\n"
+               "  --help         this text\n"
+               "\n"
+               "default root-spec: \"visit ^mpiabi\" with --splice, "
+               "\"visit ^mpich\" otherwise\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path = "trace.json";
+  std::string stats_path = "trace-stats.json";
+  bool enable_splicing = false;
+  bool direct = false;
+  bool no_cache = false;
+  std::size_t public_nodes = 0;
+  std::size_t replicas = 0;
+  std::vector<std::string> roots;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "splice_trace: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      return 0;
+    } else if (arg == "--trace") {
+      trace_path = value("--trace");
+    } else if (arg == "--stats") {
+      stats_path = value("--stats");
+    } else if (arg == "--splice") {
+      enable_splicing = true;
+    } else if (arg == "--direct") {
+      direct = true;
+    } else if (arg == "--no-cache") {
+      no_cache = true;
+    } else if (arg == "--public") {
+      public_nodes = std::strtoull(value("--public"), nullptr, 10);
+    } else if (arg == "--replicas") {
+      replicas = std::strtoull(value("--replicas"), nullptr, 10);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "splice_trace: unknown option %s\n", arg.c_str());
+      usage(stderr);
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (direct && enable_splicing) {
+    std::fprintf(stderr, "splice_trace: --direct and --splice conflict\n");
+    return 2;
+  }
+  if (roots.empty()) {
+    roots.push_back(enable_splicing ? "visit ^mpiabi" : "visit ^mpich");
+  }
+
+  using namespace splice;
+
+  trace::Tracer& tracer = trace::Tracer::global();
+  tracer.set_enabled(true);
+
+  concretize::ConcretizerOptions opts;
+  opts.encoding = direct ? concretize::ReuseEncoding::Direct
+                         : concretize::ReuseEncoding::Indirect;
+  opts.enable_splicing = enable_splicing;
+
+  int failures = 0;
+  {
+    trace::Span setup("workload_setup", "tool");
+    repo::Repository repo = workload::radiuss_repo(replicas);
+    std::vector<spec::Spec> cache;
+    if (!no_cache) {
+      cache = public_nodes > 0
+                  ? workload::public_cache_specs(repo, public_nodes)
+                  : workload::local_cache_specs(repo);
+    }
+    setup.attr("cache_specs", workload::distinct_nodes(cache));
+    setup.end();
+
+    std::printf("splice_trace: %zu root(s), encoding=%s, splicing=%s, "
+                "cache=%zu node specs\n",
+                roots.size(), direct ? "direct" : "indirect",
+                enable_splicing ? "on" : "off",
+                workload::distinct_nodes(cache));
+
+    for (const std::string& root : roots) {
+      try {
+        concretize::Concretizer c(repo, opts);
+        for (const auto& s : cache) c.add_reusable(s);
+        concretize::ConcretizeResult result =
+            c.concretize(concretize::Request(root));
+        std::printf(
+            "  %-28s %zu nodes, %zu built, %zu reused, %zu spliced; "
+            "%.3fs (ground %.3f, translate %.3f, solve %.3f)\n",
+            root.c_str(), result.spec.nodes().size(),
+            result.build_names.size(), result.reused_hashes.size(),
+            result.splices.size(), result.stats.total_seconds(),
+            result.stats.ground_seconds, result.stats.translate_seconds,
+            result.stats.solve_seconds);
+      } catch (const Error& e) {
+        std::fprintf(stderr, "  %-28s FAILED: %s\n", root.c_str(), e.what());
+        ++failures;
+      }
+    }
+  }
+
+  bool ok = true;
+  if (!tracer.write_chrome_trace(trace_path)) {
+    std::fprintf(stderr, "splice_trace: cannot write %s\n",
+                 trace_path.c_str());
+    ok = false;
+  }
+  if (!tracer.write_stats(stats_path)) {
+    std::fprintf(stderr, "splice_trace: cannot write %s\n",
+                 stats_path.c_str());
+    ok = false;
+  }
+  if (ok) {
+    std::printf("splice_trace: wrote %s (%zu events) and %s\n",
+                trace_path.c_str(), tracer.events().size(),
+                stats_path.c_str());
+  }
+  return (failures == 0 && ok) ? 0 : 1;
+}

@@ -1,0 +1,212 @@
+// trace_check: structural validator for the three JSON formats this repo
+// emits — Chrome trace-event files (splice_trace / SPLICE_TRACE), stats
+// files (schema "splice-stats-v1"), and bench result files (schema
+// "splice-bench-v1").  CI runs it over the artifacts a workload resolution
+// produces; exit 0 means every file validated.
+//
+// usage: trace_check FILE...
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/support/error.hpp"
+#include "src/support/json.hpp"
+
+namespace {
+
+using splice::json::Value;
+
+int errors = 0;
+
+void fail(const std::string& file, const std::string& what) {
+  std::fprintf(stderr, "trace_check: %s: %s\n", file.c_str(), what.c_str());
+  ++errors;
+}
+
+bool require_number(const std::string& file, const Value& obj,
+                    const char* key, const std::string& ctx) {
+  const Value* v = obj.find(key);
+  if (v == nullptr || !v->is_number()) {
+    fail(file, ctx + ": missing numeric \"" + key + "\"");
+    return false;
+  }
+  return true;
+}
+
+/// {"displayTimeUnit": ..., "traceEvents": [{name, ph, ts, pid, tid, ...}]}
+void check_chrome_trace(const std::string& file, const Value& doc) {
+  int before = errors;
+  const Value* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    fail(file, "no \"traceEvents\" array");
+    return;
+  }
+  std::size_t i = 0;
+  for (const Value& ev : events->as_array()) {
+    std::string ctx = "traceEvents[" + std::to_string(i++) + "]";
+    if (!ev.is_object()) {
+      fail(file, ctx + ": not an object");
+      continue;
+    }
+    const Value* name = ev.find("name");
+    if (name == nullptr || !name->is_string()) {
+      fail(file, ctx + ": missing string \"name\"");
+    }
+    const Value* ph = ev.find("ph");
+    if (ph == nullptr || !ph->is_string()) {
+      fail(file, ctx + ": missing string \"ph\"");
+      continue;
+    }
+    require_number(file, ev, "ts", ctx);
+    require_number(file, ev, "pid", ctx);
+    require_number(file, ev, "tid", ctx);
+    const std::string& phase = ph->as_string();
+    if (phase == "X") {
+      if (require_number(file, ev, "dur", ctx) &&
+          ev.find("dur")->as_double() < 0) {
+        fail(file, ctx + ": negative \"dur\"");
+      }
+    } else if (phase == "i") {
+      const Value* s = ev.find("s");
+      if (s == nullptr || !s->is_string()) {
+        fail(file, ctx + ": instant event without scope \"s\"");
+      }
+    } else {
+      fail(file, ctx + ": unexpected phase \"" + phase + "\"");
+    }
+  }
+  if (errors == before) {
+    std::printf("trace_check: %s: chrome trace OK (%zu events)\n",
+                file.c_str(), events->as_array().size());
+  }
+}
+
+/// {"schema": "splice-stats-v1", "spans": {...}, "events": {...},
+///  "metrics": {counters, gauges, histograms}}
+void check_stats(const std::string& file, const Value& doc) {
+  int before = errors;
+  const Value* spans = doc.find("spans");
+  if (spans == nullptr || !spans->is_object()) {
+    fail(file, "no \"spans\" object");
+  } else {
+    for (const auto& [key, span] : spans->as_object()) {
+      if (!span.is_object()) {
+        fail(file, "spans/" + key + ": not an object");
+        continue;
+      }
+      for (const char* field : {"count", "total_seconds", "mean_seconds",
+                                "min_seconds", "max_seconds"}) {
+        require_number(file, span, field, "spans/" + key);
+      }
+    }
+  }
+  const Value* events = doc.find("events");
+  if (events == nullptr || !events->is_object()) {
+    fail(file, "no \"events\" object");
+  } else {
+    for (const auto& [key, n] : events->as_object()) {
+      if (!n.is_int()) fail(file, "events/" + key + ": not an integer");
+    }
+  }
+  const Value* metrics = doc.find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) {
+    fail(file, "no \"metrics\" object");
+  } else {
+    for (const char* section : {"counters", "gauges", "histograms"}) {
+      const Value* s = metrics->find(section);
+      if (s == nullptr || !s->is_object()) {
+        fail(file, std::string("metrics: no \"") + section + "\" object");
+      }
+    }
+  }
+  if (errors == before) {
+    std::printf("trace_check: %s: stats OK (%zu span keys)\n", file.c_str(),
+                spans->as_object().size());
+  }
+}
+
+/// {"schema": "splice-bench-v1", "bench": ..., "series": {s: {label: cell}}}
+void check_bench(const std::string& file, const Value& doc) {
+  int before = errors;
+  const Value* bench = doc.find("bench");
+  if (bench == nullptr || !bench->is_string()) {
+    fail(file, "no string \"bench\"");
+  }
+  const Value* series = doc.find("series");
+  if (series == nullptr || !series->is_object()) {
+    fail(file, "no \"series\" object");
+    return;
+  }
+  std::size_t cells = 0;
+  for (const auto& [sname, labels] : series->as_object()) {
+    if (!labels.is_object()) {
+      fail(file, "series/" + sname + ": not an object");
+      continue;
+    }
+    for (const auto& [label, cell] : labels.as_object()) {
+      std::string ctx = "series/" + sname + "/" + label;
+      if (!cell.is_object()) {
+        fail(file, ctx + ": not an object");
+        continue;
+      }
+      ++cells;
+      for (const char* field :
+           {"n", "mean_seconds", "median_seconds", "p90_seconds",
+            "min_seconds", "max_seconds"}) {
+        require_number(file, cell, field, ctx);
+      }
+    }
+  }
+  if (errors == before) {
+    std::printf("trace_check: %s: bench results OK (%zu cells)\n",
+                file.c_str(), cells);
+  }
+}
+
+void check_file(const std::string& file) {
+  std::ifstream in(file);
+  if (!in) {
+    fail(file, "cannot open");
+    return;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  Value doc;
+  try {
+    doc = splice::json::parse(buf.str());
+  } catch (const splice::Error& e) {
+    fail(file, std::string("JSON parse error: ") + e.what());
+    return;
+  }
+  if (!doc.is_object()) {
+    fail(file, "top level is not an object");
+    return;
+  }
+  if (doc.find("traceEvents") != nullptr) {
+    check_chrome_trace(file, doc);
+    return;
+  }
+  const Value* schema = doc.find("schema");
+  std::string name =
+      schema != nullptr && schema->is_string() ? schema->as_string() : "";
+  if (name == "splice-stats-v1") {
+    check_stats(file, doc);
+  } else if (name == "splice-bench-v1") {
+    check_bench(file, doc);
+  } else {
+    fail(file, "unrecognized document (no traceEvents, schema=\"" + name +
+                   "\")");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: trace_check FILE...\n");
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) check_file(argv[i]);
+  return errors == 0 ? 0 : 1;
+}
