@@ -86,6 +86,9 @@ void run_cell(benchmark::State& state, std::size_t replicas,
       std::abort();
     }
     samples.add("n" + std::to_string(replicas), root, seconds);
+    // Grounding time in isolation: the hot path the indexed joins target.
+    samples.add("ground_n" + std::to_string(replicas), root,
+                result.stats.ground.seconds);
     state.SetIterationTime(seconds);
   }
 }

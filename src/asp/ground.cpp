@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <map>
+#include <unordered_set>
 
 #include "src/support/error.hpp"
 #include "src/support/hash.hpp"
@@ -11,116 +12,268 @@
 namespace splice::asp {
 
 AtomId GroundProgram::intern_atom(Term t) {
-  auto it = ids_.find(t);
-  if (it != ids_.end()) return it->second;
-  auto id = static_cast<AtomId>(atoms_.size());
-  atoms_.push_back(t);
-  ids_.emplace(t, id);
-  return id;
+  if (t.id() >= id_by_term_.size()) id_by_term_.resize(t.id() + 1, kNoAtom);
+  AtomId& slot = id_by_term_[t.id()];
+  if (slot == kNoAtom) {
+    slot = static_cast<AtomId>(atoms_.size());
+    atoms_.push_back(t);
+  }
+  return slot;
 }
 
 std::optional<AtomId> GroundProgram::find_atom(Term t) const {
-  auto it = ids_.find(t);
-  if (it == ids_.end()) return std::nullopt;
-  return it->second;
+  if (t.id() >= id_by_term_.size() || id_by_term_[t.id()] == kNoAtom) {
+    return std::nullopt;
+  }
+  return id_by_term_[t.id()];
 }
 
 namespace {
 
-/// Per-signature store of ground atoms with lazily built, incrementally
-/// maintained argument indexes (a full rebuild per add would make growing
-/// derived predicates quadratic).
+/// Membership bitset over global interned-term ids: terms are dense small
+/// integers, so flat byte flags beat hash sets on the grounder's hottest
+/// reads (store/possible/certain membership).
+class TermFlags {
+ public:
+  bool test(Term t) const {
+    return t.id() < flags_.size() && flags_[t.id()] != 0;
+  }
+  /// Returns true if the flag was newly set.
+  bool set(Term t) {
+    if (t.id() >= flags_.size()) flags_.resize(t.id() + 1, 0);
+    if (flags_[t.id()]) return false;
+    flags_[t.id()] = 1;
+    return true;
+  }
+
+ private:
+  std::vector<std::uint8_t> flags_;
+};
+
+/// Per-signature store of ground atoms with persistent, incrementally
+/// maintained argument indexes.  Everything keys on interned SigIds; an
+/// index is built once on first use and then only appended to, so candidate
+/// lists handed to the join loop are never invalidated (callers iterate a
+/// frozen prefix by index instead of copying).
 class AtomStore {
  public:
-  /// Register a ground atom; returns true if new.
-  bool add(Term atom) {
-    if (!set_.insert(atom).second) return false;
-    auto& pred = preds_[atom.signature()];
+  explicit AtomStore(bool use_indexes) : use_indexes_(use_indexes) {}
+
+  /// Register a ground atom, stamping it with the fixpoint round that first
+  /// derived it; returns true if new.
+  bool add(Term atom, std::uint32_t round) {
+    if (!present_.set(atom)) return false;
+    ++size_;
+    if (atom.id() >= stamp_.size()) stamp_.resize(atom.id() + 1, 0);
+    stamp_[atom.id()] = round;
+    Pred& pred = pred_for(atom);
     pred.atoms.push_back(atom);
-    for (auto& [argpos, index] : pred.indexes) {
-      index.map[atom.args()[argpos].id()].push_back(atom);
-      ++index.size_at_build;
+    for (std::size_t pos = 0; pos < pred.by_pos.size(); ++pos) {
+      ArgIndex& index = pred.by_pos[pos];
+      if (index.built) index.map[atom.args()[pos].id()].push_back(atom);
     }
     return true;
   }
 
-  bool contains(Term atom) const { return set_.count(atom) > 0; }
-  std::size_t size() const { return set_.size(); }
+  bool contains(Term atom) const { return present_.test(atom); }
 
-  /// All atoms with the given signature.
-  const std::vector<Term>& all(const std::string& sig) const {
-    static const std::vector<Term> kEmpty;
+  /// Derivation round of a stored atom (only meaningful when contains()).
+  std::uint32_t stamp(Term atom) const { return stamp_[atom.id()]; }
+  std::size_t size() const { return size_; }
+
+  /// Number of stored atoms with the given signature.
+  std::size_t count(SigId sig) const {
+    auto it = preds_.find(sig);
+    return it == preds_.end() ? 0 : it->second.atoms.size();
+  }
+
+  /// All atoms with the given signature.  The returned vector may grow while
+  /// the caller iterates (self-recursive predicates); iterate a frozen
+  /// prefix by index.
+  const std::vector<Term>& all(SigId sig) const {
     auto it = preds_.find(sig);
     return it == preds_.end() ? kEmpty : it->second.atoms;
   }
 
   /// Atoms with the given signature whose argument `argpos` equals `value`.
-  /// Only valid for Fun atoms.  Index built on first use per (sig, argpos),
-  /// then kept up to date by add().
-  const std::vector<Term>& lookup(const std::string& sig, std::size_t argpos,
-                                  Term value) {
-    static const std::vector<Term> kEmpty;
+  /// Only valid for Fun atoms.  The index is built on first use per
+  /// (sig, argpos) and kept up to date by add() from then on — never
+  /// rebuilt, so returned buckets are append-only.
+  const std::vector<Term>& lookup(SigId sig, std::size_t argpos, Term value) {
     auto it = preds_.find(sig);
     if (it == preds_.end()) return kEmpty;
     Pred& pred = it->second;
-    auto& index = pred.indexes[argpos];
-    if (index.size_at_build != pred.atoms.size()) {
-      index.map.clear();
-      for (Term a : pred.atoms) {
-        index.map[a.args()[argpos].id()].push_back(a);
-      }
-      index.size_at_build = pred.atoms.size();
+    ArgIndex& index = pred.by_pos[argpos];
+    if (!index.built) {
+      for (Term a : pred.atoms) index.map[a.args()[argpos].id()].push_back(a);
+      index.built = true;
     }
     auto vit = index.map.find(value.id());
     return vit == index.map.end() ? kEmpty : vit->second;
   }
 
+  bool use_indexes() const { return use_indexes_; }
+
+  template <typename F>
+  void for_each_pred(F&& f) const {
+    for (const auto& [sig, pred] : preds_) f(sig, pred.atoms);
+  }
+
  private:
   struct ArgIndex {
     std::unordered_map<std::uint32_t, std::vector<Term>> map;
-    std::size_t size_at_build = 0;
+    bool built = false;
   };
   struct Pred {
     std::vector<Term> atoms;
-    std::unordered_map<std::size_t, ArgIndex> indexes;
+    std::vector<ArgIndex> by_pos;  // sized to the predicate arity
   };
-  std::unordered_set<Term, TermHash> set_;
-  std::unordered_map<std::string, Pred> preds_;
+
+  Pred& pred_for(Term atom) {
+    auto [it, inserted] = preds_.try_emplace(atom.sig());
+    if (inserted) {
+      std::size_t arity =
+          atom.kind() == TermKind::Fun ? atom.args().size() : 0;
+      it->second.by_pos.resize(arity);
+    }
+    return it->second;
+  }
+
+  static const std::vector<Term> kEmpty;
+
+  bool use_indexes_;
+  TermFlags present_;
+  std::vector<std::uint32_t> stamp_;  // term id -> first-derivation round
+  std::size_t size_ = 0;
+  // node-based: Pred references stay valid while the map grows.
+  std::unordered_map<SigId, Pred> preds_;
 };
 
-/// Key for deduplicating ground rule instances.
-std::uint64_t instance_key(const Term& head, const std::vector<Literal>& body) {
-  Hasher h;
-  h.field_u64(head.valid() ? head.id() : 0xffffffffu);
+const std::vector<Term> AtomStore::kEmpty;
+
+void hash_body(Hasher& h, const std::vector<Literal>& body) {
   for (const Literal& l : body) {
     h.field_u64(l.atom.id());
     h.field_u64(l.positive ? 1 : 0);
   }
+}
+
+/// Key for deduplicating ground rule instances.  Built purely from interned
+/// term ids, so re-derivations of the same instance (e.g. via different
+/// semi-naive pivots or naive re-instantiation rounds) always collide.
+std::uint64_t instance_key(const Term& head, const std::vector<Literal>& body) {
+  Hasher h;
+  h.field_u64(head.valid() ? head.id() : 0xffffffffu);
+  hash_body(h, body);
   return h.lo() ^ h.hi();
 }
 
-/// A fully instantiated (ground) rule awaiting negation resolution.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Open-addressing set of 64-bit keys (linear probing, power-of-two table).
+/// The grounder inserts one key per completed join — millions per resolve —
+/// and std::unordered_set's per-node allocation plus rehash chains show up
+/// as whole percents of ground time.  Key 0 is reserved as the empty slot
+/// marker (remapped; hashed keys are never biased toward 0).
+class U64Set {
+ public:
+  /// Returns true if the key was newly inserted.
+  bool insert(std::uint64_t key) {
+    if (key == 0) key = 0x9e3779b97f4a7c15ULL;  // remap reserved empty marker
+    if ((count_ + 1) * 2 > slots_.size()) grow();
+    std::size_t mask = slots_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(key) & mask;
+    while (slots_[i] != 0) {
+      if (slots_[i] == key) return false;
+      i = (i + 1) & mask;
+    }
+    slots_[i] = key;
+    ++count_;
+    return true;
+  }
+
+ private:
+  void grow() {
+    std::vector<std::uint64_t> old = std::move(slots_);
+    slots_.assign(old.empty() ? 1024 : old.size() * 2, 0);
+    std::size_t mask = slots_.size() - 1;
+    for (std::uint64_t key : old) {
+      if (key == 0) continue;
+      std::size_t i = static_cast<std::size_t>(key) & mask;
+      while (slots_[i] != 0) i = (i + 1) & mask;
+      slots_[i] = key;
+    }
+  }
+
+  std::vector<std::uint64_t> slots_;
+  std::size_t count_ = 0;
+};
+
+/// Pre-substitution duplicate filter key: a completed join with the same
+/// (rule, element, variable bindings) always instantiates to the same ground
+/// rule, and semi-naive re-derives each instance once per pivot position and
+/// round.  Combining per-binding hashes commutatively makes the key
+/// independent of binding insertion order, which varies with the pivot.
+std::uint64_t binding_key(std::size_t rule_index, int elem, const Bindings& b) {
+  std::uint64_t h = splitmix64(
+      0x42696e642eULL ^ (static_cast<std::uint64_t>(rule_index) << 8) ^
+      static_cast<std::uint64_t>(elem + 1));
+  for (const auto& [var, value] : b.entries()) {
+    h += splitmix64((static_cast<std::uint64_t>(var.id()) << 32) | value.id());
+  }
+  return h;
+}
+
+/// A fully instantiated (ground) normal rule or constraint awaiting
+/// negation resolution.
 struct Instance {
   const Rule* rule;
-  Term head;                    // ground head atom (Atom rules)
-  std::vector<Literal> body;    // ground literals, pos and neg
-  std::vector<GChoiceElem> choice_elements;  // filled later for choices
+  Term head;                  // ground head atom (Atom rules)
+  std::vector<Literal> body;  // ground literals, pos and neg
+};
+
+/// A ground choice-rule body (elements are grounded separately, see
+/// ElemInstance, and attached at emission by matching ground bodies).
+struct ChoiceInstance {
+  const Rule* rule;
+  std::size_t rule_index;
+  std::vector<Literal> body;  // in rule-literal order (grouping key)
+};
+
+/// One ground choice element, produced by its own pseudo-rule
+/// `elem_atom :- rule_body, elem_condition` so that element conditions
+/// participate fully in the (semi-naive) fixpoint — enumeration is complete
+/// over the final possible set regardless of when the choice body first
+/// fired, which also makes the optimized and reference paths agree.
+struct ElemInstance {
+  std::size_t rule_index;
+  Term atom;
+  std::vector<Literal> body;  // the owning rule's body, rule-literal order
+  std::vector<Literal> condition;
 };
 
 class Grounder {
  public:
-  explicit Grounder(const Program& program) : program_(program) {}
+  Grounder(const Program& program, const GroundOptions& opts)
+      : program_(program), opts_(opts), store_(opts.use_indexes) {}
 
   GroundProgram run() {
     trace::Span span("ground", "asp");
     auto t0 = std::chrono::steady_clock::now();
+    seed_facts();
     prepare_rules();
     fixpoint();
+    certain_closure();
     GroundProgram out;
     emit(out);
     auto t1 = std::chrono::steady_clock::now();
-    out.stats.possible_atoms = possible_.size();
-    out.stats.certain_atoms = certain_.size();
+    out.stats.possible_atoms = store_.size();
+    out.stats.certain_atoms = certain_list_.size();
     out.stats.rules = out.rules.size();
     out.stats.choices = out.choices.size();
     out.stats.iterations = iterations_;
@@ -135,12 +288,14 @@ class Grounder {
   }
 
   /// Per-predicate possible-atom counts into the global metrics registry.
-  /// Costs a walk of the possible set, so only runs while tracing.
+  /// Costs a walk of the per-predicate stores, so only runs while tracing.
   void record_predicate_counts() const {
     trace::Tracer& tracer = trace::Tracer::global();
     if (!tracer.enabled()) return;
     std::map<std::string, std::int64_t> counts;
-    for (const Term& t : possible_) ++counts[t.signature()];
+    store_.for_each_pred([&](SigId sig, const std::vector<Term>& atoms) {
+      counts[Term::sig_str(sig)] += static_cast<std::int64_t>(atoms.size());
+    });
     for (const auto& [sig, n] : counts) {
       tracer.metrics().add("ground.atoms/" + sig, n);
     }
@@ -151,40 +306,94 @@ class Grounder {
 
   struct PreparedRule {
     const Rule* rule;
-    // Positive body literals in join order; element 0 is re-pointed at the
-    // delta during semi-naive rounds.
+    std::size_t rule_index;  // position in program_.rules()
+    // For choice rules, each element gets its own pseudo-rule
+    // `elem_atom :- rule_body, elem_condition` (elem >= 0) so element
+    // conditions take part in the fixpoint like any other join.
+    int elem = -1;
+    // Positive body literals in join order; during semi-naive rounds each is
+    // tried as the delta pivot.
     std::vector<const Literal*> pos;
     std::vector<const Literal*> neg;
+    std::vector<SigId> pos_sigs;  // aligned with pos
   };
 
-  void prepare_rules() {
+  /// Ground facts (empty body, ground atom head) seed the store, the delta
+  /// and the certain set directly; everything else goes through the joiner.
+  void seed_facts() {
     for (const Rule& r : program_.rules()) {
-      PreparedRule pr;
-      pr.rule = &r;
-      for (const Literal& l : r.body) {
-        (l.positive ? pr.pos : pr.neg).push_back(&l);
+      if (!r.body.empty()) continue;
+      if (r.head.kind == Head::Kind::Atom && r.head.atom.is_ground() &&
+          r.comparisons.empty()) {
+        if (store_.add(r.head.atom, 0)) seeds_.push_back(r.head.atom);
+        if (certain_.set(r.head.atom)) certain_list_.push_back(r.head.atom);
+        consumed_.insert(&r);
       }
-      order_join(pr.pos);
-      prepared_.push_back(std::move(pr));
     }
   }
 
-  /// Greedy join ordering: start from the literal with the fewest variables,
-  /// then repeatedly take the literal sharing the most already-bound
-  /// variables (ties: fewer unbound variables first).
-  static void order_join(std::vector<const Literal*>& lits) {
+  void prepare_rules() {
+    // Signatures with a deriving rule: their extension is unknown at
+    // planning time (only facts are in the store), so the planner treats
+    // them as large.
+    std::unordered_set<SigId> derived;
+    for (const Rule& r : program_.rules()) {
+      if (r.head.kind == Head::Kind::Atom) derived.insert(r.head.atom.sig());
+      for (const ChoiceElement& e : r.head.elements) derived.insert(e.atom.sig());
+    }
+    auto estimate = [&](const Literal* l) -> std::size_t {
+      SigId sig = l->atom.sig();
+      if (derived.count(sig) > 0) return kDerivedEstimate;
+      return store_.count(sig);
+    };
+    std::size_t rule_index = 0;
+    for (const Rule& r : program_.rules()) {
+      std::size_t index = rule_index++;
+      if (consumed_.count(&r) > 0) continue;
+      PreparedRule pr;
+      pr.rule = &r;
+      pr.rule_index = index;
+      for (const Literal& l : r.body) {
+        (l.positive ? pr.pos : pr.neg).push_back(&l);
+      }
+      if (opts_.order_joins) order_join(pr.pos, estimate);
+      for (const Literal* l : pr.pos) pr.pos_sigs.push_back(l->atom.sig());
+      prepared_.push_back(std::move(pr));
+      if (r.head.kind != Head::Kind::Choice) continue;
+      for (std::size_t ei = 0; ei < r.head.elements.size(); ++ei) {
+        PreparedRule pe;
+        pe.rule = &r;
+        pe.rule_index = index;
+        pe.elem = static_cast<int>(ei);
+        for (const Literal& l : r.body) {
+          if (l.positive) pe.pos.push_back(&l);
+        }
+        for (const Literal& l : r.head.elements[ei].condition) {
+          if (l.positive) pe.pos.push_back(&l);
+        }
+        if (opts_.order_joins) order_join(pe.pos, estimate);
+        for (const Literal* l : pe.pos) pe.pos_sigs.push_back(l->atom.sig());
+        prepared_.push_back(std::move(pe));
+      }
+    }
+  }
+
+  static constexpr std::size_t kDerivedEstimate = std::size_t{1} << 30;
+
+  /// Greedy join planner: seed with the most selective literal (smallest
+  /// estimated extension, then fewest variables), then repeatedly take the
+  /// literal sharing the most already-bound variables (ties: smaller
+  /// extension, then fewer unbound variables).
+  template <typename Est>
+  static void order_join(std::vector<const Literal*>& lits, Est&& estimate) {
     if (lits.size() < 2) return;
     std::vector<const Literal*> ordered;
     std::vector<Term> bound;
     std::vector<bool> used(lits.size(), false);
-    auto var_count = [](const Literal* l) {
-      std::vector<Term> vs;
-      collect_vars(l->atom, vs);
-      return vs.size();
-    };
     for (std::size_t step = 0; step < lits.size(); ++step) {
       std::size_t best = SIZE_MAX;
       long best_shared = 0;
+      std::size_t best_est = 0;
       std::size_t best_unbound = 0;
       for (std::size_t i = 0; i < lits.size(); ++i) {
         if (used[i]) continue;
@@ -199,14 +408,15 @@ class Grounder {
             ++unbound;
           }
         }
-        if (step == 0) {  // seed with the most constrained literal
-          shared = -static_cast<long>(var_count(lits[i]));
-          unbound = 0;
-        }
+        std::size_t est = estimate(lits[i]);
+        if (step == 0) shared = 0;  // seed purely on selectivity
         if (best == SIZE_MAX || shared > best_shared ||
-            (shared == best_shared && unbound < best_unbound)) {
+            (shared == best_shared &&
+             (est < best_est ||
+              (est == best_est && unbound < best_unbound)))) {
           best = i;
           best_shared = shared;
+          best_est = est;
           best_unbound = unbound;
         }
       }
@@ -220,50 +430,49 @@ class Grounder {
   // -- fixpoint ------------------------------------------------------------
 
   void fixpoint() {
-    // Seed: ground facts (rules with empty bodies and ground heads are the
-    // common case and are special-cased for speed).
-    std::vector<Term> delta;
-    for (PreparedRule& pr : prepared_) {
-      const Rule& r = *pr.rule;
-      if (!r.body.empty()) continue;
-      if (r.head.kind == Head::Kind::Atom && r.head.atom.is_ground() &&
-          r.comparisons.empty() && pr.neg.empty()) {
-        if (store_.add(r.head.atom)) delta.push_back(r.head.atom);
-        certain_.insert(r.head.atom);
-        possible_.insert(r.head.atom);
-        pr.rule = nullptr;  // consumed
-      }
-    }
-
+    std::vector<Term> delta = seeds_;
     bool first_round = true;
     while (true) {
       ++iterations_;
-      // Bucket the delta by predicate signature: a pivot literal can only
-      // match atoms of its own predicate, so this avoids scanning the whole
-      // delta per rule.
-      std::unordered_map<std::string, std::vector<Term>> delta_by_sig;
-      for (Term d : delta) delta_by_sig[d.signature()].push_back(d);
-
+      round_ = static_cast<std::uint32_t>(iterations_);
       std::vector<Term> next_delta;
-      for (PreparedRule& pr : prepared_) {
-        if (pr.rule == nullptr) continue;
-        if (pr.pos.empty()) {
-          if (first_round) instantiate(pr, Bindings(), 0, nullptr, next_delta);
-          continue;
-        }
-        if (first_round) {
+      if (first_round || !opts_.semi_naive) {
+        // Full instantiation of every rule against the current store (the
+        // only mode of the naive reference path; round one of semi-naive).
+        for (PreparedRule& pr : prepared_) {
+          if (pr.pos.empty()) {
+            if (first_round) {
+              Bindings b;
+              instantiate(pr, b, SIZE_MAX, kNoCap, kNoCap, next_delta);
+            }
+            continue;
+          }
           Bindings b;
-          instantiate(pr, b, 0, nullptr, next_delta);
-        } else {
-          // Semi-naive: some positive literal must match the delta.  Try each
-          // literal position as the pivot.
+          instantiate(pr, b, SIZE_MAX, kNoCap, kNoCap, next_delta);
+        }
+      } else {
+        // Semi-naive: bucket the delta by signature; a rule re-fires only
+        // through a pivot literal matching a delta atom of its signature.
+        // Exactness: literals before the pivot join against atoms strictly
+        // older than the delta and literals after it against atoms no newer
+        // than the delta, so a combination whose newest atom was derived in
+        // round m fires exactly once — in round m+1, with the pivot on its
+        // first newest-atom position.  (Atoms first seen mid-round during
+        // round one are the only exception; the binding-key filter in
+        // finish_instance absorbs those re-derivations.)
+        std::uint32_t pre_cap = round_ - 2;
+        std::uint32_t post_cap = round_ - 1;
+        std::unordered_map<SigId, std::vector<Term>> delta_by_sig;
+        for (Term d : delta) delta_by_sig[d.sig()].push_back(d);
+        for (PreparedRule& pr : prepared_) {
+          if (pr.pos.empty()) continue;
           for (std::size_t pivot = 0; pivot < pr.pos.size(); ++pivot) {
-            auto bucket = delta_by_sig.find(pr.pos[pivot]->atom.signature());
+            auto bucket = delta_by_sig.find(pr.pos_sigs[pivot]);
             if (bucket == delta_by_sig.end()) continue;
             for (Term d : bucket->second) {
               Bindings b;
               if (!match(pr.pos[pivot]->atom, d, b)) continue;
-              instantiate_skip(pr, b, 0, pivot, next_delta);
+              instantiate(pr, b, pivot, pre_cap, post_cap, next_delta);
             }
           }
         }
@@ -274,158 +483,175 @@ class Grounder {
     }
   }
 
-  /// Backtracking join over pr.pos[i..]; `skip` marks a literal already
-  /// matched (the semi-naive pivot).
-  void instantiate_skip(PreparedRule& pr, Bindings& b, std::size_t i,
-                        std::size_t skip, std::vector<Term>& next_delta) {
+  /// Backtracking join over pr.pos; `skip` marks a literal already matched
+  /// (the semi-naive pivot; SIZE_MAX for none).  Literals before the pivot
+  /// only join atoms stamped <= pre_cap, literals after it atoms stamped
+  /// <= post_cap (kNoCap disables the filter).
+  void instantiate(PreparedRule& pr, Bindings& b, std::size_t skip,
+                   std::uint32_t pre_cap, std::uint32_t post_cap,
+                   std::vector<Term>& next_delta) {
+    instantiate_at(pr, b, 0, skip, pre_cap, post_cap, next_delta);
+  }
+
+  void instantiate_at(PreparedRule& pr, Bindings& b, std::size_t i,
+                      std::size_t skip, std::uint32_t pre_cap,
+                      std::uint32_t post_cap,
+                      std::vector<Term>& next_delta) {
     if (i == pr.pos.size()) {
       finish_instance(pr, b, next_delta);
       return;
     }
     if (i == skip) {
-      instantiate_skip(pr, b, i + 1, skip, next_delta);
+      instantiate_at(pr, b, i + 1, skip, pre_cap, post_cap, next_delta);
       return;
     }
-    match_literal(pr.pos[i]->atom, b, [&](Bindings& nb) {
-      instantiate_skip(pr, nb, i + 1, skip, next_delta);
-    });
+    match_literal(pr.pos[i]->atom, b, i < skip ? pre_cap : post_cap,
+                  [&](Bindings& nb) {
+                    instantiate_at(pr, nb, i + 1, skip, pre_cap, post_cap,
+                                   next_delta);
+                  });
   }
 
-  void instantiate(PreparedRule& pr, Bindings b, std::size_t i,
-                   const Term* /*unused*/, std::vector<Term>& next_delta) {
-    instantiate_skip(pr, b, i, SIZE_MAX, next_delta);
-  }
+  static constexpr std::uint32_t kNoCap = 0xffffffffu;
 
   /// Enumerate ground atoms matching `pattern` under `b`, invoking `k` with
-  /// the extended bindings for each.
+  /// the extended bindings for each.  Only atoms stamped <= max_stamp are
+  /// considered (see instantiate).  The candidate list may grow while the
+  /// continuation runs (self-recursive predicates); only the prefix present
+  /// at entry is visited, matching one semi-naive round.
   template <typename K>
-  void match_literal(Term pattern, Bindings& b, K&& k) {
+  void match_literal(Term pattern, Bindings& b, std::uint32_t max_stamp,
+                     K&& k) {
     Term inst = substitute(pattern, b);
     if (inst.is_ground()) {
-      if (store_.contains(inst)) k(b);
+      if (store_.contains(inst) && store_.stamp(inst) <= max_stamp) k(b);
       return;
     }
-    std::string sig = inst.signature();
+    SigId sig = inst.sig();
     const std::vector<Term>* candidates = nullptr;
-    if (inst.kind() == TermKind::Fun) {
-      // Pick a ground argument position to use as index key, if any.
-      for (std::size_t p = 0; p < inst.args().size(); ++p) {
-        if (inst.args()[p].is_ground()) {
-          candidates = &store_.lookup(sig, p, inst.args()[p]);
-          break;
+    if (store_.use_indexes() && inst.kind() == TermKind::Fun) {
+      // Probe every ground argument position and scan the smallest bucket —
+      // selectivity varies wildly between positions (e.g. a package name vs
+      // a near-constant flag) and each extra probe is one hash lookup.
+      std::span<const Term> args = inst.args();
+      for (std::size_t p = 0; p < args.size(); ++p) {
+        if (!args[p].is_ground()) continue;
+        const std::vector<Term>& bucket = store_.lookup(sig, p, args[p]);
+        if (candidates == nullptr || bucket.size() < candidates->size()) {
+          candidates = &bucket;
+          if (candidates->empty()) break;
         }
       }
     }
     if (candidates == nullptr) candidates = &store_.all(sig);
-    // Copy: the continuation may add atoms to the store, reallocating the
-    // candidate vector mid-iteration (self-recursive predicates).
-    std::vector<Term> local(candidates->begin(), candidates->end());
+    std::size_t frozen = candidates->size();
     std::size_t mark = b.size();
-    for (Term cand : local) {
+    for (std::size_t i = 0; i < frozen; ++i) {
+      Term cand = (*candidates)[i];
+      if (store_.stamp(cand) > max_stamp) continue;
       if (match(inst, cand, b)) k(b);
       b.truncate(mark);
     }
   }
 
+  /// Ground the full rule body in rule-literal order under complete
+  /// bindings.  Rule order (not join order) keeps the emitted bodies — and
+  /// the choice-grouping keys below — independent of the join planner.
+  std::vector<Literal> ground_body(const Rule& r, Bindings& b) {
+    std::vector<Literal> body;
+    body.reserve(r.body.size());
+    for (const Literal& l : r.body) {
+      Term g = substitute(l.atom, b);
+      if (!g.is_ground()) {
+        throw AspError("body literal not ground after join: " + g.str_repr());
+      }
+      body.push_back({g, l.positive});
+    }
+    return body;
+  }
+
   void finish_instance(PreparedRule& pr, Bindings& b,
                        std::vector<Term>& next_delta) {
     const Rule& r = *pr.rule;
+    // Skip re-derived bindings before paying for substitution and content
+    // hashing — the bulk of completed joins are semi-naive re-derivations.
+    // The naive reference path keeps only the content-level dedup below.
+    if (opts_.semi_naive &&
+        !seen_bindings_.insert(binding_key(pr.rule_index, pr.elem, b))) {
+      return;
+    }
     // Evaluate comparisons.
     for (const Comparison& c : r.comparisons) {
       Comparison g{c.op, substitute(c.lhs, b), substitute(c.rhs, b)};
       if (!eval_comparison(g)) return;
     }
-    // Ground negative literals.
-    std::vector<Literal> body;
-    body.reserve(r.body.size());
-    bool all_pos_certain = true;
-    for (const Literal* l : pr.pos) {
-      Term g = substitute(l->atom, b);
-      body.push_back({g, true});
-      if (!certain_.count(g)) all_pos_certain = false;
+    if (pr.elem >= 0) {
+      finish_element(pr, b, next_delta);
+      return;
     }
-    for (const Literal* l : pr.neg) {
-      Term g = substitute(l->atom, b);
-      if (!g.is_ground()) {
-        throw AspError("negative literal not ground after join: " +
-                       g.str_repr());
-      }
-      body.push_back({g, false});
-    }
+    std::vector<Literal> body = ground_body(r, b);
 
     switch (r.head.kind) {
       case Head::Kind::Atom: {
         Term head = substitute(r.head.atom, b);
         std::uint64_t key = instance_key(head, body);
-        if (!seen_instances_.insert(key).second) return;
-        if (store_.add(head)) next_delta.push_back(head);
-        possible_.insert(head);
-        if (all_pos_certain && pr.neg.empty()) certain_.insert(head);
-        instances_.push_back(Instance{&r, head, std::move(body), {}});
+        if (!seen_instances_.insert(key)) return;
+        if (store_.add(head, round_)) next_delta.push_back(head);
+        instances_.push_back(Instance{&r, head, std::move(body)});
         break;
       }
       case Head::Kind::None: {
         std::uint64_t key = instance_key(Term(), body);
-        if (!seen_instances_.insert(key).second) return;
-        instances_.push_back(Instance{&r, Term(), std::move(body), {}});
+        if (!seen_instances_.insert(key)) return;
+        instances_.push_back(Instance{&r, Term(), std::move(body)});
         break;
       }
       case Head::Kind::Choice: {
-        // Ground each element's condition against the current store.
-        Instance inst{&r, Term(), std::move(body), {}};
-        for (const ChoiceElement& e : r.head.elements) {
-          ground_choice_element(e, b, inst);
-        }
-        std::uint64_t key = instance_key(Term(), inst.body);
         Hasher h;
-        for (const GChoiceElem& ge : inst.choice_elements) {
-          h.field_u64(ge.atom);
-        }
-        key ^= h.lo();
-        if (!seen_instances_.insert(key).second) return;
-        for (const GChoiceElem& ge : inst.choice_elements) {
-          Term atom = pending_choice_atoms_[ge.atom];
-          if (store_.add(atom)) next_delta.push_back(atom);
-          possible_.insert(atom);
-        }
-        choice_instances_.push_back(std::move(inst));
+        h.field_u64(0x43686f6963652e);  // tag: choice body
+        h.field_u64(pr.rule_index);
+        hash_body(h, body);
+        if (!seen_instances_.insert(h.lo() ^ h.hi())) return;
+        choice_instances_.push_back(
+            ChoiceInstance{&r, pr.rule_index, std::move(body)});
         break;
       }
     }
   }
 
-  /// Enumerate matches of a choice element's positive condition, emitting one
-  /// GChoiceElem per match.  Atom ids here index pending_choice_atoms_ (the
-  /// final GroundProgram ids are assigned at emission).
-  void ground_choice_element(const ChoiceElement& e, Bindings& b,
-                             Instance& inst) {
-    std::vector<const Literal*> pos;
-    std::vector<const Literal*> neg;
-    for (const Literal& l : e.condition) (l.positive ? pos : neg).push_back(&l);
-
-    std::size_t mark = b.size();
-    enumerate_condition(pos, 0, b, [&]() {
-      Term atom = substitute(e.atom, b);
-      if (!atom.is_ground()) {
-        throw AspError("choice element atom not ground: " + atom.str_repr());
+  /// Complete match of a choice-element pseudo-rule: record the ground
+  /// element keyed by its owning rule instance's ground body.
+  void finish_element(PreparedRule& pr, Bindings& b,
+                      std::vector<Term>& next_delta) {
+    const Rule& r = *pr.rule;
+    const ChoiceElement& e = r.head.elements[static_cast<std::size_t>(pr.elem)];
+    Term atom = substitute(e.atom, b);
+    if (!atom.is_ground()) {
+      throw AspError("choice element atom not ground: " + atom.str_repr());
+    }
+    std::vector<Literal> body = ground_body(r, b);
+    std::vector<Literal> cond;
+    cond.reserve(e.condition.size());
+    for (const Literal& l : e.condition) {
+      Term g = substitute(l.atom, b);
+      if (!g.is_ground()) {
+        throw AspError("choice condition literal not ground after join: " +
+                       g.str_repr());
       }
-      GChoiceElem ge;
-      ge.atom = static_cast<AtomId>(pending_choice_atoms_.size());
-      pending_choice_atoms_.push_back(atom);
-      for (const Literal* l : pos) {
-        ge.condition.push_back(
-            {static_cast<AtomId>(pending_cond_atoms_.size()), true});
-        pending_cond_atoms_.push_back(substitute(l->atom, b));
-      }
-      for (const Literal* l : neg) {
-        Term g = substitute(l->atom, b);
-        ge.condition.push_back(
-            {static_cast<AtomId>(pending_cond_atoms_.size()), false});
-        pending_cond_atoms_.push_back(g);
-      }
-      inst.choice_elements.push_back(std::move(ge));
-    });
-    b.truncate(mark);
+      cond.push_back({g, l.positive});
+    }
+    Hasher h;
+    h.field_u64(0x456c656d2e);  // tag: choice element
+    h.field_u64(pr.rule_index);
+    h.field_u64(static_cast<std::uint64_t>(pr.elem));
+    h.field_u64(atom.id());
+    hash_body(h, body);
+    h.field_u64(0x7c);  // body | condition separator
+    hash_body(h, cond);
+    if (!seen_instances_.insert(h.lo() ^ h.hi())) return;
+    if (store_.add(atom, round_)) next_delta.push_back(atom);
+    elem_instances_.push_back(
+        ElemInstance{pr.rule_index, atom, std::move(body), std::move(cond)});
   }
 
   template <typename K>
@@ -435,8 +661,41 @@ class Grounder {
       k();
       return;
     }
-    match_literal(pos[i]->atom, b,
+    match_literal(pos[i]->atom, b, kNoCap,
                   [&](Bindings&) { enumerate_condition(pos, i + 1, b, k); });
+  }
+
+  // -- certainty -----------------------------------------------------------
+
+  /// Deterministic least-fixpoint closure of the certain set over the final
+  /// instance list: a head is certain when every body literal is certainly
+  /// true (positive & certain, or negative & impossible).  Running this as a
+  /// post-pass — instead of tracking certainty incrementally during the
+  /// fixpoint — makes the result independent of instantiation order, so the
+  /// optimized and reference grounders emit identical programs.
+  void certain_closure() {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const Instance& inst : instances_) {
+        if (inst.rule->head.kind != Head::Kind::Atom) continue;
+        if (certain_.test(inst.head)) continue;
+        bool all_true = true;
+        for (const Literal& l : inst.body) {
+          bool lit_true = l.positive ? certain_.test(l.atom)
+                                     : !store_.contains(l.atom);
+          if (!lit_true) {
+            all_true = false;
+            break;
+          }
+        }
+        if (all_true) {
+          certain_.set(inst.head);
+          certain_list_.push_back(inst.head);
+          changed = true;
+        }
+      }
+    }
   }
 
   // -- emission ------------------------------------------------------------
@@ -445,8 +704,8 @@ class Grounder {
   /// sets.  Returns: 1 literal true (drop it), -1 literal false (drop rule),
   /// 0 keep.
   int resolve(const Literal& l) const {
-    bool poss = possible_.count(l.atom) > 0;
-    bool cert = certain_.count(l.atom) > 0;
+    bool poss = store_.contains(l.atom);
+    bool cert = certain_.test(l.atom);
     if (l.positive) {
       if (cert) return 1;
       if (!poss) return -1;
@@ -470,59 +729,57 @@ class Grounder {
   }
 
   void emit(GroundProgram& out) {
-    for (Term t : certain_) out.facts.push_back(out.intern_atom(t));
+    for (Term t : certain_list_) out.facts.push_back(out.intern_atom(t));
 
     for (const Instance& inst : instances_) {
       const Rule& r = *inst.rule;
+      if (r.head.kind == Head::Kind::Atom && certain_.test(inst.head)) {
+        continue;  // already a fact
+      }
       std::vector<GLit> body;
       if (!resolve_body(inst.body, out, body)) continue;
-      if (r.head.kind == Head::Kind::Atom) {
-        if (certain_.count(inst.head) > 0) continue;  // already a fact
-        if (body.empty()) {
-          // Fully simplified (e.g. negation over impossible atoms): the
-          // head is unconditionally true — emit a fact, not a rule.  This
-          // keeps the indirect reuse encoding's recovery layer out of the
-          // SAT solver when splicing is off.
-          certain_.insert(inst.head);
-          out.facts.push_back(out.intern_atom(inst.head));
-          continue;
-        }
-        GRule gr;
-        gr.has_head = true;
-        gr.head = out.intern_atom(inst.head);
-        gr.body = std::move(body);
-        out.rules.push_back(std::move(gr));
-      } else {
-        GRule gr;
-        gr.has_head = false;
-        gr.body = std::move(body);
-        out.rules.push_back(std::move(gr));
-      }
+      GRule gr;
+      gr.has_head = r.head.kind == Head::Kind::Atom;
+      if (gr.has_head) gr.head = out.intern_atom(inst.head);
+      gr.body = std::move(body);
+      out.rules.push_back(std::move(gr));
     }
 
-    for (const Instance& inst : choice_instances_) {
-      const Rule& r = *inst.rule;
+    // Attach ground elements to their owning choice instance by matching
+    // (rule, ground body).  Element instances were produced by per-element
+    // pseudo-rules, so each carries its rule body grounding as the join key.
+    auto body_sig = [](std::size_t rule_index,
+                       const std::vector<Literal>& body) {
+      std::string k = std::to_string(rule_index);
+      for (const Literal& l : body) {
+        k += l.positive ? '+' : '-';
+        k += std::to_string(l.atom.id());
+      }
+      return k;
+    };
+    std::unordered_map<std::string, std::vector<const ElemInstance*>>
+        elems_by_body;
+    for (const ElemInstance& ei : elem_instances_) {
+      elems_by_body[body_sig(ei.rule_index, ei.body)].push_back(&ei);
+    }
+    for (const ChoiceInstance& ci : choice_instances_) {
+      const Rule& r = *ci.rule;
       std::vector<GLit> body;
-      if (!resolve_body(inst.body, out, body)) continue;
+      if (!resolve_body(ci.body, out, body)) continue;
       GChoice gc;
       gc.lower = r.head.lower;
       gc.upper = r.head.upper;
       gc.body = std::move(body);
-      for (const GChoiceElem& pe : inst.choice_elements) {
-        GChoiceElem ge;
-        ge.atom = out.intern_atom(pending_choice_atoms_[pe.atom]);
-        bool dead = false;
-        for (const GLit& cl : pe.condition) {
-          Literal sym{pending_cond_atoms_[cl.atom], cl.positive};
-          int res = resolve(sym);
-          if (res == -1) {
-            dead = true;
-            break;
-          }
-          if (res == 1) continue;
-          ge.condition.push_back({out.intern_atom(sym.atom), sym.positive});
+      auto it = elems_by_body.find(body_sig(ci.rule_index, ci.body));
+      if (it != elems_by_body.end()) {
+        for (const ElemInstance* ei : it->second) {
+          std::vector<GLit> cond;
+          if (!resolve_body(ei->condition, out, cond)) continue;
+          GChoiceElem ge;
+          ge.atom = out.intern_atom(ei->atom);
+          ge.condition = std::move(cond);
+          gc.elements.push_back(std::move(ge));
         }
-        if (!dead) gc.elements.push_back(std::move(ge));
       }
       out.choices.push_back(std::move(gc));
     }
@@ -570,21 +827,31 @@ class Grounder {
   }
 
   const Program& program_;
+  GroundOptions opts_;
   std::vector<PreparedRule> prepared_;
-  AtomStore store_;
-  std::unordered_set<Term, TermHash> possible_;
-  std::unordered_set<Term, TermHash> certain_;
-  std::unordered_set<std::uint64_t> seen_instances_;
+  std::unordered_set<const Rule*> consumed_;  // facts turned into seeds
+  AtomStore store_;                           // membership == "possible"
+  TermFlags certain_;
+  std::vector<Term> certain_list_;
+  std::vector<Term> seeds_;
+  U64Set seen_instances_;
+  U64Set seen_bindings_;
   std::vector<Instance> instances_;
-  std::vector<Instance> choice_instances_;
-  std::vector<Term> pending_choice_atoms_;
-  std::vector<Term> pending_cond_atoms_;
+  std::vector<ChoiceInstance> choice_instances_;
+  std::vector<ElemInstance> elem_instances_;
   std::size_t iterations_ = 0;
+  std::uint32_t round_ = 0;  // current fixpoint round (stamps new atoms)
 };
 
 }  // namespace
 
-GroundProgram ground(const Program& program) { return Grounder(program).run(); }
+GroundProgram ground(const Program& program, const GroundOptions& opts) {
+  return Grounder(program, opts).run();
+}
+
+GroundProgram ground_reference(const Program& program) {
+  return Grounder(program, GroundOptions::reference()).run();
+}
 
 json::Value GroundStats::to_json() const {
   json::Object o;

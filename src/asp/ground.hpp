@@ -15,13 +15,24 @@
 // tracked as "certain" and emitted as unit facts, which keeps the SAT
 // translation small: the bulk of a concretizer instance is fact data
 // (pkg_fact / hash_attr) that never reaches the solver as clauses.
+// Certainty is computed as a deterministic closure over the final instance
+// set, so the optimized and reference paths (see GroundOptions) produce
+// identical ground programs.
+//
+// Hot-path machinery (each independently gated by GroundOptions so the
+// differential suite can cross-check it against the naive path):
+//   * per-predicate atom stores keyed by interned signature ids, with
+//     persistent per-argument hash indexes (built once, maintained
+//     incrementally — no rebuilds, no candidate copying);
+//   * a join planner that orders body literals by bound-variable overlap
+//     and predicate extension size (selectivity);
+//   * semi-naive delta evaluation instead of naive full re-instantiation.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "src/asp/program.hpp"
@@ -96,12 +107,31 @@ class GroundProgram {
   GroundStats stats;
 
  private:
+  static constexpr AtomId kNoAtom = 0xffffffffu;
   std::vector<Term> atoms_;
-  std::unordered_map<Term, AtomId, TermHash> ids_;
+  // Dense map from global term id to atom id (terms are interned integers,
+  // so a flat vector beats hashing on this hot path).
+  std::vector<AtomId> id_by_term_;
+};
+
+/// Feature gates for the grounder's optimized machinery.  Defaults enable
+/// everything; `reference()` disables it all, yielding the naive
+/// re-instantiation path the differential suite cross-checks against.
+struct GroundOptions {
+  bool semi_naive = true;   ///< delta-driven rounds vs full re-instantiation
+  bool use_indexes = true;  ///< per-argument hash indexes vs full scans
+  bool order_joins = true;  ///< selectivity join planner vs textual order
+
+  static GroundOptions reference() { return {false, false, false}; }
 };
 
 /// Ground `program`.  Throws AspError on programs outside the supported
 /// fragment (unsafe rules are rejected earlier, at Program construction).
-GroundProgram ground(const Program& program);
+GroundProgram ground(const Program& program, const GroundOptions& opts = {});
+
+/// The retained naive reference path: full re-instantiation, no indexes, no
+/// join planning.  Produces the same ground program as `ground` modulo
+/// rule/atom order; kept as the oracle for the differential test suite.
+GroundProgram ground_reference(const Program& program);
 
 }  // namespace splice::asp

@@ -396,7 +396,9 @@ void Solver::reduce_db() {
   num_learned_limit_ += num_learned_limit_ / 2;
 }
 
-Solver::Result Solver::solve() {
+Solver::Result Solver::solve() { return solve({}); }
+
+Solver::Result Solver::solve(const std::vector<Lit>& assumptions) {
   if (unsat_) return Result::Unsat;
   backtrack(0);
   if (propagate() != kNoReason) {
@@ -451,15 +453,36 @@ Solver::Result Solver::solve() {
       continue;
     }
 
-    Lit next = pick_branch();
-    if (next == 0xffffffffu) {
-      for (Var v = 0; v < assigns_.size(); ++v) {
-        model_[v] = (assigns_[v] == Value::True);
+    // Place pending assumptions as decisions (restarts and backjumps may
+    // have unwound them; trail_lim_.size() tracks how many are in force).
+    Lit next = 0xffffffffu;
+    while (trail_lim_.size() < assumptions.size()) {
+      Lit p = assumptions[trail_lim_.size()];
+      Value v = value(p);
+      if (v == Value::True) {
+        // Already entailed: open a dummy level so the indexing holds.
+        trail_lim_.push_back(static_cast<std::uint32_t>(trail_.size()));
+      } else if (v == Value::False) {
+        // Assumptions conflict with the database.  The database itself
+        // stays satisfiable — report Unsat without latching unsat_.
+        backtrack(0);
+        return Result::Unsat;
+      } else {
+        next = p;
+        break;
       }
-      backtrack(0);
-      return Result::Sat;
     }
-    ++stats_.decisions;
+    if (next == 0xffffffffu) {
+      next = pick_branch();
+      if (next == 0xffffffffu) {
+        for (Var v = 0; v < assigns_.size(); ++v) {
+          model_[v] = (assigns_[v] == Value::True);
+        }
+        backtrack(0);
+        return Result::Sat;
+      }
+      ++stats_.decisions;
+    }
     trail_lim_.push_back(static_cast<std::uint32_t>(trail_.size()));
     enqueue(next, kNoReason);
   }

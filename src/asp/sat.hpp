@@ -77,6 +77,15 @@ class Solver {
   enum class Result { Sat, Unsat };
   Result solve();
 
+  /// Solve under assumptions: each literal is placed as a decision before
+  /// the free search.  Returns Unsat if the assumptions are inconsistent
+  /// with the clause database — without marking the solver unsatisfiable,
+  /// so the caller can retract them and continue (in_conflict() stays
+  /// false).  Learned clauses, activities and saved phases persist across
+  /// calls; the optimization driver leans on this to tighten objective
+  /// bounds without rebuilding the solver.
+  Result solve(const std::vector<Lit>& assumptions);
+
   /// Model access; valid after solve() returned Sat.  Unconstrained
   /// variables read as false.
   bool model_value(Var v) const { return model_[v]; }

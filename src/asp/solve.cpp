@@ -43,8 +43,18 @@ json::Value SolveStats::to_json() const {
 
 std::vector<Term> Model::with_signature(std::string_view sig) const {
   std::vector<Term> out;
+  // Resolve "name/arity" to an interned signature id once, then filter by
+  // integer comparison instead of rendering a string per atom.
+  std::size_t slash = sig.rfind('/');
+  if (slash == std::string_view::npos) return out;
+  std::size_t arity = 0;
+  for (char c : sig.substr(slash + 1)) {
+    if (c < '0' || c > '9') return out;
+    arity = arity * 10 + static_cast<std::size_t>(c - '0');
+  }
+  SigId want = Term::intern_sig(sig.substr(0, slash), arity);
   for (Term t : atoms) {
-    if (t.signature() == sig) out.push_back(t);
+    if (t.sig() == want) out.push_back(t);
   }
   std::sort(out.begin(), out.end());
   return out;
@@ -55,11 +65,12 @@ namespace {
 using sat::Lit;
 using sat::Var;
 
-/// One SAT translation of a ground program.  Rebuilt between optimization
-/// priority levels (bounds only tighten within a level, so the solver can be
-/// reused there; switching levels needs relaxation, hence the rebuild).
-/// Variable numbering is deterministic, so literal-level artifacts (loop
-/// nogoods, level bounds) carry over across rebuilds.
+/// One SAT translation of a ground program.  Built once per solve: the
+/// optimization driver keeps the same solver (and its learned clauses,
+/// activities and saved phases) across all priority levels by expressing
+/// tentative objective bounds as guard-activated PB constraints that are
+/// enabled via solve-under-assumptions and retired with a unit clause —
+/// nothing is ever rebuilt or relaxed.
 class Translation {
  public:
   explicit Translation(const GroundProgram& gp) : gp_(gp) {
@@ -130,8 +141,16 @@ class Translation {
       std::vector<AtomId> rest;
       for (AtomId a : u) {
         bool justified = false;
-        for (Lit elig : choice_supports_[a]) {
-          if (lit_true(elig)) {
+        for (const ChoiceSupport& cs : choice_supports_[a]) {
+          if (!lit_true(cs.elig)) continue;
+          bool internal = false;
+          for (AtomId d : cs.pos_deps) {
+            if (in_u[d]) {
+              internal = true;
+              break;
+            }
+          }
+          if (!internal) {
             justified = true;
             break;
           }
@@ -177,7 +196,16 @@ class Translation {
         }
         if (!internal) external.push_back(body_lit_[ri]);
       }
-      for (Lit elig : choice_supports_[a]) external.push_back(elig);
+      for (const ChoiceSupport& cs : choice_supports_[a]) {
+        bool internal = false;
+        for (AtomId d : cs.pos_deps) {
+          if (in_u[d]) {
+            internal = true;
+            break;
+          }
+        }
+        if (!internal) external.push_back(cs.elig);
+      }
     }
     std::vector<std::vector<Lit>> nogoods;
     for (AtomId a : u) {
@@ -262,7 +290,14 @@ class Translation {
           elig = sat::mk_lit(ev, true);
         }
         supports_[e.atom].push_back(elig);
-        choice_supports_[e.atom].push_back(elig);
+        std::vector<AtomId> deps;
+        for (const GLit& l : c.body) {
+          if (l.positive) deps.push_back(l.atom);
+        }
+        for (const GLit& l : e.condition) {
+          if (l.positive) deps.push_back(l.atom);
+        }
+        choice_supports_[e.atom].push_back({elig, std::move(deps)});
         // Count literal: atom AND eligible.
         Var cv = solver_->new_var();
         define_and(cv, {atom_lit(e.atom, true), elig});
@@ -324,20 +359,29 @@ class Translation {
     return sat::mk_lit(bv, true);
   }
 
-  /// Tarjan SCCs over the positive atom dependency graph (normal rules only);
-  /// marks atoms in non-trivial SCCs, which are the only unfounded-set
-  /// candidates.
+  /// Tarjan SCCs over the positive atom dependency graph; marks atoms in
+  /// non-trivial SCCs, which are the only unfounded-set candidates.  Choice
+  /// rules contribute edges too (element atom -> positive body/condition
+  /// atoms): a choice whose body circles back through its own element is
+  /// just as capable of unfounded self-support as a normal rule.
   void compute_sccs() {
     std::size_t n = gp_.num_atoms();
     scc_nontrivial_.assign(n, false);
     std::vector<std::vector<AtomId>> edges(n);  // head -> positive body atoms
     std::vector<bool> self_loop(n, false);
+    auto add_edge = [&](AtomId head, AtomId dep) {
+      if (dep == head) self_loop[head] = true;
+      edges[head].push_back(dep);
+    };
     for (const GRule& r : gp_.rules) {
       if (!r.has_head) continue;
       for (const GLit& l : r.body) {
-        if (!l.positive) continue;
-        if (l.atom == r.head) self_loop[r.head] = true;
-        edges[r.head].push_back(l.atom);
+        if (l.positive) add_edge(r.head, l.atom);
+      }
+    }
+    for (AtomId a = 0; a < n; ++a) {
+      for (const ChoiceSupport& cs : choice_supports_[a]) {
+        for (AtomId d : cs.pos_deps) add_edge(a, d);
       }
     }
     // Iterative Tarjan.
@@ -398,9 +442,19 @@ class Translation {
   std::unique_ptr<sat::Solver> solver_;
   Var true_var_ = 0;
   std::vector<Var> atom_var_;
-  std::vector<Lit> body_lit_;                    // per rule index
-  std::vector<std::vector<Lit>> supports_;       // per atom
-  std::vector<std::vector<Lit>> choice_supports_;  // per atom (elig literals)
+  /// Choice-rule support for an atom: the eligibility literal plus the
+  /// positive atoms it depends on (choice body and element condition).  The
+  /// dependencies matter for unfounded-set reasoning — an eligible choice
+  /// only justifies its atom when that eligibility is itself externally
+  /// supported.
+  struct ChoiceSupport {
+    Lit elig;
+    std::vector<AtomId> pos_deps;
+  };
+
+  std::vector<Lit> body_lit_;               // per rule index
+  std::vector<std::vector<Lit>> supports_;  // per atom
+  std::vector<std::vector<ChoiceSupport>> choice_supports_;  // per atom
   std::vector<std::vector<std::size_t>> rules_by_head_;
   std::vector<Var> min_var_;
   std::vector<bool> scc_nontrivial_;
@@ -410,14 +464,15 @@ class Translation {
 using EventFn = std::function<void(SolveEvent)>;
 
 /// Run the SAT search until a *stable* model is found (or UNSAT), learning
-/// loop nogoods along the way.  `persistent_nogoods` accumulates them so
-/// rebuilds re-assert them.  `emit` (optional) streams ModelFound /
-/// LoopNogood milestones.
+/// loop nogoods along the way.  Nogoods go straight into the (persistent)
+/// solver; `assumptions` scope the search, so Unsat may mean "under these
+/// assumptions only".  `emit` (optional) streams ModelFound / LoopNogood
+/// milestones.
 sat::Solver::Result solve_stable(Translation& tr,
-                                 std::vector<std::vector<Lit>>& persistent,
+                                 const std::vector<Lit>& assumptions,
                                  SolveStats& stats, const EventFn& emit = {}) {
   while (true) {
-    if (tr.solver().solve() == sat::Solver::Result::Unsat) {
+    if (tr.solver().solve(assumptions) == sat::Solver::Result::Unsat) {
       return sat::Solver::Result::Unsat;
     }
     ++stats.models_enumerated;
@@ -432,7 +487,6 @@ sat::Solver::Result solve_stable(Translation& tr,
     }
     for (auto& ng : nogoods) {
       ++stats.loop_nogoods;
-      persistent.push_back(ng);
       tr.solver().add_clause(std::move(ng));
     }
     if (emit) {
@@ -487,23 +541,18 @@ SolveResult solve_ground(const GroundProgram& gp, const SolveOptions& opts) {
     };
   }
 
-  // Relay the CDCL core's restart/conflict-batch callback.  Re-attached to
-  // every rebuilt translation with the then-current conflict base.
-  auto attach_progress = [&](Translation& t) {
-    if (!want_events) return;
-    std::uint64_t base = result.stats.conflicts;
-    t.solver().set_progress([&emit, base](const sat::Progress& p) {
+  // Relay the CDCL core's restart/conflict-batch callback.
+  if (want_events) {
+    tr->solver().set_progress([&emit](const sat::Progress& p) {
       SolveEvent ev;
       ev.kind = p.kind == sat::Progress::Kind::Restart
                     ? SolveEvent::Kind::SatRestart
                     : SolveEvent::Kind::SatConflicts;
-      ev.conflicts = base + p.stats.conflicts;
+      ev.conflicts = p.stats.conflicts;
       emit(ev);
     });
-  };
-  attach_progress(*tr);
+  }
 
-  std::vector<std::vector<Lit>> persistent_nogoods;
   // (priority, bound) pairs already fixed by finished levels.
   std::vector<std::pair<std::int64_t, std::int64_t>> fixed_bounds;
 
@@ -522,7 +571,7 @@ SolveResult solve_ground(const GroundProgram& gp, const SolveOptions& opts) {
     result.stats.restarts += t.solver().stats().restarts;
   };
 
-  if (solve_stable(*tr, persistent_nogoods, result.stats, emit) ==
+  if (solve_stable(*tr, {}, result.stats, emit) ==
       sat::Solver::Result::Unsat) {
     finish_stats(*tr);
     auto t2 = std::chrono::steady_clock::now();
@@ -546,25 +595,43 @@ SolveResult solve_ground(const GroundProgram& gp, const SolveOptions& opts) {
   std::sort(priorities.rbegin(), priorities.rend());
 
   if (opts.optimize && !priorities.empty()) {
+    // Lexicographic branch-and-bound over one persistent solver.  Tentative
+    // bounds are guard-activated PB constraints:
+    //
+    //   sum(w_i x_i) + (W - B) g  <=  W      (W = total level weight)
+    //
+    // which enforces sum <= B exactly when the guard g is assumed true and
+    // is vacuous otherwise.  Solving under the assumption {g} probes the
+    // bound; afterwards the unit clause {!g} retires the constraint for
+    // good.  Learned clauses mentioning g all contain !g (g is a decision,
+    // so conflict analysis cannot resolve it away), so they are satisfied —
+    // not lost — once g is retired; everything else the solver learned
+    // stays valid across bounds *and* across priority levels.
     for (std::int64_t prio : priorities) {
       trace::Span level_span("optimize_level", "asp");
       level_span.attr("priority", prio);
+      // The optimum model of the previous level persists in the solver's
+      // model snapshot (Unsat-under-assumption does not clear it).
       std::int64_t best_cost = tr->eval_cost(prio);
-      // Tighten within this level until UNSAT.
+      auto terms = tr->objective_terms(prio);
+      std::int64_t total_weight = 0;
+      for (const auto& [l, w] : terms) total_weight += w;
+      // Tighten within this level until the bound probe comes back UNSAT.
       bool level_open = best_cost > 0;
       while (level_open) {
         if (opts.max_models && result.stats.models_enumerated >= opts.max_models) {
           level_open = false;
           break;
         }
-        auto terms = tr->objective_terms(prio);
-        if (!tr->solver().add_pb_le(std::move(terms), best_cost - 1)) {
-          break;  // no improvement possible
+        Lit guard = sat::mk_lit(tr->solver().new_var(), true);
+        auto bounded = terms;
+        bounded.emplace_back(guard, total_weight - (best_cost - 1));
+        if (!tr->solver().add_pb_le(std::move(bounded), total_weight)) {
+          break;  // database already contradicts any tighter bound
         }
-        if (solve_stable(*tr, persistent_nogoods, result.stats, emit) ==
-            sat::Solver::Result::Unsat) {
-          break;
-        }
+        auto res = solve_stable(*tr, {guard}, result.stats, emit);
+        tr->solver().add_clause({sat::negate(guard)});
+        if (res == sat::Solver::Result::Unsat) break;
         best_cost = tr->eval_cost(prio);
         best = snapshot_model(*tr);
         if (emit) {
@@ -585,26 +652,9 @@ SolveResult solve_ground(const GroundProgram& gp, const SolveOptions& opts) {
         emit(ev);
       }
       level_span.attr("cost", best_cost);
-      // Rebuild for the next level: the within-level bound chase left the
-      // solver UNSAT; recreate it with all finished levels pinned.
+      // Pin this level's optimum permanently before descending.
       if (prio != priorities.back()) {
-        finish_stats(*tr);
-        {
-          trace::Span ts("translate", "asp");
-          tr = std::make_unique<Translation>(gp);
-        }
-        attach_progress(*tr);
-        for (const auto& ng : persistent_nogoods) {
-          tr->solver().add_clause(ng);
-        }
-        for (const auto& [p, bound] : fixed_bounds) {
-          tr->solver().add_pb_le(tr->objective_terms(p), bound);
-        }
-        if (solve_stable(*tr, persistent_nogoods, result.stats, emit) ==
-            sat::Solver::Result::Unsat) {
-          throw AspError("internal: optimum model lost across level rebuild");
-        }
-        best = snapshot_model(*tr);
+        tr->solver().add_pb_le(std::move(terms), best_cost);
       }
     }
     best.costs = fixed_bounds;
@@ -633,11 +683,10 @@ SolveResult solve_program(const Program& program, const SolveOptions& opts) {
 
 std::vector<Model> enumerate_models(const GroundProgram& gp, std::size_t limit) {
   Translation tr(gp);
-  std::vector<std::vector<Lit>> nogoods;
   SolveStats scratch;
   std::vector<Model> models;
   while (limit == 0 || models.size() < limit) {
-    if (solve_stable(tr, nogoods, scratch) == sat::Solver::Result::Unsat) break;
+    if (solve_stable(tr, {}, scratch) == sat::Solver::Result::Unsat) break;
     Model m;
     std::vector<Lit> block;
     block.reserve(gp.num_atoms());

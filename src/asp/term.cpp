@@ -1,5 +1,6 @@
 #include "src/asp/term.hpp"
 
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -8,24 +9,26 @@
 
 namespace splice::asp {
 
+namespace detail {
+const TermData* const* g_term_pages = nullptr;
+
+void throw_invalid_term() {
+  throw AspError("dereference of invalid Term handle");
+}
+}  // namespace detail
+
 namespace {
 
-struct TermData {
-  TermKind kind;
-  bool ground;
-  std::int64_t int_value = 0;   // Int
-  std::string name;             // Sym/Str/Var/Fun name
-  std::vector<Term> args;       // Fun
-};
+using detail::TermData;
 
 struct Key {
   TermKind kind;
   std::int64_t int_value;
-  std::string_view name;
+  std::uint32_t name_id;
   std::span<const Term> args;
 
   bool operator==(const Key& o) const {
-    if (kind != o.kind || int_value != o.int_value || name != o.name ||
+    if (kind != o.kind || int_value != o.int_value || name_id != o.name_id ||
         args.size() != o.args.size()) {
       return false;
     }
@@ -40,16 +43,42 @@ struct KeyHash {
   std::size_t operator()(const Key& k) const noexcept {
     std::size_t h = static_cast<std::size_t>(k.kind) * 0x9e3779b97f4a7c15ULL;
     h ^= std::hash<std::int64_t>{}(k.int_value) + (h << 6);
-    h ^= std::hash<std::string_view>{}(k.name) + (h << 6);
+    h ^= k.name_id * 0x9e3779b97f4a7c15ULL + (h << 6);
     for (Term t : k.args) h = h * 1099511628211ULL + t.id();
     return h;
   }
 };
 
-// Global interning table.  Append-only; TermData addresses are NOT stable
-// (vector may grow) so accessors copy what they need under the lock-free
-// assumption that entries themselves never mutate after insertion.  The
-// engine is single-threaded per solve, but interning is guarded anyway.
+/// Append-only arena for argument spans: fixed-size chunks, so handed-out
+/// spans stay valid while the arena grows.
+class ArgArena {
+ public:
+  std::span<const Term> store(std::span<const Term> args) {
+    if (args.empty()) return {};
+    if (chunks_.empty() || used_ + args.size() > kChunk) {
+      std::size_t cap = std::max(args.size(), kChunk);
+      chunks_.push_back(std::make_unique<Term[]>(cap));
+      used_ = 0;
+    }
+    Term* out = chunks_.back().get() + used_;
+    for (std::size_t i = 0; i < args.size(); ++i) out[i] = args[i];
+    used_ += args.size();
+    return {out, args.size()};
+  }
+
+ private:
+  static constexpr std::size_t kChunk = 1 << 14;
+  std::vector<std::unique_ptr<Term[]>> chunks_;
+  std::size_t used_ = 0;
+};
+
+// Global interning table.  Append-only; TermData entries live in fixed-size
+// pages whose addresses are stable across growth (the page directory backing
+// `detail::g_term_pages` is refreshed under the lock whenever a page is
+// added), and argument spans live in the chunked arena.  Entries never
+// mutate after insertion, so accessors read without the lock (the engine is
+// single-threaded per solve, but interning itself is guarded for the
+// multi-session case).
 class Table {
  public:
   static Table& instance() {
@@ -60,39 +89,100 @@ class Table {
   std::uint32_t intern(TermKind kind, std::int64_t iv, std::string_view name,
                        std::span<const Term> args) {
     std::lock_guard<std::mutex> lock(mu_);
-    Key key{kind, iv, name, args};
+    return intern_locked(kind, iv, intern_name(name), args);
+  }
+
+  /// Intern a Fun sharing functor (name id, and therefore signature) with an
+  /// existing term of the same arity — no string hashing.
+  std::uint32_t intern_fun_like(std::uint32_t name_id,
+                                std::span<const Term> args) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return intern_locked(TermKind::Fun, 0, name_id, args);
+  }
+
+  std::string_view name_of(std::uint32_t name_id) const {
+    return names_[name_id];
+  }
+
+  SigId intern_sig(std::string_view name, std::size_t arity) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return intern_sig_locked(intern_name(name), arity);
+  }
+
+  std::string sig_str(SigId sig) const {
+    const auto& [name_id, arity] = sigs_[sig];
+    return std::string(names_[name_id]) + "/" + std::to_string(arity);
+  }
+
+  std::size_t size() const { return count_; }
+
+ private:
+  std::uint32_t intern_locked(TermKind kind, std::int64_t iv,
+                              std::uint32_t name_id,
+                              std::span<const Term> args) {
+    Key key{kind, iv, name_id, args};
     auto it = index_.find(key);
     if (it != index_.end()) return it->second;
     TermData data;
     data.kind = kind;
     data.int_value = iv;
-    data.name = std::string(name);
-    data.args.assign(args.begin(), args.end());
+    data.name_id = name_id;
+    std::span<const Term> stored_args = args_.store(args);
+    data.args = stored_args.data();
+    data.nargs = static_cast<std::uint32_t>(stored_args.size());
+    data.sig = intern_sig_locked(
+        name_id, kind == TermKind::Fun ? stored_args.size() : 0);
     data.ground = kind != TermKind::Var;
-    for (Term a : data.args) data.ground = data.ground && a.is_ground();
-    auto id = static_cast<std::uint32_t>(terms_.size());
-    terms_.push_back(std::make_unique<TermData>(std::move(data)));
-    const TermData& stored = *terms_.back();
-    index_.emplace(Key{stored.kind, stored.int_value, stored.name, stored.args}, id);
+    for (Term a : stored_args) data.ground = data.ground && a.is_ground();
+    auto id = static_cast<std::uint32_t>(count_);
+    std::size_t page = id >> detail::kTermPageShift;
+    if (page == pages_.size()) {
+      pages_.push_back(
+          std::make_unique<TermData[]>(detail::kTermPageMask + 1));
+      page_dir_.push_back(pages_.back().get());
+      detail::g_term_pages = page_dir_.data();
+    }
+    pages_[page][id & detail::kTermPageMask] = data;
+    ++count_;
+    index_.emplace(Key{kind, iv, name_id, stored_args}, id);
     return id;
   }
 
-  const TermData& get(std::uint32_t id) const {
-    // No lock: entries are immutable once inserted and unique_ptr targets are
-    // address-stable across vector growth.
-    return *terms_[id];
+  std::uint32_t intern_name(std::string_view name) {
+    auto it = name_ids_.find(name);
+    if (it != name_ids_.end()) return it->second;
+    name_storage_.emplace_back(name);
+    auto id = static_cast<std::uint32_t>(names_.size());
+    names_.push_back(name_storage_.back());
+    name_ids_.emplace(name_storage_.back(), id);
+    return id;
   }
 
- private:
-  std::mutex mu_;
-  std::vector<std::unique_ptr<TermData>> terms_;
-  std::unordered_map<Key, std::uint32_t, KeyHash> index_;
-};
+  SigId intern_sig_locked(std::uint32_t name_id, std::size_t arity) {
+    std::uint64_t key =
+        (static_cast<std::uint64_t>(name_id) << 32) | static_cast<std::uint32_t>(arity);
+    auto it = sig_ids_.find(key);
+    if (it != sig_ids_.end()) return it->second;
+    auto id = static_cast<SigId>(sigs_.size());
+    sigs_.emplace_back(name_id, static_cast<std::uint32_t>(arity));
+    sig_ids_.emplace(key, id);
+    return id;
+  }
 
-const TermData& data(const Term& t) {
-  if (!t.valid()) throw AspError("dereference of invalid Term handle");
-  return Table::instance().get(t.id());
-}
+  std::mutex mu_;
+  ArgArena args_;
+  std::vector<std::unique_ptr<TermData[]>> pages_;
+  std::vector<const TermData*> page_dir_;
+  std::size_t count_ = 0;
+  std::unordered_map<Key, std::uint32_t, KeyHash> index_;
+
+  std::deque<std::string> name_storage_;          // stable string bodies
+  std::vector<std::string_view> names_;           // name_id -> spelling
+  std::unordered_map<std::string_view, std::uint32_t> name_ids_;
+
+  std::deque<std::pair<std::uint32_t, std::uint32_t>> sigs_;  // sig -> (name, arity)
+  std::unordered_map<std::uint64_t, SigId> sig_ids_;
+};
 
 }  // namespace
 
@@ -120,29 +210,37 @@ Term Term::fun(std::string_view name, std::initializer_list<Term> args) {
   return fun(name, std::span<const Term>(args.begin(), args.size()));
 }
 
-TermKind Term::kind() const { return data(*this).kind; }
-bool Term::is_ground() const { return data(*this).ground; }
-std::int64_t Term::int_value() const { return data(*this).int_value; }
-std::string_view Term::name() const { return data(*this).name; }
-std::span<const Term> Term::args() const { return data(*this).args; }
-
-std::string Term::signature() const {
-  const TermData& d = data(*this);
-  std::size_t arity = d.kind == TermKind::Fun ? d.args.size() : 0;
-  return d.name + "/" + std::to_string(arity);
+Term Term::fun_like(Term proto, std::span<const Term> args) {
+  return Term(Table::instance().intern_fun_like(proto.data_().name_id, args));
 }
 
+std::string_view Term::name() const {
+  return Table::instance().name_of(data_().name_id);
+}
+
+std::string Term::signature() const {
+  return Table::instance().sig_str(data_().sig);
+}
+
+SigId Term::intern_sig(std::string_view name, std::size_t arity) {
+  return Table::instance().intern_sig(name, arity);
+}
+
+std::string Term::sig_str(SigId sig) { return Table::instance().sig_str(sig); }
+
+std::size_t Term::interned_count() { return Table::instance().size(); }
+
 std::string Term::str_repr() const {
-  const TermData& d = data(*this);
+  const TermData& d = data_();
   switch (d.kind) {
     case TermKind::Int: return std::to_string(d.int_value);
     case TermKind::Sym:
-    case TermKind::Var: return d.name;
-    case TermKind::Str: return "\"" + d.name + "\"";
+    case TermKind::Var: return std::string(name());
+    case TermKind::Str: return "\"" + std::string(name()) + "\"";
     case TermKind::Fun: {
-      std::string out = d.name;
+      std::string out(name());
       out.push_back('(');
-      for (std::size_t i = 0; i < d.args.size(); ++i) {
+      for (std::size_t i = 0; i < d.nargs; ++i) {
         if (i) out.push_back(',');
         out += d.args[i].str_repr();
       }
@@ -155,8 +253,8 @@ std::string Term::str_repr() const {
 
 int Term::compare(Term a, Term b) {
   if (a == b) return 0;
-  const TermData& da = data(a);
-  const TermData& db = data(b);
+  const TermData& da = a.data_();
+  const TermData& db = b.data_();
   if (da.kind != db.kind) {
     return static_cast<int>(da.kind) < static_cast<int>(db.kind) ? -1 : 1;
   }
@@ -166,16 +264,17 @@ int Term::compare(Term a, Term b) {
     case TermKind::Sym:
     case TermKind::Str:
     case TermKind::Var: {
-      int c = da.name.compare(db.name);
+      if (da.name_id == db.name_id) return 0;
+      int c = a.name().compare(b.name());
       return c < 0 ? -1 : (c > 0 ? 1 : 0);
     }
     case TermKind::Fun: {
-      int c = da.name.compare(db.name);
-      if (c != 0) return c < 0 ? -1 : 1;
-      if (da.args.size() != db.args.size()) {
-        return da.args.size() < db.args.size() ? -1 : 1;
+      if (da.name_id != db.name_id) {
+        int c = a.name().compare(b.name());
+        if (c != 0) return c < 0 ? -1 : 1;
       }
-      for (std::size_t i = 0; i < da.args.size(); ++i) {
+      if (da.nargs != db.nargs) return da.nargs < db.nargs ? -1 : 1;
+      for (std::size_t i = 0; i < da.nargs; ++i) {
         int ac = compare(da.args[i], db.args[i]);
         if (ac != 0) return ac;
       }
@@ -207,10 +306,23 @@ Term substitute(Term t, const Bindings& b) {
       return bound.valid() ? bound : t;
     }
     case TermKind::Fun: {
-      std::vector<Term> args;
-      args.reserve(t.args().size());
-      for (Term a : t.args()) args.push_back(substitute(a, b));
-      return Term::fun(t.name(), args);
+      std::span<const Term> args = t.args();
+      // Small stack buffer: encoding arities are tiny (<= 8); fall back to
+      // the heap only for pathological terms.
+      Term stack_buf[8];
+      std::vector<Term> heap_buf;
+      Term* out = stack_buf;
+      if (args.size() > 8) {
+        heap_buf.resize(args.size());
+        out = heap_buf.data();
+      }
+      bool changed = false;
+      for (std::size_t i = 0; i < args.size(); ++i) {
+        out[i] = substitute(args[i], b);
+        changed = changed || out[i] != args[i];
+      }
+      if (!changed) return t;
+      return Term::fun_like(t, std::span<const Term>(out, args.size()));
     }
     default: return t;
   }
@@ -220,15 +332,17 @@ bool match(Term pattern, Term value, Bindings& b) {
   if (pattern == value) return true;
   switch (pattern.kind()) {
     case TermKind::Var: return b.bind(pattern, value);
-    case TermKind::Fun:
-      if (value.kind() != TermKind::Fun || pattern.name() != value.name() ||
-          pattern.args().size() != value.args().size()) {
+    case TermKind::Fun: {
+      if (value.kind() != TermKind::Fun || pattern.sig() != value.sig()) {
         return false;
       }
-      for (std::size_t i = 0; i < pattern.args().size(); ++i) {
-        if (!match(pattern.args()[i], value.args()[i], b)) return false;
+      std::span<const Term> pa = pattern.args();
+      std::span<const Term> va = value.args();
+      for (std::size_t i = 0; i < pa.size(); ++i) {
+        if (!match(pa[i], va[i], b)) return false;
       }
       return true;
+    }
     default: return false;  // distinct constants
   }
 }

@@ -3,13 +3,16 @@
 // Terms model the full first-order vocabulary the concretizer encoding needs:
 // integers, symbolic constants (`mpich`), quoted strings ("1.4.2"), variables
 // (`Hash`), and compound function terms (`node("example")`).  Every distinct
-// term is interned exactly once in a global table, so equality is an integer
+// term is interned exactly once in a global arena, so equality is an integer
 // comparison and terms are trivially copyable 32-bit handles — the grounder
 // manipulates millions of them.
 //
-// The interning table is append-only and guarded by a mutex; lookups of an
-// existing term take a shared lock.  Handles are stable for the lifetime of
-// the process.
+// Interning is arena-based end to end: names live in an interned name table
+// (one id per distinct spelling), argument vectors live in chunked,
+// address-stable arenas (spans stay valid forever), and every term carries a
+// precomputed interned *signature id* (`name/arity`) so the grounder's
+// per-predicate bookkeeping never touches strings.  The arena is append-only
+// and guarded by a mutex; handles are stable for the lifetime of the process.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +31,43 @@ enum class TermKind : std::uint8_t {
   Fun,   ///< compound term, e.g. node("example")
 };
 
+/// Interned predicate signature (`name/arity`) handle.  Signature ids are
+/// small dense integers assigned in first-intern order; all per-predicate
+/// indexing in the grounder keys on them instead of on "name/arity" strings.
+using SigId = std::uint32_t;
+
+class Term;
+
+namespace detail {
+
+/// Flat, trivially-copyable term payload.  Argument vectors live in a
+/// chunked arena (stable addresses), names are interned ids, and the
+/// signature id is precomputed so the grounder never builds strings.
+struct TermData {
+  TermKind kind;
+  bool ground;
+  std::uint32_t name_id = 0;   // Sym/Str/Var/Fun spelling (Int: the empty name)
+  SigId sig = 0;               // interned (name_id, arity)
+  std::int64_t int_value = 0;  // Int
+  const Term* args = nullptr;  // Fun argument span, arena-backed
+  std::uint32_t nargs = 0;
+};
+
+inline constexpr std::uint32_t kTermPageShift = 12;  // 4096 terms per page
+inline constexpr std::uint32_t kTermPageMask = (1u << kTermPageShift) - 1;
+
+/// Page directory of the global term arena.  Pages are fixed-size and
+/// address-stable; the directory pointer is refreshed by the interning table
+/// whenever a page is added.  Exposed so the hot accessors below inline to
+/// two dependent loads — the grounder reads term fields hundreds of millions
+/// of times per resolve and an out-of-line call per access dominates ground
+/// time.
+extern const TermData* const* g_term_pages;
+
+[[noreturn]] void throw_invalid_term();
+
+}  // namespace detail
+
 /// An interned term handle.  Default-constructed handles are invalid and
 /// must not be dereferenced; valid handles come from the factory functions.
 class Term {
@@ -41,6 +81,12 @@ class Term {
   static Term fun(std::string_view name, std::span<const Term> args);
   static Term fun(std::string_view name, std::initializer_list<Term> args);
 
+  /// Intern a compound term with the same functor (name and arity) as
+  /// `proto`, which must be a Fun of arity args.size().  Skips the name-string
+  /// hash lookup `fun()` pays — the substitution hot path rebuilds millions
+  /// of atoms whose functor it already holds interned.
+  static Term fun_like(Term proto, std::span<const Term> args);
+
   bool valid() const { return id_ != kInvalid; }
   std::uint32_t id() const { return id_; }
 
@@ -51,15 +97,30 @@ class Term {
   std::string_view name() const;         ///< Sym/Var/Fun name, Str text
   std::span<const Term> args() const;    ///< Fun arguments; empty otherwise
 
-  /// Predicate signature "name/arity" used for indexing; for non-Fun atoms
-  /// this is "name/0".
+  /// Interned signature id of this term ("name/arity"; non-Fun terms have
+  /// arity 0).  Precomputed at intern time — O(1), no allocation.
+  SigId sig() const;
+
+  /// Predicate signature "name/arity" used for diagnostics; for non-Fun
+  /// atoms this is "name/0".
   std::string signature() const;
+
+  /// Intern a signature id for `name`/`arity` without creating a term.
+  /// The id matches `sig()` of any term with that name and arity.
+  static SigId intern_sig(std::string_view name, std::size_t arity);
+
+  /// Render the signature string of an interned signature id.
+  static std::string sig_str(SigId sig);
 
   /// Render in ASP syntax (strings quoted, functions parenthesized).
   std::string str_repr() const;
 
   /// Total order: by kind, then value; used for canonical sorting.
   static int compare(Term a, Term b);
+
+  /// Number of terms interned so far (ids are dense in [0, count)); used by
+  /// the grounder to size id-indexed flag arrays.
+  static std::size_t interned_count();
 
   friend bool operator==(Term a, Term b) { return a.id_ == b.id_; }
   friend bool operator!=(Term a, Term b) { return a.id_ != b.id_; }
@@ -69,10 +130,28 @@ class Term {
   static constexpr std::uint32_t kInvalid = 0xffffffffu;
   explicit Term(std::uint32_t id) : id_(id) {}
 
+  const detail::TermData& data_() const;
+
   std::uint32_t id_ = kInvalid;
 
   friend class TermTable;
 };
+
+inline const detail::TermData& Term::data_() const {
+  if (id_ == kInvalid) detail::throw_invalid_term();
+  return detail::g_term_pages[id_ >> detail::kTermPageShift]
+                             [id_ & detail::kTermPageMask];
+}
+
+inline TermKind Term::kind() const { return data_().kind; }
+inline bool Term::is_ground() const { return data_().ground; }
+inline std::int64_t Term::int_value() const { return data_().int_value; }
+inline SigId Term::sig() const { return data_().sig; }
+
+inline std::span<const Term> Term::args() const {
+  const detail::TermData& d = data_();
+  return {d.args, d.nargs};
+}
 
 struct TermHash {
   std::size_t operator()(Term t) const noexcept { return t.id(); }
@@ -90,13 +169,19 @@ class Bindings {
   std::size_t size() const { return entries_.size(); }
   /// Truncate to the first `n` bindings (backtracking in the grounder).
   void truncate(std::size_t n) { entries_.resize(n); }
+  /// The (variable, value) pairs in insertion order.  Note the order depends
+  /// on the join order that produced the bindings, not on the rule text.
+  const std::vector<std::pair<Term, Term>>& entries() const {
+    return entries_;
+  }
 
  private:
   std::vector<std::pair<Term, Term>> entries_;
 };
 
 /// Apply `b` to `t`, replacing bound variables.  Unbound variables are left
-/// in place (the caller checks groundness where required).
+/// in place (the caller checks groundness where required).  Subterms that no
+/// binding touches are returned as-is (no re-interning).
 Term substitute(Term t, const Bindings& b);
 
 /// First-order matching of a possibly-variable `pattern` against a ground

@@ -125,9 +125,34 @@ attr("splice", node(P), D, R) :- impose(H, node(P)), splice_with(H, D, R).
 #minimize { 1@50, H, D : spliced_away(H, D) }.
 )";
 
+/// Parse a static logic fragment once per process and hand out the parsed
+/// Program for extend()-ing into compiled programs (the fragments are
+/// compile-time constants, keyed by their storage address).
+const Program& cached_fragment(std::string_view text) {
+  static std::map<const void*, Program> cache;
+  auto [it, inserted] = cache.try_emplace(text.data());
+  if (inserted) asp::parse_into(it->second, text);
+  return it->second;
+}
+
 }  // namespace
 
 // ---- Compiler --------------------------------------------------------------
+
+/// Request-independent compile state: everything the Compiler produces
+/// before seeing a request.  Restoring this snapshot replaces the
+/// package/reusable compilation passes with vector copies of interned
+/// 32-bit term handles.
+struct Concretizer::CompileCache {
+  Program program;  // package + reusable facts and rules
+  std::map<std::string, std::set<std::string>> candidates;
+  std::map<std::string,
+           std::pair<std::string, std::pair<std::string, spec::VersionConstraint>>>
+      ranges;
+  std::set<std::string> oses;
+  std::set<std::string> targets;
+  std::size_t fresh = 0;
+};
 
 /// Builds the full ASP program for one request: package facts, specialized
 /// per-directive rules, reusable-spec facts, request constraints, and the
@@ -135,25 +160,56 @@ attr("splice", node(P), D, R) :- impose(H, node(P)), splice_with(H, D, R).
 class Concretizer::Compiler {
  public:
   Compiler(const repo::Repository& repo, const ConcretizerOptions& opts,
-           const std::map<std::string, Spec>& reusable)
+           const std::map<std::string, Spec>& reusable,
+           std::shared_ptr<const Concretizer::CompileCache> cache = nullptr)
       : repo_(repo), opts_(opts), reusable_(reusable) {
-    collect_version_candidates();
+    if (cache) {
+      program_ = cache->program;
+      candidates_ = cache->candidates;
+      ranges_ = cache->ranges;
+      oses_ = cache->oses;
+      targets_ = cache->targets;
+      fresh_ = cache->fresh;
+      base_compiled_ = true;
+    } else {
+      collect_version_candidates();
+    }
+  }
+
+  /// Run the request-independent passes and snapshot the result for reuse
+  /// across concretizations.
+  static std::shared_ptr<const Concretizer::CompileCache> build_cache(
+      const repo::Repository& repo, const ConcretizerOptions& opts,
+      const std::map<std::string, Spec>& reusable) {
+    Compiler c(repo, opts, reusable);
+    c.compile_packages();
+    c.compile_reusable();
+    auto cache = std::make_shared<Concretizer::CompileCache>();
+    cache->program = std::move(c.program_);
+    cache->candidates = std::move(c.candidates_);
+    cache->ranges = std::move(c.ranges_);
+    cache->oses = std::move(c.oses_);
+    cache->targets = std::move(c.targets_);
+    cache->fresh = c.fresh_;
+    return cache;
   }
 
   Program compile(const std::vector<Request>& requests) {
-    compile_packages();
-    compile_reusable();
+    if (!base_compiled_) {
+      compile_packages();
+      compile_reusable();
+    }
     for (const Request& request : requests) compile_request(request);
     emit_range_facts();
-    asp::parse_into(program_, kBaseLogic);
+    program_.extend(cached_fragment(kBaseLogic));
     if (opts_.encoding == ReuseEncoding::Indirect) {
-      asp::parse_into(program_, kIndirectRecovery);
+      program_.extend(cached_fragment(kIndirectRecovery));
     }
     if (opts_.enable_splicing) {
       if (opts_.encoding != ReuseEncoding::Indirect) {
         throw Error("splicing requires the indirect reuse encoding");
       }
-      asp::parse_into(program_, kSpliceLogic);
+      program_.extend(cached_fragment(kSpliceLogic));
     }
     return std::move(program_);
   }
@@ -512,14 +568,23 @@ class Concretizer::Compiler {
   std::set<std::string> oses_;
   std::set<std::string> targets_;
   std::size_t fresh_ = 0;
+  bool base_compiled_ = false;  // package/reusable passes restored from cache
 };
 
 // ---- Concretizer ------------------------------------------------------------
 
 asp::Program Concretizer::compile_program(
     const std::vector<Request>& requests) const {
-  Compiler compiler(repo_, opts_, reusable_);
+  Compiler compiler(repo_, opts_, reusable_, ensure_cache());
   return compiler.compile(requests);
+}
+
+std::shared_ptr<const Concretizer::CompileCache> Concretizer::ensure_cache()
+    const {
+  if (!compile_cache_) {
+    compile_cache_ = Compiler::build_cache(repo_, opts_, reusable_);
+  }
+  return compile_cache_;
 }
 
 asp::AnalyzeOptions Concretizer::lint_options() {
@@ -554,6 +619,7 @@ void Concretizer::add_reusable(const Spec& concrete) {
     const std::string& hash = concrete.nodes()[i].hash;
     if (reusable_.count(hash) > 0) continue;
     reusable_.emplace(hash, concrete.subdag(i));
+    compile_cache_.reset();  // fact base changed; rebuild on next solve
   }
 }
 
@@ -578,10 +644,11 @@ struct SolvedDag {
 /// The four phases — compile (facts + specialized rules), ground, solve, and
 /// extract (model -> concrete spec) — each run under a trace span so the
 /// observability layer can attribute end-to-end concretization time.
-static SolvedDag solve_requests(const repo::Repository& repo,
-                                const ConcretizerOptions& opts,
-                                const std::map<std::string, Spec>& reusable,
-                                const std::vector<Request>& requests) {
+static SolvedDag solve_requests(
+    const repo::Repository& repo, const ConcretizerOptions& opts,
+    const std::map<std::string, Spec>& reusable,
+    std::shared_ptr<const Concretizer::CompileCache> cache,
+    const std::vector<Request>& requests) {
   trace::Span span("concretize", "concretize");
   span.attr("requests", requests.size());
   span.attr("reusable", reusable.size());
@@ -590,7 +657,7 @@ static SolvedDag solve_requests(const repo::Repository& repo,
   Program program;
   {
     trace::Span phase("compile", "concretize");
-    Concretizer::Compiler compiler(repo, opts, reusable);
+    Concretizer::Compiler compiler(repo, opts, reusable, std::move(cache));
     program = compiler.compile(requests);
     phase.attr("rules", program.rules().size());
   }
@@ -740,7 +807,8 @@ static SolvedDag solve_requests(const repo::Repository& repo,
 }
 
 ConcretizeResult Concretizer::concretize(const Request& request) {
-  SolvedDag solved = solve_requests(repo_, opts_, reusable_, {request});
+  SolvedDag solved =
+      solve_requests(repo_, opts_, reusable_, ensure_cache(), {request});
   ConcretizeResult result;
   result.spec = solved.combined.subdag(
       solved.index_of.at(request.root.root().name));
@@ -754,7 +822,8 @@ ConcretizeResult Concretizer::concretize(const Request& request) {
 EnvironmentResult Concretizer::concretize_together(
     const std::vector<Request>& requests) {
   if (requests.empty()) throw Error("concretize_together: no requests");
-  SolvedDag solved = solve_requests(repo_, opts_, reusable_, requests);
+  SolvedDag solved =
+      solve_requests(repo_, opts_, reusable_, ensure_cache(), requests);
   EnvironmentResult result;
   result.roots.reserve(requests.size());
   for (const Request& r : requests) {

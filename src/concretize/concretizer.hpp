@@ -134,12 +134,22 @@ class Concretizer {
   /// Internal: compiles package/reusable/request facts and rules (exposed
   /// for the file-local solve path; not part of the stable API).
   class Compiler;
+  /// Internal: snapshot of the request-independent compile state (package
+  /// and reusable-spec facts/rules, version candidates, range registry).
+  /// Built lazily on first solve and shared by every subsequent
+  /// concretization from this Concretizer; invalidated by add_reusable.
+  /// Terms are globally interned, so repeated solves also skip re-interning
+  /// the fact base.
+  struct CompileCache;
 
  private:
+  std::shared_ptr<const CompileCache> ensure_cache() const;
+
   const repo::Repository& repo_;
   ConcretizerOptions opts_;
   /// hash -> concrete sub-DAG (one entry per reusable node).
   std::map<std::string, spec::Spec> reusable_;
+  mutable std::shared_ptr<const CompileCache> compile_cache_;
 };
 
 }  // namespace splice::concretize

@@ -480,13 +480,16 @@ class SpecParser {
     return std::string(text_.substr(start, pos_ - start));
   }
 
-  /// Version constraint text: like a value but may start with '='.
+  /// Version constraint text: like a value, but '=' marks an exact range
+  /// and may open the constraint or any comma-separated part of the union
+  /// ("@=7.5,=4.4,:2.0").
   std::string read_version_text() {
     std::size_t start = pos_;
     if (!done() && text_[pos_] == '=') ++pos_;
     while (!done() && (is_name_char(text_[pos_]) || text_[pos_] == '.' ||
                        text_[pos_] == ':' || text_[pos_] == ',')) {
       ++pos_;
+      if (!done() && text_[pos_] == '=' && text_[pos_ - 1] == ',') ++pos_;
     }
     if (pos_ == start) throw err("expected a version after '@'");
     return std::string(text_.substr(start, pos_ - start));

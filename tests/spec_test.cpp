@@ -2,6 +2,8 @@
 // paper), satisfies/intersects/constrain, hashing, serialization.
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "src/spec/spec.hpp"
 #include "src/support/error.hpp"
 
@@ -357,6 +359,201 @@ TEST(SpecConcreteness, Checks) {
   EXPECT_FALSE(s.is_concrete());  // no hash yet
   s.finalize_concrete();
   EXPECT_TRUE(s.is_concrete());
+}
+
+// ---- property tests --------------------------------------------------------
+//
+// Seeded random generators for versions, ranges, and specs; every law is
+// checked over hundreds of generated inputs, with the failing seed in the
+// assertion message.
+
+class Gen {
+ public:
+  explicit Gen(unsigned seed) : rng_(seed) {}
+
+  int irand(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(rng_);
+  }
+  bool chance(int percent) { return irand(1, 100) <= percent; }
+
+  Version version() {
+    std::string text = std::to_string(irand(0, 9));
+    int parts = irand(0, 2);
+    for (int i = 0; i < parts; ++i) {
+      text += "." + std::to_string(irand(0, 9));
+    }
+    return Version::parse(text);
+  }
+
+  /// One range in spec syntax: exact, point, bounded, or half-open.
+  std::string range() {
+    switch (irand(0, 4)) {
+      case 0:
+        return "=" + version().str();
+      case 1:
+        return version().str();
+      case 2: {
+        Version a = version();
+        Version b = version();
+        if (!(a <= b)) std::swap(a, b);
+        return a.str() + ":" + b.str();
+      }
+      case 3:
+        return ":" + version().str();
+      default:
+        return version().str() + ":";
+    }
+  }
+
+  VersionConstraint constraint() {
+    std::string text = range();
+    int extra = irand(0, 2);
+    for (int i = 0; i < extra; ++i) text += "," + range();
+    return VersionConstraint::parse(text);
+  }
+
+  /// Spec text for one node: name, optional version/variants/os/target.
+  std::string node_text(const std::string& name) {
+    std::string out = name;
+    if (chance(60)) out += "@" + constraint().str();
+    if (chance(40)) out += chance(50) ? "+shared" : "~shared";
+    if (chance(30)) out += chance(50) ? "+mpi" : "~mpi";
+    if (chance(25)) out += " api=v" + std::to_string(irand(1, 3));
+    if (chance(25)) out += " os=linux";
+    if (chance(25)) out += " target=x86_64";
+    return out;
+  }
+
+  /// A small DAG in spec syntax: root plus 0-3 distinct link dependencies.
+  Spec spec() {
+    static const char* kNames[] = {"alpha", "beta", "gamma", "delta"};
+    std::string text = node_text("root");
+    int deps = irand(0, 3);
+    for (int i = 0; i < deps; ++i) {
+      text += " ^" + node_text(kNames[i]);
+    }
+    return Spec::parse(text);
+  }
+
+  /// Versions worth probing a pair of constraints with: every range
+  /// endpoint plus random versions (boundary + interior coverage).
+  std::vector<Version> probes(const VersionConstraint& a,
+                              const VersionConstraint& b) {
+    std::vector<Version> out;
+    for (const VersionConstraint* c : {&a, &b}) {
+      for (const VersionRange& r : c->ranges()) {
+        if (r.lo) out.push_back(*r.lo);
+        if (r.hi) out.push_back(*r.hi);
+      }
+    }
+    for (int i = 0; i < 8; ++i) out.push_back(version());
+    return out;
+  }
+
+ private:
+  std::mt19937 rng_;
+};
+
+TEST(SpecProperty, ParseStrRoundTrip) {
+  for (unsigned seed = 0; seed < 300; ++seed) {
+    Gen g(seed);
+    Spec s = g.spec();
+    std::string text = s.str();
+    Spec back = Spec::parse(text);
+    EXPECT_EQ(back, s) << "seed=" << seed << " text=" << text;
+    EXPECT_EQ(back.str(), text) << "seed=" << seed;
+  }
+}
+
+TEST(SpecProperty, VersionConstraintStrRoundTrip) {
+  for (unsigned seed = 0; seed < 300; ++seed) {
+    Gen g(seed);
+    VersionConstraint c = g.constraint();
+    VersionConstraint back = VersionConstraint::parse(c.str());
+    EXPECT_EQ(back, c) << "seed=" << seed << " text=" << c.str();
+    for (const Version& v : g.probes(c, c)) {
+      EXPECT_EQ(back.includes(v), c.includes(v))
+          << "seed=" << seed << " v=" << v.str();
+    }
+  }
+}
+
+// constrain() is exact intersection: the merged constraint admits precisely
+// the versions both inputs admit, and reports emptiness only when no probe
+// fits both.
+TEST(SpecProperty, VersionConstrainIsIntersection) {
+  for (unsigned seed = 0; seed < 300; ++seed) {
+    Gen g(seed);
+    VersionConstraint a = g.constraint();
+    VersionConstraint b = g.constraint();
+    VersionConstraint merged = a;
+    bool ok = merged.constrain(b);
+    for (const Version& v : g.probes(a, b)) {
+      bool in_both = a.includes(v) && b.includes(v);
+      if (ok) {
+        EXPECT_EQ(merged.includes(v), in_both)
+            << "seed=" << seed << " a=" << a.str() << " b=" << b.str()
+            << " v=" << v.str();
+      } else {
+        EXPECT_FALSE(in_both) << "seed=" << seed << " a=" << a.str()
+                              << " b=" << b.str() << " v=" << v.str();
+      }
+    }
+    if (ok) {
+      // Both-witness implies intersects (it must never report disjoint
+      // when a common version exists).
+      EXPECT_TRUE(a.intersects(b))
+          << "seed=" << seed << " a=" << a.str() << " b=" << b.str();
+      EXPECT_TRUE(merged.subset_of(b))
+          << "seed=" << seed << " a=" << a.str() << " b=" << b.str();
+      EXPECT_TRUE(merged.subset_of(a))
+          << "seed=" << seed << " a=" << a.str() << " b=" << b.str();
+    }
+  }
+}
+
+// After a successful a.constrain(b), the merged spec satisfies both inputs.
+TEST(SpecProperty, ConstrainSatisfiesBoth) {
+  std::size_t merged_ok = 0;
+  for (unsigned seed = 0; seed < 300; ++seed) {
+    Gen g(seed);
+    Spec a = g.spec();
+    Spec b = g.spec();
+    Spec original = a;
+    try {
+      a.constrain(b);
+    } catch (const SpecError&) {
+      continue;  // contradictory inputs: nothing to check
+    }
+    ++merged_ok;
+    EXPECT_TRUE(a.satisfies(b))
+        << "seed=" << seed << "\n  merged=" << a.str() << "\n  b=" << b.str();
+    EXPECT_TRUE(a.satisfies(original))
+        << "seed=" << seed << "\n  merged=" << a.str()
+        << "\n  original=" << original.str();
+  }
+  // The generator must not be so conflict-prone that the law goes unchecked.
+  EXPECT_GT(merged_ok, 100u);
+}
+
+TEST(SpecProperty, SatisfiesImpliesIntersects) {
+  std::size_t satisfied = 0;
+  for (unsigned seed = 0; seed < 300; ++seed) {
+    Gen g(seed);
+    Spec a = g.spec();
+    Spec b = g.spec();
+    if (a.satisfies(b)) {
+      ++satisfied;
+      EXPECT_TRUE(a.intersects(b))
+          << "seed=" << seed << "\n  a=" << a.str() << "\n  b=" << b.str();
+    }
+    // Node-level law on the roots (names always match by construction).
+    if (node_satisfies(a.root(), b.root())) {
+      EXPECT_TRUE(node_intersects(a.root(), b.root()))
+          << "seed=" << seed << "\n  a=" << a.str() << "\n  b=" << b.str();
+    }
+  }
+  EXPECT_GT(satisfied, 10u);
 }
 
 }  // namespace

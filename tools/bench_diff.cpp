@@ -1,0 +1,158 @@
+// bench_diff: compare two splice-bench-v1 result files cell by cell.
+//
+// Usage:
+//   bench_diff [--metric median|min|mean] [--tolerance PCT] BASELINE CURRENT
+//
+// Every (series, label) cell present in both files is compared on the chosen
+// metric (default: median_seconds — robust to one-off scheduler noise on the
+// shared CI runners).  Cells where CURRENT is more than PCT percent slower
+// than BASELINE (default 15) are regressions; the exit status is the number
+// of regressed cells, so CI can gate on it directly.  Cells present in only
+// one file are reported but never fail the run — bench scale knobs
+// (SPLICE_BENCH_FIG7_MAX etc.) legitimately change the cell set.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/support/error.hpp"
+#include "src/support/json.hpp"
+
+namespace {
+
+using splice::json::Value;
+
+Value load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw splice::Error("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  Value doc = splice::json::parse(buf.str());
+  const Value* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "splice-bench-v1") {
+    throw splice::Error(path + ": not a splice-bench-v1 result file");
+  }
+  return doc;
+}
+
+struct Cell {
+  std::string series;
+  std::string label;
+  double base = 0;
+  double cur = 0;
+};
+
+int run(const std::string& metric, double tolerance_pct,
+        const std::string& base_path, const std::string& cur_path) {
+  Value base = load(base_path);
+  Value cur = load(cur_path);
+  std::string key = metric + "_seconds";
+
+  auto cell_value = [&](const Value& doc, const std::string& series,
+                        const std::string& label) -> const Value* {
+    const Value* s = doc.find("series");
+    if (s == nullptr) return nullptr;
+    const Value* per_series = s->find(series);
+    if (per_series == nullptr) return nullptr;
+    const Value* cell = per_series->find(label);
+    if (cell == nullptr) return nullptr;
+    return cell->find(key);
+  };
+
+  std::vector<Cell> common;
+  std::vector<std::string> only_base, only_cur;
+  const Value* base_series = base.find("series");
+  const Value* cur_series = cur.find("series");
+  if (base_series == nullptr || cur_series == nullptr ||
+      !base_series->is_object() || !cur_series->is_object()) {
+    throw splice::Error("missing 'series' object");
+  }
+  for (const auto& [sname, labels] : base_series->as_object()) {
+    if (!labels.is_object()) continue;
+    for (const auto& [label, cell] : labels.as_object()) {
+      (void)cell;
+      const Value* b = cell_value(base, sname, label);
+      const Value* c = cell_value(cur, sname, label);
+      if (b == nullptr || !b->is_number()) continue;
+      if (c == nullptr || !c->is_number()) {
+        only_base.push_back(sname + "/" + label);
+        continue;
+      }
+      common.push_back({sname, label, b->as_double(), c->as_double()});
+    }
+  }
+  for (const auto& [sname, labels] : cur_series->as_object()) {
+    if (!labels.is_object()) continue;
+    for (const auto& [label, cell] : labels.as_object()) {
+      (void)cell;
+      if (cell_value(base, sname, label) == nullptr) {
+        only_cur.push_back(sname + "/" + label);
+      }
+    }
+  }
+
+  int regressions = 0;
+  double worst = 0, best = 0;
+  std::printf("%-44s %12s %12s %9s\n", "series/label",
+              (metric + " base").c_str(), (metric + " cur").c_str(), "delta");
+  for (const Cell& c : common) {
+    double delta =
+        c.base > 0 ? (c.cur - c.base) / c.base * 100.0 : 0.0;
+    worst = std::max(worst, delta);
+    best = std::min(best, delta);
+    bool regressed = delta > tolerance_pct;
+    if (regressed) ++regressions;
+    std::printf("%-44s %11.6fs %11.6fs %+8.1f%%%s\n",
+                (c.series + "/" + c.label).c_str(), c.base, c.cur, delta,
+                regressed ? "  REGRESSED" : "");
+  }
+  for (const std::string& name : only_base) {
+    std::printf("%-44s (baseline only)\n", name.c_str());
+  }
+  for (const std::string& name : only_cur) {
+    std::printf("%-44s (current only)\n", name.c_str());
+  }
+  std::printf(
+      "\n%zu cells compared, %d regression(s) beyond +%.0f%% on %s "
+      "(worst %+.1f%%, best %+.1f%%)\n",
+      common.size(), regressions, tolerance_pct, key.c_str(), worst, best);
+  if (common.empty()) {
+    std::fprintf(stderr, "bench_diff: no comparable cells\n");
+    return 2;
+  }
+  return regressions;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string metric = "median";
+  double tolerance = 15.0;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metric") == 0 && i + 1 < argc) {
+      metric = argv[++i];
+    } else if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
+      tolerance = std::strtod(argv[++i], nullptr);
+    } else {
+      paths.emplace_back(argv[i]);
+    }
+  }
+  if (paths.size() != 2 ||
+      (metric != "median" && metric != "min" && metric != "mean")) {
+    std::fprintf(stderr,
+                 "usage: bench_diff [--metric median|min|mean] "
+                 "[--tolerance PCT] BASELINE.json CURRENT.json\n");
+    return 2;
+  }
+  try {
+    return run(metric, tolerance, paths[0], paths[1]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_diff: %s\n", e.what());
+    return 2;
+  }
+}
