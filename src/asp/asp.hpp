@@ -14,6 +14,7 @@
 #pragma once
 
 #include "src/asp/analyze.hpp"   // IWYU pragma: export
+#include "src/asp/explain.hpp"   // IWYU pragma: export
 #include "src/asp/ground.hpp"    // IWYU pragma: export
 #include "src/asp/parser.hpp"    // IWYU pragma: export
 #include "src/asp/program.hpp"   // IWYU pragma: export

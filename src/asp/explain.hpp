@@ -1,0 +1,103 @@
+// Explanation engine: *why* is a program unsatisfiable?
+//
+// The pipeline mirrors Spack's ASP error-fact minimization: re-translate the
+// ground program with every integrity constraint and choice bound behind a
+// fresh guard literal (Translation's guarded mode), solve under the full
+// guard set, and read the solver's failed-assumption core — the subset of
+// guards, i.e. constraints, that is already inconsistent.  A deletion loop
+// then shrinks that core to subset-minimality by re-solving with one guard
+// dropped at a time (adopting the solver's refined core whenever the probe
+// stays Unsat).  Finally each surviving guard is mapped back through the
+// guard table to its ground constraint, and — when the program was grounded
+// with provenance — through the grounder's derivation record to the source
+// rule, its source location, its compiler note, and the variable bindings of
+// the instantiation, which is what turns "guard 1742 failed" into
+// `request "visit ^mpich@3.1": mpich version must satisfy =3.1  at 12:3`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/asp/ground.hpp"
+#include "src/asp/program.hpp"
+#include "src/support/json.hpp"
+
+namespace splice::asp {
+
+/// One member of a minimized unsat core: a ground integrity constraint or
+/// choice bound, plus whatever source-level identity provenance recovered.
+struct CoreConstraint {
+  enum class Kind : std::uint8_t { Constraint, ChoiceLower, ChoiceUpper };
+  Kind kind = Kind::Constraint;
+  std::size_t ground_index = 0;  ///< into GroundProgram::rules / ::choices
+  std::string ground_text;       ///< rendered ground constraint
+
+  bool has_source = false;   ///< source rule recovered via provenance
+  std::size_t rule_index = 0;  ///< into the source Program::rules()
+  std::string source_text;   ///< printed source rule
+  std::string note;          ///< Rule::note of the source rule (may be empty)
+  SourceLoc loc;             ///< source location (may be unknown)
+  /// Variable bindings of the instantiation, rendered and sorted by name.
+  std::vector<std::pair<std::string, std::string>> bindings;
+
+  /// Package names mentioned by the ground constraint (node("p"), build("p"),
+  /// pkg_fact("p", ...) arguments) — the "who clashed" summary.
+  std::vector<std::string> packages;
+
+  /// One-line human rendering: note/source + location + ground form.
+  std::string str() const;
+  json::Value to_json() const;
+};
+
+std::string_view core_kind_name(CoreConstraint::Kind k);
+
+struct ExplainStats {
+  std::size_t guarded_constraints = 0;  ///< guards created (= constraints)
+  std::size_t core_initial = 0;         ///< analyze_final core size
+  std::size_t core_minimized = 0;       ///< after deletion minimization
+  std::uint64_t minimize_solves = 0;    ///< probes spent minimizing
+  double core_seconds = 0;
+  double minimize_seconds = 0;
+
+  json::Value to_json() const;
+};
+
+/// The result of explain_unsat: either the program is satisfiable (nothing
+/// to explain), unsatisfiable independent of its constraints (a degenerate
+/// rule/completion conflict), or — the interesting case — a minimized set
+/// of conflicting constraints.
+struct UnsatExplanation {
+  bool sat = false;
+  bool unconditional = false;  ///< Unsat even with every constraint disabled
+  std::vector<CoreConstraint> core;
+  ExplainStats stats;
+
+  /// Multi-line human-readable rendering.
+  std::string text() const;
+  json::Value to_json() const;
+};
+
+struct ExplainOptions {
+  /// Run the deletion-minimization loop (off: report the analyze_final core
+  /// as-is, one solve instead of O(core) solves).
+  bool minimize = true;
+  /// Cap on minimization probes, 0 = unlimited.
+  std::uint64_t max_minimize_solves = 0;
+};
+
+/// Explain the unsatisfiability of an already-ground program.  `source`,
+/// when non-null and `gp` carries provenance for it (grounded with
+/// GroundOptions::record_provenance from that same program), enables the
+/// source-rule mapping; otherwise explanations stop at the ground level.
+UnsatExplanation explain_unsat_ground(const GroundProgram& gp,
+                                      const Program* source = nullptr,
+                                      const ExplainOptions& opts = {});
+
+/// Ground `program` with provenance and explain its unsatisfiability.
+UnsatExplanation explain_unsat(const Program& program,
+                               const ExplainOptions& opts = {});
+
+}  // namespace splice::asp

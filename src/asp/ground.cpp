@@ -260,7 +260,9 @@ struct ElemInstance {
 class Grounder {
  public:
   Grounder(const Program& program, const GroundOptions& opts)
-      : program_(program), opts_(opts), store_(opts.use_indexes) {}
+      : program_(program), opts_(opts), store_(opts.use_indexes) {
+    if (opts.record_provenance) prov_ = std::make_shared<Provenance>();
+  }
 
   GroundProgram run() {
     trace::Span span("ground", "asp");
@@ -278,6 +280,16 @@ class Grounder {
     out.stats.choices = out.choices.size();
     out.stats.iterations = iterations_;
     out.stats.seconds = std::chrono::duration<double>(t1 - t0).count();
+    if (prov_) {
+      out.stats.provenance_bytes = prov_->approx_bytes();
+      trace::Tracer& tracer = trace::Tracer::global();
+      if (tracer.enabled()) {
+        tracer.metrics().add(
+            "ground.provenance_bytes",
+            static_cast<std::int64_t>(out.stats.provenance_bytes));
+      }
+      out.provenance = std::move(prov_);
+    }
     span.attr("possible_atoms", out.stats.possible_atoms);
     span.attr("certain_atoms", out.stats.certain_atoms);
     span.attr("rules", out.stats.rules);
@@ -321,11 +333,16 @@ class Grounder {
   /// Ground facts (empty body, ground atom head) seed the store, the delta
   /// and the certain set directly; everything else goes through the joiner.
   void seed_facts() {
-    for (const Rule& r : program_.rules()) {
+    for (std::size_t ri = 0; ri < program_.rules().size(); ++ri) {
+      const Rule& r = program_.rules()[ri];
       if (!r.body.empty()) continue;
       if (r.head.kind == Head::Kind::Atom && r.head.atom.is_ground() &&
           r.comparisons.empty()) {
-        if (store_.add(r.head.atom, 0)) seeds_.push_back(r.head.atom);
+        if (store_.add(r.head.atom, 0)) {
+          seeds_.push_back(r.head.atom);
+          record_atom_origin(r.head.atom, static_cast<std::uint32_t>(ri),
+                             nullptr);
+        }
         if (certain_.set(r.head.atom)) certain_list_.push_back(r.head.atom);
         consumed_.insert(&r);
       }
@@ -596,14 +613,20 @@ class Grounder {
         Term head = substitute(r.head.atom, b);
         std::uint64_t key = instance_key(head, body);
         if (!seen_instances_.insert(key)) return;
-        if (store_.add(head, round_)) next_delta.push_back(head);
+        if (store_.add(head, round_)) {
+          next_delta.push_back(head);
+          record_atom_origin(head, static_cast<std::uint32_t>(pr.rule_index),
+                             &b);
+        }
         instances_.push_back(Instance{&r, head, std::move(body)});
+        record_instance_origin(inst_origin_, pr.rule_index, b);
         break;
       }
       case Head::Kind::None: {
         std::uint64_t key = instance_key(Term(), body);
         if (!seen_instances_.insert(key)) return;
         instances_.push_back(Instance{&r, Term(), std::move(body)});
+        record_instance_origin(inst_origin_, pr.rule_index, b);
         break;
       }
       case Head::Kind::Choice: {
@@ -614,9 +637,30 @@ class Grounder {
         if (!seen_instances_.insert(h.lo() ^ h.hi())) return;
         choice_instances_.push_back(
             ChoiceInstance{&r, pr.rule_index, std::move(body)});
+        record_instance_origin(choice_inst_origin_, pr.rule_index, b);
         break;
       }
     }
+  }
+
+  // -- provenance recording (no-ops unless record_provenance) ---------------
+
+  void record_atom_origin(Term atom, std::uint32_t rule_index,
+                          const Bindings* b) {
+    if (!prov_) return;
+    Provenance::Origin o;
+    o.rule_index = rule_index;
+    if (b != nullptr) o.bindings = b->entries();
+    prov_->atom_origin.emplace(atom.id(), std::move(o));
+  }
+
+  void record_instance_origin(std::vector<Provenance::Origin>& dest,
+                              std::size_t rule_index, const Bindings& b) {
+    if (!prov_) return;
+    Provenance::Origin o;
+    o.rule_index = static_cast<std::uint32_t>(rule_index);
+    o.bindings = b.entries();
+    dest.push_back(std::move(o));
   }
 
   /// Complete match of a choice-element pseudo-rule: record the ground
@@ -649,7 +693,10 @@ class Grounder {
     h.field_u64(0x7c);  // body | condition separator
     hash_body(h, cond);
     if (!seen_instances_.insert(h.lo() ^ h.hi())) return;
-    if (store_.add(atom, round_)) next_delta.push_back(atom);
+    if (store_.add(atom, round_)) {
+      next_delta.push_back(atom);
+      record_atom_origin(atom, static_cast<std::uint32_t>(pr.rule_index), &b);
+    }
     elem_instances_.push_back(
         ElemInstance{pr.rule_index, atom, std::move(body), std::move(cond)});
   }
@@ -731,7 +778,11 @@ class Grounder {
   void emit(GroundProgram& out) {
     for (Term t : certain_list_) out.facts.push_back(out.intern_atom(t));
 
-    for (const Instance& inst : instances_) {
+    // Instance/choice origins are recorded in lockstep with instances_ /
+    // choice_instances_, so the emission loops below re-align them with the
+    // *emitted* rule/choice indexes (instances skipped here drop out).
+    for (std::size_t ii = 0; ii < instances_.size(); ++ii) {
+      const Instance& inst = instances_[ii];
       const Rule& r = *inst.rule;
       if (r.head.kind == Head::Kind::Atom && certain_.test(inst.head)) {
         continue;  // already a fact
@@ -743,6 +794,7 @@ class Grounder {
       if (gr.has_head) gr.head = out.intern_atom(inst.head);
       gr.body = std::move(body);
       out.rules.push_back(std::move(gr));
+      if (prov_) prov_->rule_origin.push_back(inst_origin_[ii]);
     }
 
     // Attach ground elements to their owning choice instance by matching
@@ -762,10 +814,12 @@ class Grounder {
     for (const ElemInstance& ei : elem_instances_) {
       elems_by_body[body_sig(ei.rule_index, ei.body)].push_back(&ei);
     }
-    for (const ChoiceInstance& ci : choice_instances_) {
+    for (std::size_t ci_i = 0; ci_i < choice_instances_.size(); ++ci_i) {
+      const ChoiceInstance& ci = choice_instances_[ci_i];
       const Rule& r = *ci.rule;
       std::vector<GLit> body;
       if (!resolve_body(ci.body, out, body)) continue;
+      if (prov_) prov_->choice_origin.push_back(choice_inst_origin_[ci_i]);
       GChoice gc;
       gc.lower = r.head.lower;
       gc.upper = r.head.upper;
@@ -839,6 +893,9 @@ class Grounder {
   std::vector<Instance> instances_;
   std::vector<ChoiceInstance> choice_instances_;
   std::vector<ElemInstance> elem_instances_;
+  std::shared_ptr<Provenance> prov_;  // null unless record_provenance
+  std::vector<Provenance::Origin> inst_origin_;         // || instances_
+  std::vector<Provenance::Origin> choice_inst_origin_;  // || choice_instances_
   std::size_t iterations_ = 0;
   std::uint32_t round_ = 0;  // current fixpoint round (stamps new atoms)
 };
@@ -860,8 +917,23 @@ json::Value GroundStats::to_json() const {
   o["rules"] = static_cast<std::int64_t>(rules);
   o["choices"] = static_cast<std::int64_t>(choices);
   o["iterations"] = static_cast<std::int64_t>(iterations);
+  o["provenance_bytes"] = static_cast<std::int64_t>(provenance_bytes);
   o["seconds"] = seconds;
   return json::Value(std::move(o));
+}
+
+std::size_t Provenance::approx_bytes() const {
+  auto origin_bytes = [](const Origin& o) {
+    return sizeof(Origin) + o.bindings.capacity() * sizeof(o.bindings[0]);
+  };
+  std::size_t total = 0;
+  for (const Origin& o : rule_origin) total += origin_bytes(o);
+  for (const Origin& o : choice_origin) total += origin_bytes(o);
+  for (const auto& [id, o] : atom_origin) {
+    // ~3 words of unordered_map node overhead per entry beyond the payload.
+    total += sizeof(id) + origin_bytes(o) + 3 * sizeof(void*);
+  }
+  return total;
 }
 
 }  // namespace splice::asp

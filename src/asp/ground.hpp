@@ -30,9 +30,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/asp/program.hpp"
@@ -85,10 +87,37 @@ struct GroundStats {
   std::size_t rules = 0;
   std::size_t choices = 0;
   std::size_t iterations = 0;
+  std::size_t provenance_bytes = 0;  ///< 0 unless record_provenance was set
   double seconds = 0;
 
   /// Flat object, one field per counter (stats-JSON schema leaf).
   json::Value to_json() const;
+};
+
+/// Derivation provenance, recorded only when GroundOptions::record_provenance
+/// is set (the hot path pays nothing otherwise).  Maps each emitted ground
+/// rule/choice — and each derived atom — back to the source rule and the
+/// variable substitution of the instantiation that (first) produced it, which
+/// is what lets the explanation engine (src/asp/explain.hpp) attach source
+/// locations and request notes to unsat-core members.
+struct Provenance {
+  static constexpr std::uint32_t kNoRule = 0xffffffffu;
+
+  struct Origin {
+    std::uint32_t rule_index = kNoRule;  ///< index into Program::rules()
+    /// (variable, value) bindings of the deriving instantiation, in join
+    /// order (the order depends on the join plan, not the rule text).
+    std::vector<std::pair<Term, Term>> bindings;
+  };
+
+  std::vector<Origin> rule_origin;    ///< aligned with GroundProgram::rules
+  std::vector<Origin> choice_origin;  ///< aligned with GroundProgram::choices
+  /// First derivation of each possible atom, keyed by interned term id.
+  std::unordered_map<std::uint32_t, Origin> atom_origin;
+
+  /// Approximate heap footprint, reported as the `ground.provenance_bytes`
+  /// metric and GroundStats::provenance_bytes.
+  std::size_t approx_bytes() const;
 };
 
 /// The propositional program handed to the translation/solving layer.
@@ -105,6 +134,8 @@ class GroundProgram {
   std::vector<GChoice> choices;
   std::vector<GMinTerm> minimize;
   GroundStats stats;
+  /// Null unless GroundOptions::record_provenance was set.
+  std::shared_ptr<const Provenance> provenance;
 
  private:
   static constexpr AtomId kNoAtom = 0xffffffffu;
@@ -121,8 +152,11 @@ struct GroundOptions {
   bool semi_naive = true;   ///< delta-driven rounds vs full re-instantiation
   bool use_indexes = true;  ///< per-argument hash indexes vs full scans
   bool order_joins = true;  ///< selectivity join planner vs textual order
+  /// Record derivation provenance (GroundProgram::provenance).  Off by
+  /// default: the explanation path opts in; the solve hot path never pays.
+  bool record_provenance = false;
 
-  static GroundOptions reference() { return {false, false, false}; }
+  static GroundOptions reference() { return {false, false, false, false}; }
 };
 
 /// Ground `program`.  Throws AspError on programs outside the supported

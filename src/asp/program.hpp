@@ -80,6 +80,11 @@ struct Rule {
   std::vector<Literal> body;
   std::vector<Comparison> comparisons;
   SourceLoc loc;
+  /// Optional human-readable origin (e.g. "request visit: version must
+  /// satisfy =3.3.3").  Compilers that synthesize rules from higher-level
+  /// directives set this so explanations can speak the user's language;
+  /// empty for rules written directly in ASP text.
+  std::string note;
 
   std::string str() const;
 };

@@ -399,7 +399,57 @@ void Solver::reduce_db() {
 Solver::Result Solver::solve() { return solve({}); }
 
 Solver::Result Solver::solve(const std::vector<Lit>& assumptions) {
+  final_core_.clear();
   if (unsat_) return Result::Unsat;
+  assumption_mark_.assign(assigns_.size(), false);
+  for (Lit a : assumptions) {
+    if (var_of(a) < assigns_.size()) assumption_mark_[var_of(a)] = true;
+  }
+  Result r = search(assumptions);
+  std::fill(assumption_mark_.begin(), assumption_mark_.end(), false);
+  // Reusability contract (see header): every exit path leaves the solver at
+  // decision level 0 with a drained propagation queue, so the next solve()
+  // may run under different assumptions, and an assumption can be retired
+  // by adding it (or its negation) as a unit clause.  Unconditional Unsat
+  // latches unsat_ and may abandon the queue mid-conflict, which is fine:
+  // all later calls return early above.
+  assert(unsat_ || trail_lim_.empty());
+  assert(unsat_ || qhead_ == trail_.size());
+  return r;
+}
+
+/// MiniSat's analyzeFinal: called when placing assumption `p` found its
+/// negation entailed by the earlier assumptions.  Walks the implication
+/// graph backwards from the trail top and collects the assumption
+/// *decisions* the entailment rests on; final_core_ receives `p` plus that
+/// subset.  Non-assumption literals without a reason clause (PB
+/// strengthening enqueues a literal reason-less when its support clause
+/// would be unit) are ignored: their support is entirely level 0, so they
+/// do not depend on any assumption.
+void Solver::analyze_final(Lit p) {
+  final_core_.clear();
+  final_core_.push_back(p);
+  Var pv = var_of(p);
+  if (trail_lim_.empty() || level_[pv] == 0) return;  // ¬p holds at level 0
+  seen_[pv] = true;
+  for (std::size_t i = trail_.size(); i-- > trail_lim_[0];) {
+    Var x = var_of(trail_[i]);
+    if (!seen_[x]) continue;
+    seen_[x] = false;
+    if (reason_[x] == kNoReason) {
+      if (assumption_mark_[x]) final_core_.push_back(trail_[i]);
+    } else {
+      const Clause& c = clauses_[reason_[x]];
+      for (Lit q : c.lits) {
+        Var v = var_of(q);
+        if (v != x && level_[v] > 0) seen_[v] = true;
+      }
+    }
+  }
+  seen_[pv] = false;
+}
+
+Solver::Result Solver::search(const std::vector<Lit>& assumptions) {
   backtrack(0);
   if (propagate() != kNoReason) {
     unsat_ = true;
@@ -464,7 +514,9 @@ Solver::Result Solver::solve(const std::vector<Lit>& assumptions) {
         trail_lim_.push_back(static_cast<std::uint32_t>(trail_.size()));
       } else if (v == Value::False) {
         // Assumptions conflict with the database.  The database itself
-        // stays satisfiable — report Unsat without latching unsat_.
+        // stays satisfiable — extract the failed-assumption core from the
+        // implication graph, then report Unsat without latching unsat_.
+        analyze_final(p);
         backtrack(0);
         return Result::Unsat;
       } else {
@@ -486,6 +538,33 @@ Solver::Result Solver::solve(const std::vector<Lit>& assumptions) {
     trail_lim_.push_back(static_cast<std::uint32_t>(trail_.size()));
     enqueue(next, kNoReason);
   }
+}
+
+std::vector<Lit> minimize_core(Solver& solver, std::vector<Lit> core,
+                               std::uint64_t max_solves,
+                               std::uint64_t* solves) {
+  std::uint64_t spent = 0;
+  std::size_t i = 0;
+  while (i < core.size()) {
+    if (max_solves != 0 && spent >= max_solves) break;
+    std::vector<Lit> test = core;
+    test.erase(test.begin() + static_cast<std::ptrdiff_t>(i));
+    ++spent;
+    if (solver.solve(test) == Solver::Result::Unsat) {
+      if (solver.in_conflict()) {
+        core.clear();
+        break;
+      }
+      // Still Unsat without core[i]; adopt the solver's refined core,
+      // which is a subset of `test` and may be smaller still.
+      core = solver.final_core();
+      i = 0;
+    } else {
+      ++i;  // core[i] is load-bearing
+    }
+  }
+  if (solves != nullptr) *solves = spent;
+  return core;
 }
 
 // ---- variable order heap --------------------------------------------------

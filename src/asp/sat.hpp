@@ -84,7 +84,21 @@ class Solver {
   /// false).  Learned clauses, activities and saved phases persist across
   /// calls; the optimization driver leans on this to tighten objective
   /// bounds without rebuilding the solver.
+  ///
+  /// Reusability contract: on every return the solver is back at decision
+  /// level 0 with an empty propagation queue, so it may be re-solved under
+  /// different assumptions, and assumptions may later be retired by adding
+  /// them (or their negations) as unit clauses.  After an assumption-scoped
+  /// Unsat, final_core() holds the failed-assumption core.
   Result solve(const std::vector<Lit>& assumptions);
+
+  /// The failed-assumption core of the most recent solve(assumptions) call:
+  /// a subset of the assumptions passed in that is already inconsistent
+  /// with the clause database (computed by analyze_final over the
+  /// implication graph).  Meaningful only when that call returned Unsat
+  /// with in_conflict() still false; empty when the Unsat was
+  /// unconditional, i.e. independent of the assumptions.
+  const std::vector<Lit>& final_core() const { return final_core_; }
 
   /// Model access; valid after solve() returned Sat.  Unconstrained
   /// variables read as false.
@@ -133,6 +147,8 @@ class Solver {
     return (t == is_pos(l)) ? Value::True : Value::False;
   }
 
+  Result search(const std::vector<Lit>& assumptions);
+  void analyze_final(Lit p);
   bool enqueue(Lit l, ClauseRef reason);
   ClauseRef propagate();
   ClauseRef propagate_pb(Lit assigned_true);
@@ -172,6 +188,8 @@ class Solver {
 
   std::vector<bool> model_;
   std::vector<bool> seen_;
+  std::vector<bool> assumption_mark_;  // var is in the active assumption set
+  std::vector<Lit> final_core_;
   bool unsat_ = false;
 
   std::uint64_t num_learned_limit_ = 4096;
@@ -179,5 +197,17 @@ class Solver {
   ProgressFn progress_;
   std::uint64_t progress_interval_ = 2048;
 };
+
+/// Deletion-based minimization of a failed-assumption core: repeatedly
+/// re-solve with one assumption dropped, keeping any subset that stays
+/// Unsat (the solver's refined final_core() is adopted, which can discard
+/// several assumptions at once — clause-set refinement).  Returns a
+/// subset-minimal core: re-solving the result is Unsat, but every proper
+/// subset is Sat.  `max_solves` (0 = unlimited) caps the number of
+/// re-solves; `solves`, when non-null, receives the count actually spent.
+/// If the database itself becomes Unsat (in_conflict()), returns empty.
+std::vector<Lit> minimize_core(Solver& solver, std::vector<Lit> core,
+                               std::uint64_t max_solves = 0,
+                               std::uint64_t* solves = nullptr);
 
 }  // namespace splice::asp::sat

@@ -1,0 +1,418 @@
+#include "src/asp/translate.hpp"
+
+#include <algorithm>
+
+namespace splice::asp {
+
+using sat::Lit;
+using sat::Var;
+
+Translation::Translation(const GroundProgram& gp, bool guard_constraints)
+    : gp_(gp), guard_constraints_(guard_constraints) {
+  build();
+}
+
+/// Define `v <-> conjunction(lits)`.
+void Translation::define_and(Var v, const std::vector<Lit>& lits) {
+  std::vector<Lit> back{sat::mk_lit(v, true)};
+  for (Lit l : lits) {
+    solver_->add_clause({sat::mk_lit(v, false), l});
+    back.push_back(sat::negate(l));
+  }
+  solver_->add_clause(std::move(back));
+}
+
+Lit Translation::new_guard(GuardTarget target) {
+  Lit g = sat::mk_lit(solver_->new_var(), true);
+  guards_.push_back(g);
+  guard_targets_.push_back(target);
+  return g;
+}
+
+void Translation::build() {
+  solver_ = std::make_unique<sat::Solver>();
+  // Constant-true variable simplifies empty bodies/conditions.
+  true_var_ = solver_->new_var();
+  solver_->add_clause({sat::mk_lit(true_var_, true)});
+
+  atom_var_.resize(gp_.num_atoms());
+  for (AtomId a = 0; a < gp_.num_atoms(); ++a) atom_var_[a] = solver_->new_var();
+
+  supports_.assign(gp_.num_atoms(), {});
+  choice_supports_.assign(gp_.num_atoms(), {});
+  rules_by_head_.assign(gp_.num_atoms(), {});
+  std::vector<bool> is_fact(gp_.num_atoms(), false);
+  for (AtomId a : gp_.facts) {
+    is_fact[a] = true;
+    solver_->add_clause({atom_lit(a, true)});
+  }
+
+  // Normal rules and constraints.
+  body_lit_.resize(gp_.rules.size());
+  for (std::size_t ri = 0; ri < gp_.rules.size(); ++ri) {
+    const GRule& r = gp_.rules[ri];
+    if (!r.has_head) {
+      // Integrity constraint: not all body literals may hold.  In guarded
+      // mode the clause carries !g, so it binds only while g is assumed.
+      std::vector<Lit> clause;
+      if (guard_constraints_) {
+        clause.push_back(sat::negate(
+            new_guard({GuardTarget::Kind::Constraint, ri})));
+      }
+      for (const GLit& l : r.body) clause.push_back(glit({l.atom, !l.positive}));
+      if (clause.empty()) {
+        // ":- ." style absurdity; force UNSAT.
+        solver_->add_clause({sat::mk_lit(true_var_, false)});
+      } else {
+        solver_->add_clause(std::move(clause));
+      }
+      body_lit_[ri] = sat::mk_lit(true_var_, true);  // unused
+      continue;
+    }
+    Lit b = make_body(r.body);
+    body_lit_[ri] = b;
+    solver_->add_clause({sat::negate(b), atom_lit(r.head, true)});
+    supports_[r.head].push_back(b);
+    rules_by_head_[r.head].push_back(ri);
+  }
+
+  // Choice rules.
+  for (std::size_t ci = 0; ci < gp_.choices.size(); ++ci) {
+    const GChoice& c = gp_.choices[ci];
+    Lit b = make_body(c.body);
+    std::vector<Lit> counts;
+    counts.reserve(c.elements.size());
+    for (const GChoiceElem& e : c.elements) {
+      Lit elig;
+      if (e.condition.empty()) {
+        elig = b;
+      } else {
+        std::vector<Lit> conj{b};
+        for (const GLit& l : e.condition) conj.push_back(glit(l));
+        Var ev = solver_->new_var();
+        define_and(ev, conj);
+        elig = sat::mk_lit(ev, true);
+      }
+      supports_[e.atom].push_back(elig);
+      std::vector<AtomId> deps;
+      for (const GLit& l : c.body) {
+        if (l.positive) deps.push_back(l.atom);
+      }
+      for (const GLit& l : e.condition) {
+        if (l.positive) deps.push_back(l.atom);
+      }
+      choice_supports_[e.atom].push_back({elig, std::move(deps)});
+      // Count literal: atom AND eligible.
+      Var cv = solver_->new_var();
+      define_and(cv, {atom_lit(e.atom, true), elig});
+      counts.push_back(sat::mk_lit(cv, true));
+    }
+    auto k = static_cast<std::int64_t>(counts.size());
+    if (c.upper) {
+      // Guarded: sum(count) + (k - upper) g <= k enforces sum <= upper
+      // exactly when g holds and is vacuous otherwise (sum <= k always).
+      // When k <= upper the bound is vacuous outright — no constraint, no
+      // guard, matching the unguarded translation's behavior.
+      if (guard_constraints_) {
+        if (k > *c.upper) {
+          std::vector<std::pair<Lit, std::int64_t>> terms;
+          for (Lit cl : counts) terms.emplace_back(cl, 1);
+          Lit g = new_guard({GuardTarget::Kind::ChoiceUpper, ci});
+          terms.emplace_back(g, k - *c.upper);
+          solver_->add_pb_le(std::move(terms), k);
+        }
+      } else {
+        std::vector<std::pair<Lit, std::int64_t>> terms;
+        for (Lit cl : counts) terms.emplace_back(cl, 1);
+        solver_->add_pb_le(std::move(terms), *c.upper);
+      }
+    }
+    if (c.lower && *c.lower > 0) {
+      if (*c.lower == 1) {
+        std::vector<Lit> clause;
+        if (guard_constraints_) {
+          clause.push_back(sat::negate(
+              new_guard({GuardTarget::Kind::ChoiceLower, ci})));
+        }
+        clause.push_back(sat::negate(b));
+        for (Lit cl : counts) clause.push_back(cl);
+        solver_->add_clause(std::move(clause));
+      } else {
+        // sum(!count) + lower*body <= k; guarded adds lower*g on the left
+        // and lower on the right, so dropping the guard slackens the bound
+        // by exactly the body contribution.
+        std::vector<std::pair<Lit, std::int64_t>> terms;
+        for (Lit cl : counts) terms.emplace_back(sat::negate(cl), 1);
+        terms.emplace_back(b, *c.lower);
+        std::int64_t bound = k;
+        if (guard_constraints_) {
+          Lit g = new_guard({GuardTarget::Kind::ChoiceLower, ci});
+          terms.emplace_back(g, *c.lower);
+          bound = k + *c.lower;
+        }
+        solver_->add_pb_le(std::move(terms), bound);
+      }
+    }
+  }
+
+  // Completion: every non-fact atom needs some support.
+  for (AtomId a = 0; a < gp_.num_atoms(); ++a) {
+    if (is_fact[a]) continue;
+    std::vector<Lit> clause{atom_lit(a, false)};
+    for (Lit s : supports_[a]) clause.push_back(s);
+    solver_->add_clause(std::move(clause));
+  }
+
+  // Minimize indicators: m true whenever any condition conjunction holds.
+  min_var_.resize(gp_.minimize.size());
+  for (std::size_t i = 0; i < gp_.minimize.size(); ++i) {
+    Var m = solver_->new_var();
+    min_var_[i] = m;
+    for (const auto& cond : gp_.minimize[i].conditions) {
+      std::vector<Lit> clause{sat::mk_lit(m, true)};
+      for (const GLit& l : cond) clause.push_back(glit({l.atom, !l.positive}));
+      solver_->add_clause(std::move(clause));
+    }
+  }
+
+  compute_sccs();
+}
+
+std::vector<std::pair<Lit, std::int64_t>> Translation::objective_terms(
+    std::int64_t priority) const {
+  std::vector<std::pair<Lit, std::int64_t>> out;
+  for (std::size_t i = 0; i < gp_.minimize.size(); ++i) {
+    if (gp_.minimize[i].priority == priority && gp_.minimize[i].weight > 0) {
+      out.emplace_back(sat::mk_lit(min_var_[i], true), gp_.minimize[i].weight);
+    }
+  }
+  return out;
+}
+
+std::int64_t Translation::eval_cost(std::int64_t priority) const {
+  std::int64_t cost = 0;
+  for (const GMinTerm& m : gp_.minimize) {
+    if (m.priority != priority) continue;
+    for (const auto& cond : m.conditions) {
+      if (model_body(cond)) {
+        cost += m.weight;
+        break;
+      }
+    }
+  }
+  return cost;
+}
+
+std::vector<std::vector<Lit>> Translation::unfounded_nogoods() const {
+  if (tight_) return {};
+  std::vector<bool> in_u(gp_.num_atoms(), false);
+  std::vector<AtomId> u;
+  for (AtomId a = 0; a < gp_.num_atoms(); ++a) {
+    if (scc_nontrivial_[a] && model_atom(a)) {
+      in_u[a] = true;
+      u.push_back(a);
+    }
+  }
+  bool changed = true;
+  while (changed && !u.empty()) {
+    changed = false;
+    std::vector<AtomId> rest;
+    for (AtomId a : u) {
+      bool justified = false;
+      for (const ChoiceSupport& cs : choice_supports_[a]) {
+        if (!lit_true(cs.elig)) continue;
+        bool internal = false;
+        for (AtomId d : cs.pos_deps) {
+          if (in_u[d]) {
+            internal = true;
+            break;
+          }
+        }
+        if (!internal) {
+          justified = true;
+          break;
+        }
+      }
+      if (!justified) {
+        for (std::size_t ri : rules_by_head_[a]) {
+          const GRule& r = gp_.rules[ri];
+          if (!model_body(r.body)) continue;
+          bool internal = false;
+          for (const GLit& l : r.body) {
+            if (l.positive && in_u[l.atom]) {
+              internal = true;
+              break;
+            }
+          }
+          if (!internal) {
+            justified = true;
+            break;
+          }
+        }
+      }
+      if (justified) {
+        in_u[a] = false;
+        changed = true;
+      } else {
+        rest.push_back(a);
+      }
+    }
+    u = std::move(rest);
+  }
+  // Loop formula: the external support of the unfounded set as a whole.
+  // If no external body of U holds, every atom of U must be false.
+  std::vector<Lit> external;
+  for (AtomId a : u) {
+    for (std::size_t ri : rules_by_head_[a]) {
+      const GRule& r = gp_.rules[ri];
+      bool internal = false;
+      for (const GLit& l : r.body) {
+        if (l.positive && in_u[l.atom]) {
+          internal = true;
+          break;
+        }
+      }
+      if (!internal) external.push_back(body_lit_[ri]);
+    }
+    for (const ChoiceSupport& cs : choice_supports_[a]) {
+      bool internal = false;
+      for (AtomId d : cs.pos_deps) {
+        if (in_u[d]) {
+          internal = true;
+          break;
+        }
+      }
+      if (!internal) external.push_back(cs.elig);
+    }
+  }
+  std::vector<std::vector<Lit>> nogoods;
+  for (AtomId a : u) {
+    std::vector<Lit> clause{atom_lit(a, false)};
+    clause.insert(clause.end(), external.begin(), external.end());
+    nogoods.push_back(std::move(clause));
+  }
+  return nogoods;
+}
+
+/// A literal equivalent to the conjunction of a rule body.
+Lit Translation::make_body(const std::vector<GLit>& body) {
+  if (body.empty()) return sat::mk_lit(true_var_, true);
+  if (body.size() == 1) return glit(body[0]);
+  Var bv = solver_->new_var();
+  std::vector<Lit> lits;
+  lits.reserve(body.size());
+  for (const GLit& l : body) lits.push_back(glit(l));
+  define_and(bv, lits);
+  return sat::mk_lit(bv, true);
+}
+
+/// Tarjan SCCs over the positive atom dependency graph; marks atoms in
+/// non-trivial SCCs, which are the only unfounded-set candidates.  Choice
+/// rules contribute edges too (element atom -> positive body/condition
+/// atoms): a choice whose body circles back through its own element is
+/// just as capable of unfounded self-support as a normal rule.
+void Translation::compute_sccs() {
+  std::size_t n = gp_.num_atoms();
+  scc_nontrivial_.assign(n, false);
+  std::vector<std::vector<AtomId>> edges(n);  // head -> positive body atoms
+  std::vector<bool> self_loop(n, false);
+  auto add_edge = [&](AtomId head, AtomId dep) {
+    if (dep == head) self_loop[head] = true;
+    edges[head].push_back(dep);
+  };
+  for (const GRule& r : gp_.rules) {
+    if (!r.has_head) continue;
+    for (const GLit& l : r.body) {
+      if (l.positive) add_edge(r.head, l.atom);
+    }
+  }
+  for (AtomId a = 0; a < n; ++a) {
+    for (const ChoiceSupport& cs : choice_supports_[a]) {
+      for (AtomId d : cs.pos_deps) add_edge(a, d);
+    }
+  }
+  // Iterative Tarjan.
+  std::vector<int> index(n, -1), low(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<AtomId> stack;
+  int next_index = 0;
+  struct Frame {
+    AtomId v;
+    std::size_t child;
+  };
+  for (AtomId root = 0; root < n; ++root) {
+    if (index[root] != -1) continue;
+    std::vector<Frame> frames{{root, 0}};
+    index[root] = low[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.child < edges[f.v].size()) {
+        AtomId w = edges[f.v][f.child++];
+        if (index[w] == -1) {
+          index[w] = low[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w, 0});
+        } else if (on_stack[w]) {
+          low[f.v] = std::min(low[f.v], index[w]);
+        }
+      } else {
+        if (low[f.v] == index[f.v]) {
+          std::vector<AtomId> comp;
+          while (true) {
+            AtomId w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            comp.push_back(w);
+            if (w == f.v) break;
+          }
+          if (comp.size() > 1 || self_loop[comp[0]]) {
+            for (AtomId w : comp) {
+              scc_nontrivial_[w] = true;
+              tight_ = false;
+            }
+          }
+        }
+        AtomId done = f.v;
+        frames.pop_back();
+        if (!frames.empty()) {
+          low[frames.back().v] = std::min(low[frames.back().v], low[done]);
+        }
+      }
+    }
+  }
+}
+
+sat::Solver::Result solve_stable(Translation& tr,
+                                 const std::vector<Lit>& assumptions,
+                                 SolveStats& stats, const SolveEventFn& emit) {
+  while (true) {
+    if (tr.solver().solve(assumptions) == sat::Solver::Result::Unsat) {
+      return sat::Solver::Result::Unsat;
+    }
+    ++stats.models_enumerated;
+    auto nogoods = tr.unfounded_nogoods();
+    if (nogoods.empty()) {
+      if (emit) {
+        SolveEvent ev;
+        ev.kind = SolveEvent::Kind::ModelFound;
+        emit(ev);
+      }
+      return sat::Solver::Result::Sat;
+    }
+    for (auto& ng : nogoods) {
+      ++stats.loop_nogoods;
+      tr.solver().add_clause(std::move(ng));
+    }
+    if (emit) {
+      SolveEvent ev;
+      ev.kind = SolveEvent::Kind::LoopNogood;
+      ev.cost = static_cast<std::int64_t>(nogoods.size());
+      emit(ev);
+    }
+  }
+}
+
+}  // namespace splice::asp

@@ -286,17 +286,22 @@ class Concretizer::Compiler {
     }
   }
 
-  /// Add `head :- body.`
-  void add_rule(Term head, std::vector<Literal> body) {
+  /// Add `head :- body.`; `note` names the directive the rule encodes so
+  /// explanations (src/concretize/explain.hpp) can speak the user's language.
+  void add_rule(Term head, std::vector<Literal> body, std::string note = {}) {
     Rule r;
     r.head.kind = asp::Head::Kind::Atom;
     r.head.atom = head;
     r.body = std::move(body);
+    r.note = std::move(note);
     program_.add_rule(std::move(r));
   }
 
-  void add_constraint(std::vector<Literal> body) {
-    program_.add_constraint(std::move(body));
+  void add_constraint(std::vector<Literal> body, std::string note = {}) {
+    Rule r;
+    r.body = std::move(body);
+    r.note = std::move(note);
+    program_.add_rule(std::move(r));
   }
 
   std::string fresh_condition() { return "c" + std::to_string(fresh_++); }
@@ -397,7 +402,10 @@ class Concretizer::Compiler {
                     {Term::fun("range_allows", {str_(rid), v}), true}});
       add_constraint({{cond, true},
                       {Term::fun("build", {str_(pkg.name())}), true},
-                      {ok, false}});
+                      {ok, false}},
+                     pkg.name() + " depends_on " + dep.target.str() + ": " +
+                         dep_name + " version must satisfy " +
+                         target.versions.str());
       // For reused parents the cached dependency already satisfied the
       // directive when it was concretized; re-imposing it would conflict
       // with splicing in an ABI-compatible replacement of a different
@@ -408,7 +416,9 @@ class Concretizer::Compiler {
       add_constraint(
           {{cond, true},
            {Term::fun("build", {str_(pkg.name())}), true},
-           {attr_("variant", {node_(dep_name), str_(key), str_(val)}), false}});
+           {attr_("variant", {node_(dep_name), str_(key), str_(val)}), false}},
+          pkg.name() + " depends_on " + dep.target.str() + ": " + dep_name +
+              " variant " + key + " must be " + val);
     }
   }
 
@@ -425,7 +435,9 @@ class Concretizer::Compiler {
       target_as_when = std::move(w);
     }
     when_body(t.name, target_as_when, body);
-    add_constraint(std::move(body));
+    std::string note = pkg.name() + ": conflicts with " + c.target.str();
+    if (c.when) note += " when " + c.when->str();
+    add_constraint(std::move(body), std::move(note));
   }
 
   /// Figure 4a: one rule per can_splice directive.
@@ -451,9 +463,11 @@ class Concretizer::Compiler {
                                               str_(val)}),
                       true});
     }
+    std::string note = pkg.name() + ": can_splice " + s.target.str();
+    if (s.when) note += " when " + s.when->str();
     add_rule(Term::fun("can_splice",
                        {node_(pkg.name()), str_(target_name), hash}),
-             std::move(body));
+             std::move(body), std::move(note));
   }
 
   // -- reusable spec compilation (paper §5.1.2 / §5.3) -----------------------
@@ -510,34 +524,42 @@ class Concretizer::Compiler {
       if (!repo_.contains(name)) {
         throw UnsatisfiableError("unknown package in request: " + name);
       }
+      std::string who = "request " + req.str() + ": " + name;
       // The node must be in the solution.
-      add_constraint({{attr_("node", {node_(name)}), false}});
+      add_constraint({{attr_("node", {node_(name)}), false}},
+                     who + " must be in the solution");
       if (!n.versions.any()) {
         std::string rid = range_id(name, n.versions);
         Term ok = Term::fun("request_ok", {str_(std::to_string(fresh_++))});
         Term v = Term::var("ReqV");
         add_rule(ok, {{attr_("version", {node_(name), v}), true},
                       {Term::fun("range_allows", {str_(rid), v}), true}});
-        add_constraint({{ok, false}});
+        add_constraint({{ok, false}},
+                       who + " version must satisfy " + n.versions.str());
       }
       for (const auto& [key, val] : n.variants) {
         add_constraint(
             {{attr_("node", {node_(name)}), true},
-             {attr_("variant", {node_(name), str_(key), str_(val)}), false}});
+             {attr_("variant", {node_(name), str_(key), str_(val)}), false}},
+            who + " variant " + key + " must be " + val);
       }
       if (n.os) {
-        add_constraint({{attr_("node_os", {node_(name), str_(*n.os)}), false}});
+        add_constraint({{attr_("node_os", {node_(name), str_(*n.os)}), false}},
+                       who + " os must be " + *n.os);
         oses_.insert(*n.os);
       }
       if (n.target) {
         add_constraint(
-            {{attr_("node_target", {node_(name), str_(*n.target)}), false}});
+            {{attr_("node_target", {node_(name), str_(*n.target)}), false}},
+            who + " target must be " + *n.target);
         targets_.insert(*n.target);
       }
     }
 
     for (const std::string& f : request.forbidden) {
-      add_constraint({{attr_("node", {node_(f)}), true}});
+      add_constraint({{attr_("node", {node_(f)}), true}},
+                     "request " + req.str() + ": package " + f +
+                         " must not appear in the solution");
     }
 
     oses_.insert(opts_.default_os);

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "src/asp/asp.hpp"
+#include "src/concretize/explain.hpp"
 #include "src/repo/repository.hpp"
 #include "src/spec/spec.hpp"
 
@@ -120,6 +121,20 @@ class Concretizer {
   /// rules and the static logic fragments) without solving — the input to
   /// asp::analyze and the asp_lint regression checks.
   asp::Program compile_program(const std::vector<Request>& requests) const;
+
+  /// Explain why the request set cannot be concretized: compile, ground with
+  /// derivation provenance, and extract a minimized unsat core mapped back
+  /// to request/package-directive notes and source locations.  Also valid on
+  /// satisfiable request sets (the diagnosis then reports sat = true).
+  UnsatDiagnosis explain_unsat(const std::vector<Request>& requests,
+                               const asp::ExplainOptions& opts = {}) const;
+
+  /// Explain the splice decisions for a request set: solve it, then report
+  /// every splice candidate the solver considered with the can_splice
+  /// directive behind it and a verdict (executed / rejected and why).
+  /// Requires enable_splicing; reports sat = false when the request set has
+  /// no solution (use explain_unsat then).
+  SpliceDiagnosis explain_splice(const std::vector<Request>& requests) const;
 
   /// Analyzer whitelists matching this encoding: attr and the reuse fact
   /// predicates are intentionally multi-arity, attr is consumed by the model

@@ -221,5 +221,111 @@ TEST(Sat, PbConflictDrivesLearning) {
   EXPECT_LE(sum, 7);
 }
 
+// ---- assumptions, failed-assumption cores, core minimization ---------------
+
+TEST(SatAssumptions, FinalCoreIsUnsatAlone) {
+  // a -> x, b -> !x: assuming both is Unsat; each alone is Sat.
+  Solver s;
+  Var a = s.new_var(), b = s.new_var(), x = s.new_var();
+  s.add_clause({mk_lit(a, false), mk_lit(x, true)});
+  s.add_clause({mk_lit(b, false), mk_lit(x, false)});
+  EXPECT_EQ(s.solve({mk_lit(a, true), mk_lit(b, true)}), R::Unsat);
+  EXPECT_FALSE(s.in_conflict());
+  std::vector<Lit> core = s.final_core();
+  ASSERT_FALSE(core.empty());
+  // The core, re-solved as the only assumptions, must still be Unsat.
+  EXPECT_EQ(s.solve(core), R::Unsat);
+  EXPECT_FALSE(s.in_conflict());
+  // Either assumption alone is satisfiable.
+  EXPECT_EQ(s.solve({mk_lit(a, true)}), R::Sat);
+  EXPECT_EQ(s.solve({mk_lit(b, true)}), R::Sat);
+}
+
+TEST(SatAssumptions, SolverReusableAfterAssumptionUnsat) {
+  // The reusability contract: an assumption-failure Unsat must not latch
+  // in_conflict() or leave trail state behind — later solves under different
+  // assumptions (and with no assumptions) see the same database.
+  Solver s;
+  Var a = s.new_var(), b = s.new_var(), x = s.new_var();
+  s.add_clause({mk_lit(a, false), mk_lit(x, true)});
+  s.add_clause({mk_lit(b, false), mk_lit(x, false)});
+  Lit la = mk_lit(a, true), lb = mk_lit(b, true);
+
+  EXPECT_EQ(s.solve({la, lb}), R::Unsat);
+  EXPECT_FALSE(s.in_conflict());
+  EXPECT_EQ(s.solve({la}), R::Sat);
+  EXPECT_TRUE(s.model_value(a));
+  EXPECT_EQ(s.solve({lb}), R::Sat);
+  EXPECT_TRUE(s.model_value(b));
+  // The same failure is reproducible — nothing was consumed.
+  EXPECT_EQ(s.solve({la, lb}), R::Unsat);
+  EXPECT_FALSE(s.in_conflict());
+
+  // Retire assumption `a` by committing its negation as a unit clause.
+  EXPECT_TRUE(s.add_clause({mk_lit(a, false)}));
+  EXPECT_EQ(s.solve({lb}), R::Sat);
+  // Assuming the retired literal now fails at level 0: core is {a} alone.
+  EXPECT_EQ(s.solve({la}), R::Unsat);
+  EXPECT_FALSE(s.in_conflict());
+  ASSERT_EQ(s.final_core().size(), 1u);
+  EXPECT_EQ(s.final_core()[0], la);
+  EXPECT_EQ(s.solve(), R::Sat);
+}
+
+TEST(SatAssumptions, FinalCoreThroughPbPropagation) {
+  // PB constraint a + b <= 1 with both assumed: the failed-assumption
+  // analysis must traverse the PB-derived reason clauses.
+  Solver s;
+  Var a = s.new_var(), b = s.new_var();
+  s.add_pb_le({{mk_lit(a, true), 1}, {mk_lit(b, true), 1}}, 1);
+  EXPECT_EQ(s.solve({mk_lit(a, true), mk_lit(b, true)}), R::Unsat);
+  EXPECT_FALSE(s.in_conflict());
+  std::vector<Lit> core = s.final_core();
+  EXPECT_EQ(s.solve(core), R::Unsat);
+  EXPECT_EQ(s.solve({mk_lit(a, true)}), R::Sat);
+  EXPECT_EQ(s.solve({mk_lit(b, true)}), R::Sat);
+}
+
+TEST(SatAssumptions, MinimizeCoreSubsetMinimal) {
+  // Six assumptions; only {a2, a4} genuinely conflict (a2 -> y, a4 -> !y).
+  // Deletion minimization must strip the four bystanders, and the result
+  // must be subset-minimal: every proper subset is satisfiable.
+  Solver s;
+  std::vector<Lit> assumptions;
+  std::vector<Var> vars;
+  for (int i = 0; i < 6; ++i) {
+    vars.push_back(s.new_var());
+    assumptions.push_back(mk_lit(vars.back(), true));
+  }
+  Var y = s.new_var();
+  s.add_clause({mk_lit(vars[2], false), mk_lit(y, true)});
+  s.add_clause({mk_lit(vars[4], false), mk_lit(y, false)});
+  ASSERT_EQ(s.solve(assumptions), R::Unsat);
+
+  std::uint64_t solves = 0;
+  std::vector<Lit> core = minimize_core(s, s.final_core(), 0, &solves);
+  ASSERT_EQ(core.size(), 2u);
+  EXPECT_GT(solves, 0u);
+  EXPECT_EQ(s.solve(core), R::Unsat);
+  // Subset-minimality by brute force: every proper subset must be Sat.
+  for (std::size_t drop = 0; drop < core.size(); ++drop) {
+    std::vector<Lit> sub = core;
+    sub.erase(sub.begin() + static_cast<std::ptrdiff_t>(drop));
+    EXPECT_EQ(s.solve(sub), R::Sat) << "dropping core[" << drop << "]";
+  }
+}
+
+TEST(SatAssumptions, MinimizeCoreRespectsSolveCap) {
+  Solver s;
+  Var a = s.new_var(), b = s.new_var(), c = s.new_var(), y = s.new_var();
+  s.add_clause({mk_lit(a, false), mk_lit(y, true)});
+  s.add_clause({mk_lit(b, false), mk_lit(y, false)});
+  ASSERT_EQ(s.solve({mk_lit(c, true), mk_lit(a, true), mk_lit(b, true)}),
+            R::Unsat);
+  std::uint64_t solves = 0;
+  minimize_core(s, s.final_core(), 1, &solves);
+  EXPECT_LE(solves, 1u);
+}
+
 }  // namespace
 }  // namespace splice::asp::sat

@@ -1,0 +1,194 @@
+// Concretizer-level explanation tests: unsat cores over RADIUSS workloads
+// (naming the clashing request constraints) and splice decision traces.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/concretize/concretizer.hpp"
+#include "src/support/error.hpp"
+#include "src/workload/caches.hpp"
+#include "src/workload/radiuss.hpp"
+
+namespace splice::concretize {
+namespace {
+
+Concretizer make_splicing(const repo::Repository& repo,
+                          const std::vector<spec::Spec>& cache) {
+  ConcretizerOptions opts;
+  opts.enable_splicing = true;
+  Concretizer c(repo, opts);
+  for (const auto& s : cache) c.add_reusable(s);
+  return c;
+}
+
+// The golden unsat walkthrough: two roots pinning mpich to different
+// versions cannot concretize together, and the explanation must name both
+// clashing request constraints (with mpich and the two versions) in a
+// minimized core of at most 10 constraints.
+TEST(ExplainConcretize, ClashingRequestsNameBothConstraints) {
+  repo::Repository repo = workload::radiuss_repo();
+  Concretizer c(repo);
+  for (const auto& s : workload::local_cache_specs(repo)) c.add_reusable(s);
+
+  std::vector<Request> requests;
+  requests.emplace_back("visit ^mpich@3.4.3");
+  requests.emplace_back("visit ^mpich@3.1");
+  // Sanity: the request set really is unsatisfiable.
+  EXPECT_THROW(c.concretize_together(requests), UnsatisfiableError);
+
+  UnsatDiagnosis d = c.explain_unsat(requests);
+  ASSERT_FALSE(d.explanation.sat);
+  ASSERT_FALSE(d.explanation.unconditional);
+  EXPECT_LE(d.explanation.core.size(), 10u);
+  EXPECT_GE(d.explanation.core.size(), 2u);
+
+  std::string text = d.text();
+  EXPECT_NE(text.find("mpich"), std::string::npos);
+  EXPECT_NE(text.find("3.4.3"), std::string::npos);
+  EXPECT_NE(text.find("3.1"), std::string::npos);
+  // Both request notes survive minimization.
+  EXPECT_NE(text.find("request visit ^mpich@3.4.3"), std::string::npos);
+  EXPECT_NE(text.find("request visit ^mpich@3.1"), std::string::npos);
+  // The clashing package is identified in at least one core entry, and at
+  // least one entry carries a known source location (the static logic).
+  EXPECT_TRUE(std::any_of(
+      d.explanation.core.begin(), d.explanation.core.end(),
+      [](const asp::CoreConstraint& cc) {
+        return std::find(cc.packages.begin(), cc.packages.end(), "mpich") !=
+               cc.packages.end();
+      }));
+  EXPECT_TRUE(std::any_of(d.explanation.core.begin(), d.explanation.core.end(),
+                          [](const asp::CoreConstraint& cc) {
+                            return cc.has_source && cc.loc.known();
+                          }));
+}
+
+TEST(ExplainConcretize, ForbiddenDependencyCore) {
+  repo::Repository repo = workload::radiuss_repo();
+  Concretizer c(repo);
+  Request r("visit ^mpich");
+  r.forbidden.push_back("mpich");
+  UnsatDiagnosis d = c.explain_unsat({r});
+  ASSERT_FALSE(d.explanation.sat);
+  std::string text = d.text();
+  EXPECT_NE(text.find("must not appear"), std::string::npos);
+  EXPECT_NE(text.find("mpich"), std::string::npos);
+}
+
+TEST(ExplainConcretize, SatisfiableRequestReportsSat) {
+  repo::Repository repo = workload::radiuss_repo();
+  Concretizer c(repo);
+  UnsatDiagnosis d = c.explain_unsat({Request("zlib")});
+  EXPECT_TRUE(d.explanation.sat);
+  EXPECT_TRUE(d.explanation.core.empty());
+}
+
+TEST(ExplainConcretize, UnsatJsonDocument) {
+  repo::Repository repo = workload::radiuss_repo();
+  Concretizer c(repo);
+  std::vector<Request> requests;
+  requests.emplace_back("visit ^mpich@3.4.3");
+  requests.emplace_back("visit ^mpich@3.1");
+  json::Value doc = c.explain_unsat(requests).to_json();
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("schema")->as_string(), "splice-explain-v1");
+  EXPECT_EQ(doc.find("mode")->as_string(), "unsat");
+  ASSERT_EQ(doc.find("requests")->as_array().size(), 2u);
+  const json::Value* ex = doc.find("explanation");
+  ASSERT_NE(ex, nullptr);
+  EXPECT_FALSE(ex->find("sat")->as_bool());
+  EXPECT_FALSE(ex->find("core")->as_array().empty());
+}
+
+TEST(ExplainSplice, ExecutedSpliceIsTraced) {
+  repo::Repository repo = workload::radiuss_repo();
+  std::vector<spec::Spec> cache = workload::local_cache_specs(repo);
+  Concretizer c = make_splicing(repo, cache);
+
+  SpliceDiagnosis d = c.explain_splice({Request("visit ^mpiabi")});
+  ASSERT_TRUE(d.sat);
+  EXPECT_FALSE(d.candidates.empty());
+  EXPECT_GE(d.executed, 1u);
+  EXPECT_FALSE(d.costs.empty());
+
+  // The executed candidates replace mpich with mpiabi, carry the can_splice
+  // directive note, and agree with the concretizer's own splice decisions.
+  std::size_t chosen = 0;
+  for (const SpliceCandidateTrace& cand : d.candidates) {
+    EXPECT_FALSE(cand.verdict.empty());
+    EXPECT_FALSE(cand.parent_name.empty());
+    EXPECT_FALSE(cand.dependency_hash.empty());
+    if (!cand.chosen) continue;
+    ++chosen;
+    EXPECT_EQ(cand.dependency, "mpich");
+    EXPECT_EQ(cand.replacement, "mpiabi");
+    EXPECT_TRUE(cand.parent_reused);
+    EXPECT_TRUE(cand.spliced_away);
+    EXPECT_TRUE(cand.can_splice_held);
+    EXPECT_EQ(cand.verdict.rfind("executed", 0), 0u) << cand.verdict;
+    EXPECT_NE(cand.directive.find("can_splice"), std::string::npos);
+  }
+  EXPECT_EQ(chosen, d.executed);
+
+  ConcretizeResult solved = c.concretize(Request("visit ^mpiabi"));
+  EXPECT_EQ(solved.splices.size(), d.executed);
+}
+
+TEST(ExplainSplice, NoSpliceNeededMeansZeroExecuted) {
+  repo::Repository repo = workload::radiuss_repo();
+  std::vector<spec::Spec> cache = workload::local_cache_specs(repo);
+  Concretizer c = make_splicing(repo, cache);
+
+  // Plain reuse satisfies "visit ^mpich": candidates exist (the cache is
+  // full of mpich parents) but the optimizer must prefer not splicing.
+  SpliceDiagnosis d = c.explain_splice({Request("visit ^mpich")});
+  ASSERT_TRUE(d.sat);
+  EXPECT_EQ(d.executed, 0u);
+  EXPECT_FALSE(d.candidates.empty());
+  for (const SpliceCandidateTrace& cand : d.candidates) {
+    EXPECT_FALSE(cand.chosen);
+    EXPECT_FALSE(cand.spliced_away);
+  }
+}
+
+TEST(ExplainSplice, UnsatRequestReportsUnsat) {
+  repo::Repository repo = workload::radiuss_repo();
+  std::vector<spec::Spec> cache = workload::local_cache_specs(repo);
+  Concretizer c = make_splicing(repo, cache);
+  SpliceDiagnosis d = c.explain_splice({Request("visit ^zlib@99")});
+  EXPECT_FALSE(d.sat);
+  EXPECT_TRUE(d.candidates.empty());
+}
+
+TEST(ExplainSplice, RequiresSplicingEnabled) {
+  repo::Repository repo = workload::radiuss_repo();
+  Concretizer c(repo);
+  EXPECT_THROW(c.explain_splice({Request("visit")}), Error);
+}
+
+TEST(ExplainSplice, SpliceJsonDocument) {
+  repo::Repository repo = workload::radiuss_repo();
+  std::vector<spec::Spec> cache = workload::local_cache_specs(repo);
+  Concretizer c = make_splicing(repo, cache);
+  json::Value doc = c.explain_splice({Request("visit ^mpiabi")}).to_json();
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("schema")->as_string(), "splice-explain-v1");
+  EXPECT_EQ(doc.find("mode")->as_string(), "splice");
+  const json::Value* ex = doc.find("explanation");
+  ASSERT_NE(ex, nullptr);
+  EXPECT_TRUE(ex->find("sat")->as_bool());
+  EXPECT_GE(ex->find("executed")->as_int(), 1);
+  ASSERT_FALSE(ex->find("candidates")->as_array().empty());
+  const json::Value& cand = ex->find("candidates")->as_array().front();
+  for (const char* key : {"parent", "parent_hash", "dependency",
+                          "dependency_hash", "replacement", "verdict",
+                          "directive"}) {
+    ASSERT_NE(cand.find(key), nullptr) << key;
+    EXPECT_TRUE(cand.find(key)->is_string()) << key;
+  }
+}
+
+}  // namespace
+}  // namespace splice::concretize

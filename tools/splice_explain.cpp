@@ -1,0 +1,197 @@
+// splice_explain: explain concretization decisions over the synthetic
+// RADIUSS workload.
+//
+// Two modes, chosen automatically:
+//   * the request set has a solution  -> splice report: every splice
+//     candidate the solver considered, the can_splice directive behind it,
+//     and an executed/rejected verdict per candidate;
+//   * the request set is unsatisfiable -> minimized unsat core: the smallest
+//     set of conflicting constraints, mapped back to request and package
+//     directives with source locations.
+//
+// All root specs form ONE unified request set (the Spack environment model),
+// so two roots with clashing constraints are the canonical unsat demo:
+//
+//   tools/splice_explain "visit ^mpich@3.4.3" "visit ^mpich@3.1"
+//
+// The --json output follows the `splice-explain-v1` schema validated by
+// tools/trace_check.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/concretize/concretizer.hpp"
+#include "src/support/error.hpp"
+#include "src/support/trace.hpp"
+#include "src/workload/caches.hpp"
+#include "src/workload/radiuss.hpp"
+
+namespace {
+
+void usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: splice_explain [options] [root-spec ...]\n"
+               "\n"
+               "Explain the concretization of the given root specs (solved "
+               "together as one\nrequest set) against the synthetic RADIUSS "
+               "workload: splice decisions when a\nsolution exists, a "
+               "minimized unsat core when none does.\n"
+               "\n"
+               "options:\n"
+               "  --json FILE    write the splice-explain-v1 JSON document\n"
+               "  --splice       enable splicing (indirect encoding)\n"
+               "  --direct       old-spack direct encoding, splicing off\n"
+               "  --public N     reuse against a synthetic public cache of "
+               "~N node specs\n"
+               "                 (default: the local RADIUSS cache)\n"
+               "  --replicas N   add N mpiabi replica packages (RQ4 shape)\n"
+               "  --no-cache     no reusable specs at all\n"
+               "  --forbid NAME  forbid package NAME in every request\n"
+               "  --no-minimize  report the raw unsat core without deletion "
+               "minimization\n"
+               "  --help         this text\n"
+               "\n"
+               "default root-spec: \"visit ^mpiabi\" with --splice, "
+               "\"visit ^mpich\" otherwise\n");
+}
+
+bool write_json(const std::string& path, const splice::json::Value& doc) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::string text = doc.dump_pretty();
+  bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  ok = std::fputc('\n', f) != EOF && ok;
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool enable_splicing = false;
+  bool direct = false;
+  bool no_cache = false;
+  bool minimize = true;
+  std::size_t public_nodes = 0;
+  std::size_t replicas = 0;
+  std::vector<std::string> forbidden;
+  std::vector<std::string> roots;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "splice_explain: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      return 0;
+    } else if (arg == "--json") {
+      json_path = value("--json");
+    } else if (arg == "--splice") {
+      enable_splicing = true;
+    } else if (arg == "--direct") {
+      direct = true;
+    } else if (arg == "--no-cache") {
+      no_cache = true;
+    } else if (arg == "--no-minimize") {
+      minimize = false;
+    } else if (arg == "--public") {
+      public_nodes = std::strtoull(value("--public"), nullptr, 10);
+    } else if (arg == "--replicas") {
+      replicas = std::strtoull(value("--replicas"), nullptr, 10);
+    } else if (arg == "--forbid") {
+      forbidden.emplace_back(value("--forbid"));
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "splice_explain: unknown option %s\n", arg.c_str());
+      usage(stderr);
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (direct && enable_splicing) {
+    std::fprintf(stderr, "splice_explain: --direct and --splice conflict\n");
+    return 2;
+  }
+  if (roots.empty()) {
+    roots.push_back(enable_splicing ? "visit ^mpiabi" : "visit ^mpich");
+  }
+
+  using namespace splice;
+
+  concretize::ConcretizerOptions opts;
+  opts.encoding = direct ? concretize::ReuseEncoding::Direct
+                         : concretize::ReuseEncoding::Indirect;
+  opts.enable_splicing = enable_splicing;
+
+  try {
+    repo::Repository repo = workload::radiuss_repo(replicas);
+    std::vector<spec::Spec> cache;
+    if (!no_cache) {
+      cache = public_nodes > 0
+                  ? workload::public_cache_specs(repo, public_nodes)
+                  : workload::local_cache_specs(repo);
+    }
+
+    concretize::Concretizer c(repo, opts);
+    for (const auto& s : cache) c.add_reusable(s);
+
+    std::vector<concretize::Request> requests;
+    requests.reserve(roots.size());
+    for (const std::string& root : roots) {
+      concretize::Request r(root);
+      r.forbidden = forbidden;
+      requests.push_back(std::move(r));
+    }
+
+    std::printf("splice_explain: %zu root(s), encoding=%s, splicing=%s, "
+                "cache=%zu node specs\n\n",
+                roots.size(), direct ? "direct" : "indirect",
+                enable_splicing ? "on" : "off",
+                workload::distinct_nodes(cache));
+
+    // A solvable request set gets the splice report (when splicing is on);
+    // an unsolvable one gets the unsat core.  explain_splice doubles as the
+    // satisfiability probe so the two paths share one solve.
+    json::Value doc;
+    if (enable_splicing) {
+      concretize::SpliceDiagnosis splice_diag = c.explain_splice(requests);
+      if (splice_diag.sat) {
+        std::fputs(splice_diag.text().c_str(), stdout);
+        doc = splice_diag.to_json();
+      }
+      if (!splice_diag.sat) {
+        asp::ExplainOptions eopts;
+        eopts.minimize = minimize;
+        concretize::UnsatDiagnosis unsat_diag = c.explain_unsat(requests, eopts);
+        std::fputs(unsat_diag.text().c_str(), stdout);
+        doc = unsat_diag.to_json();
+      }
+    } else {
+      asp::ExplainOptions eopts;
+      eopts.minimize = minimize;
+      concretize::UnsatDiagnosis unsat_diag = c.explain_unsat(requests, eopts);
+      std::fputs(unsat_diag.text().c_str(), stdout);
+      doc = unsat_diag.to_json();
+    }
+
+    if (!json_path.empty()) {
+      if (!write_json(json_path, doc)) {
+        std::fprintf(stderr, "splice_explain: cannot write %s\n",
+                     json_path.c_str());
+        return 1;
+      }
+      std::printf("\nsplice_explain: wrote %s\n", json_path.c_str());
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "splice_explain: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,7 +1,8 @@
-// trace_check: structural validator for the three JSON formats this repo
-// emits — Chrome trace-event files (splice_trace / SPLICE_TRACE), stats
-// files (schema "splice-stats-v1"), and bench result files (schema
-// "splice-bench-v1").  CI runs it over the artifacts a workload resolution
+// trace_check: structural validator for the JSON formats this repo emits —
+// Chrome trace-event files (splice_trace / SPLICE_TRACE), stats files
+// (schema "splice-stats-v1"), bench result files (schema "splice-bench-v1"),
+// and explanation documents (schema "splice-explain-v1", from
+// splice_explain).  CI runs it over the artifacts a workload resolution
 // produces; exit 0 means every file validated.
 //
 // usage: trace_check FILE...
@@ -164,6 +165,140 @@ void check_bench(const std::string& file, const Value& doc) {
   }
 }
 
+bool require_bool(const std::string& file, const Value& obj, const char* key,
+                  const std::string& ctx) {
+  const Value* v = obj.find(key);
+  if (v == nullptr || !v->is_bool()) {
+    fail(file, ctx + ": missing boolean \"" + key + "\"");
+    return false;
+  }
+  return true;
+}
+
+bool require_string(const std::string& file, const Value& obj, const char* key,
+                    const std::string& ctx) {
+  const Value* v = obj.find(key);
+  if (v == nullptr || !v->is_string()) {
+    fail(file, ctx + ": missing string \"" + key + "\"");
+    return false;
+  }
+  return true;
+}
+
+/// {"schema": "splice-explain-v1", "mode": "unsat"|"splice",
+///  "requests": [str], "explanation": {...mode-specific...}}
+void check_explain(const std::string& file, const Value& doc) {
+  int before = errors;
+  const Value* mode = doc.find("mode");
+  std::string m = mode != nullptr && mode->is_string() ? mode->as_string() : "";
+  if (m != "unsat" && m != "splice") {
+    fail(file, "mode must be \"unsat\" or \"splice\", got \"" + m + "\"");
+    return;
+  }
+  const Value* reqs = doc.find("requests");
+  if (reqs == nullptr || !reqs->is_array()) {
+    fail(file, "no \"requests\" array");
+  } else {
+    std::size_t i = 0;
+    for (const Value& r : reqs->as_array()) {
+      if (!r.is_string()) {
+        fail(file, "requests[" + std::to_string(i) + "]: not a string");
+      }
+      ++i;
+    }
+  }
+  const Value* ex = doc.find("explanation");
+  if (ex == nullptr || !ex->is_object()) {
+    fail(file, "no \"explanation\" object");
+    return;
+  }
+  require_bool(file, *ex, "sat", "explanation");
+  if (m == "unsat") {
+    require_bool(file, *ex, "unconditional", "explanation");
+    const Value* core = ex->find("core");
+    if (core == nullptr || !core->is_array()) {
+      fail(file, "explanation: no \"core\" array");
+    } else {
+      std::size_t i = 0;
+      for (const Value& cc : core->as_array()) {
+        std::string ctx = "core[" + std::to_string(i++) + "]";
+        if (!cc.is_object()) {
+          fail(file, ctx + ": not an object");
+          continue;
+        }
+        require_string(file, cc, "kind", ctx);
+        require_number(file, cc, "ground_index", ctx);
+        require_string(file, cc, "constraint", ctx);
+        const Value* pkgs = cc.find("packages");
+        if (pkgs == nullptr || !pkgs->is_array()) {
+          fail(file, ctx + ": no \"packages\" array");
+        }
+        const Value* src = cc.find("source");
+        if (src == nullptr || !src->is_object()) {
+          fail(file, ctx + ": no \"source\" object");
+        } else if (require_bool(file, *src, "known", ctx + "/source") &&
+                   src->find("known")->as_bool()) {
+          require_string(file, *src, "rule", ctx + "/source");
+          require_number(file, *src, "rule_index", ctx + "/source");
+          require_number(file, *src, "line", ctx + "/source");
+          require_number(file, *src, "col", ctx + "/source");
+        }
+      }
+    }
+    const Value* stats = ex->find("stats");
+    if (stats == nullptr || !stats->is_object()) {
+      fail(file, "explanation: no \"stats\" object");
+    } else {
+      for (const char* field : {"guarded_constraints", "core_initial",
+                                "core_minimized", "minimize_solves"}) {
+        require_number(file, *stats, field, "explanation/stats");
+      }
+    }
+  } else {
+    require_number(file, *ex, "executed", "explanation");
+    const Value* cands = ex->find("candidates");
+    if (cands == nullptr || !cands->is_array()) {
+      fail(file, "explanation: no \"candidates\" array");
+    } else {
+      std::size_t i = 0;
+      for (const Value& c : cands->as_array()) {
+        std::string ctx = "candidates[" + std::to_string(i++) + "]";
+        if (!c.is_object()) {
+          fail(file, ctx + ": not an object");
+          continue;
+        }
+        for (const char* field : {"parent", "parent_hash", "dependency",
+                                  "dependency_hash", "replacement", "verdict",
+                                  "directive"}) {
+          require_string(file, c, field, ctx);
+        }
+        for (const char* field : {"can_splice_held", "parent_reused",
+                                  "spliced_away", "chosen"}) {
+          require_bool(file, c, field, ctx);
+        }
+      }
+    }
+    const Value* costs = ex->find("costs");
+    if (costs == nullptr || !costs->is_array()) {
+      fail(file, "explanation: no \"costs\" array");
+    } else {
+      std::size_t i = 0;
+      for (const Value& e : costs->as_array()) {
+        std::string ctx = "costs[" + std::to_string(i++) + "]";
+        if (!e.is_object()) {
+          fail(file, ctx + ": not an object");
+          continue;
+        }
+        require_number(file, e, "priority", ctx);
+        require_number(file, e, "cost", ctx);
+      }
+    }
+  }
+  if (errors == before) {
+    std::printf("trace_check: %s: explain (%s) OK\n", file.c_str(), m.c_str());
+  }
+}
+
 void check_file(const std::string& file) {
   std::ifstream in(file);
   if (!in) {
@@ -194,6 +329,8 @@ void check_file(const std::string& file) {
     check_stats(file, doc);
   } else if (name == "splice-bench-v1") {
     check_bench(file, doc);
+  } else if (name == "splice-explain-v1") {
+    check_explain(file, doc);
   } else {
     fail(file, "unrecognized document (no traceEvents, schema=\"" + name +
                    "\")");
