@@ -7,22 +7,48 @@
 
 namespace splice::repo {
 
+namespace {
+
+std::string basename_of(const char* path) {
+  std::string_view p = path == nullptr ? std::string_view() : path;
+  std::size_t slash = p.find_last_of("/\\");
+  if (slash != std::string_view::npos) p.remove_prefix(slash + 1);
+  return std::string(p);
+}
+
+}  // namespace
+
+std::string DirectiveLoc::str() const {
+  if (known()) return file + ":" + std::to_string(line);
+  return "#" + std::to_string(index);
+}
+
 PackageDef::PackageDef(std::string_view name) : name_(name) {
   if (!is_identifier(name)) {
     throw PackageError("invalid package name: '" + std::string(name) + "'");
   }
 }
 
-PackageDef& PackageDef::version(std::string_view v, bool deprecated) {
+DirectiveLoc PackageDef::next_loc(const std::source_location& site) {
+  DirectiveLoc loc;
+  loc.file = basename_of(site.file_name());
+  loc.line = site.line();
+  loc.index = next_directive_++;
+  return loc;
+}
+
+PackageDef& PackageDef::version(std::string_view v, bool deprecated,
+                                std::source_location site) {
   spec::Version parsed = spec::Version::parse(v);
   if (declares_version(parsed)) {
     throw PackageError(name_ + ": duplicate version " + std::string(v));
   }
-  versions_.push_back({std::move(parsed), deprecated});
+  versions_.push_back({std::move(parsed), deprecated, next_loc(site)});
   return *this;
 }
 
-PackageDef& PackageDef::variant(std::string_view name, bool default_on) {
+PackageDef& PackageDef::variant(std::string_view name, bool default_on,
+                                std::source_location site) {
   if (find_variant(name) != nullptr) {
     throw PackageError(name_ + ": duplicate variant " + std::string(name));
   }
@@ -30,13 +56,15 @@ PackageDef& PackageDef::variant(std::string_view name, bool default_on) {
   d.name = std::string(name);
   d.default_value = default_on ? "true" : "false";
   d.boolean = true;
+  d.loc = next_loc(site);
   variants_.push_back(std::move(d));
   return *this;
 }
 
 PackageDef& PackageDef::variant(std::string_view name,
                                 std::string_view default_value,
-                                std::vector<std::string> allowed) {
+                                std::vector<std::string> allowed,
+                                std::source_location site) {
   if (find_variant(name) != nullptr) {
     throw PackageError(name_ + ": duplicate variant " + std::string(name));
   }
@@ -45,6 +73,7 @@ PackageDef& PackageDef::variant(std::string_view name,
   d.default_value = std::string(default_value);
   d.allowed = std::move(allowed);
   d.boolean = false;
+  d.loc = next_loc(site);
   if (std::find(d.allowed.begin(), d.allowed.end(), d.default_value) ==
       d.allowed.end()) {
     throw PackageError(name_ + ": variant " + d.name + " default '" +
@@ -55,7 +84,8 @@ PackageDef& PackageDef::variant(std::string_view name,
 }
 
 PackageDef& PackageDef::depends_on(std::string_view spec_text,
-                                   std::string_view when, spec::DepType type) {
+                                   std::string_view when, spec::DepType type,
+                                   std::source_location site) {
   DependencyDecl d;
   d.target = spec::Spec::parse(spec_text);
   if (d.target.root().name == name_) {
@@ -63,41 +93,49 @@ PackageDef& PackageDef::depends_on(std::string_view spec_text,
   }
   if (!when.empty()) d.when = parse_when(when);
   d.type = type;
+  d.loc = next_loc(site);
   deps_.push_back(std::move(d));
   return *this;
 }
 
 PackageDef& PackageDef::depends_on_build(std::string_view spec_text,
-                                         std::string_view when) {
-  return depends_on(spec_text, when, spec::DepType::Build);
+                                         std::string_view when,
+                                         std::source_location site) {
+  return depends_on(spec_text, when, spec::DepType::Build, site);
 }
 
 PackageDef& PackageDef::provides(std::string_view virtual_name,
-                                 std::string_view when) {
+                                 std::string_view when,
+                                 std::source_location site) {
   ProvidesDecl d;
   d.virtual_name = std::string(virtual_name);
   if (!is_identifier(d.virtual_name)) {
     throw PackageError(name_ + ": invalid virtual name '" + d.virtual_name + "'");
   }
   if (!when.empty()) d.when = parse_when(when);
+  d.loc = next_loc(site);
   provides_.push_back(std::move(d));
   return *this;
 }
 
 PackageDef& PackageDef::conflicts(std::string_view spec_text,
-                                  std::string_view when) {
+                                  std::string_view when,
+                                  std::source_location site) {
   ConditionalSpec c;
   c.target = spec::Spec::parse(spec_text);
   if (!when.empty()) c.when = parse_when(when);
+  c.loc = next_loc(site);
   conflicts_.push_back(std::move(c));
   return *this;
 }
 
 PackageDef& PackageDef::can_splice(std::string_view target,
-                                   std::string_view when) {
+                                   std::string_view when,
+                                   std::source_location site) {
   CanSpliceDecl d;
   d.target = spec::Spec::parse(target);
   if (!when.empty()) d.when = parse_when(when);
+  d.loc = next_loc(site);
   splices_.push_back(std::move(d));
   return *this;
 }
@@ -118,7 +156,15 @@ bool PackageDef::declares_version(const spec::Version& v) const {
 
 spec::Spec PackageDef::parse_when(std::string_view text) const {
   std::string_view trimmed = trim(text);
-  if (trimmed.empty()) return spec::Spec::make(name_);
+  if (trimmed.empty()) {
+    if (!text.empty()) {
+      // A non-empty when= that trims to nothing used to silently become the
+      // always-true condition — hiding the typo it almost certainly is.
+      throw PackageError(name_ + ": when= condition is blank ('" +
+                         std::string(text) + "'); omit it instead");
+    }
+    return spec::Spec::make(name_);
+  }
   char c = trimmed[0];
   if (c == '@' || c == '+' || c == '~' || c == '%' || c == '^') {
     // Anonymous constraint on this package itself.

@@ -18,9 +18,15 @@
 //
 // Every directive takes an optional `when` spec constraining when it
 // applies, exactly like the DSL's `when=` argument.
+//
+// Each directive records a DirectiveLoc — the builder call site captured via
+// std::source_location plus a synthetic per-package declaration index — so
+// static-audit findings (src/analysis) point at the offending line.
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <source_location>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -29,11 +35,26 @@
 
 namespace splice::repo {
 
+/// Where a directive was declared: the fluent-builder call site (file
+/// basename and line) plus a synthetic declaration index, 0-based in
+/// directive order within the package.  The index is always present; the
+/// file/line pair depends on the compiler's std::source_location support.
+struct DirectiveLoc {
+  std::string file;         ///< basename of the declaring file; "" unknown
+  std::uint32_t line = 0;   ///< 1-based; 0 when unknown
+  std::uint32_t index = 0;  ///< declaration order within the package
+
+  bool known() const { return line > 0; }
+  /// "file:line" when known, "#index" otherwise.
+  std::string str() const;
+};
+
 /// A declared version, in declaration (preference) order.
 struct VersionDecl {
   spec::Version version;
   /// Deprecated versions are never chosen unless explicitly requested.
   bool deprecated = false;
+  DirectiveLoc loc;
 };
 
 /// A declared variant with its default.
@@ -42,6 +63,7 @@ struct VariantDecl {
   std::string default_value;           // "true"/"false" for boolean variants
   std::vector<std::string> allowed;    // non-empty for valued variants
   bool boolean = true;
+  DirectiveLoc loc;
 };
 
 /// A conditional directive body: `target` applies when the package
@@ -49,6 +71,7 @@ struct VariantDecl {
 struct ConditionalSpec {
   spec::Spec target;
   std::optional<spec::Spec> when;
+  DirectiveLoc loc;
 };
 
 /// A conditional dependency, additionally typed build or link-run.
@@ -56,12 +79,14 @@ struct DependencyDecl {
   spec::Spec target;
   std::optional<spec::Spec> when;
   spec::DepType type = spec::DepType::Link;
+  DirectiveLoc loc;
 };
 
 /// `provides("mpi")`: this package implements the named virtual interface.
 struct ProvidesDecl {
   std::string virtual_name;
   std::optional<spec::Spec> when;
+  DirectiveLoc loc;
 };
 
 /// The paper's can_splice directive (§5.2): configurations of this package
@@ -72,6 +97,7 @@ struct ProvidesDecl {
 struct CanSpliceDecl {
   spec::Spec target;
   std::optional<spec::Spec> when;
+  DirectiveLoc loc;
 };
 
 class PackageDef {
@@ -79,17 +105,34 @@ class PackageDef {
   explicit PackageDef(std::string_view name);
 
   // ---- directives (fluent, mirroring the Python DSL) ----
-  PackageDef& version(std::string_view v, bool deprecated = false);
-  PackageDef& variant(std::string_view name, bool default_on);
-  PackageDef& variant(std::string_view name, std::string_view default_value,
-                      std::vector<std::string> allowed);
-  PackageDef& depends_on(std::string_view spec_text, std::string_view when = "",
-                         spec::DepType type = spec::DepType::Link);
-  PackageDef& depends_on_build(std::string_view spec_text,
-                               std::string_view when = "");
-  PackageDef& provides(std::string_view virtual_name, std::string_view when = "");
-  PackageDef& conflicts(std::string_view spec_text, std::string_view when = "");
-  PackageDef& can_splice(std::string_view target, std::string_view when = "");
+  // The trailing std::source_location defaults capture the caller's
+  // file:line into each directive's DirectiveLoc.
+  PackageDef& version(
+      std::string_view v, bool deprecated = false,
+      std::source_location site = std::source_location::current());
+  PackageDef& variant(
+      std::string_view name, bool default_on,
+      std::source_location site = std::source_location::current());
+  PackageDef& variant(
+      std::string_view name, std::string_view default_value,
+      std::vector<std::string> allowed,
+      std::source_location site = std::source_location::current());
+  PackageDef& depends_on(
+      std::string_view spec_text, std::string_view when = "",
+      spec::DepType type = spec::DepType::Link,
+      std::source_location site = std::source_location::current());
+  PackageDef& depends_on_build(
+      std::string_view spec_text, std::string_view when = "",
+      std::source_location site = std::source_location::current());
+  PackageDef& provides(
+      std::string_view virtual_name, std::string_view when = "",
+      std::source_location site = std::source_location::current());
+  PackageDef& conflicts(
+      std::string_view spec_text, std::string_view when = "",
+      std::source_location site = std::source_location::current());
+  PackageDef& can_splice(
+      std::string_view target, std::string_view when = "",
+      std::source_location site = std::source_location::current());
 
   // ---- accessors ----
   const std::string& name() const { return name_; }
@@ -104,11 +147,19 @@ class PackageDef {
   bool declares_version(const spec::Version& v) const;
 
   /// Parse a `when=` argument: spec syntax that may omit the package name
-  /// ("@1.1.0+bzip" constrains this package itself).
+  /// ("@1.1.0+bzip" constrains this package itself).  Throws PackageError on
+  /// whitespace-only text: a condition that silently parsed to "always
+  /// true" is a bug in the package, not a vacuous constraint.
   spec::Spec parse_when(std::string_view text) const;
 
+  /// Directives declared so far, across every directive kind.
+  std::uint32_t num_directives() const { return next_directive_; }
+
  private:
+  DirectiveLoc next_loc(const std::source_location& site);
+
   std::string name_;
+  std::uint32_t next_directive_ = 0;
   std::vector<VersionDecl> versions_;
   std::vector<VariantDecl> variants_;
   std::vector<DependencyDecl> deps_;

@@ -32,6 +32,9 @@ class Repository {
   /// Names of packages providing a virtual, in registration order.
   std::vector<std::string> providers(std::string_view virtual_name) const;
 
+  /// All declared virtual names, in declaration order.
+  const std::vector<std::string>& virtual_names() const { return virtuals_; }
+
   /// All package names in registration order.
   const std::vector<std::string>& package_names() const { return order_; }
   std::size_t size() const { return order_.size(); }

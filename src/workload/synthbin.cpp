@@ -1,0 +1,31 @@
+#include "src/workload/synthbin.hpp"
+
+namespace splice::workload {
+
+std::vector<SurfaceBinary> synthetic_surface_binaries(
+    const repo::Repository& repo,
+    std::function<std::string(const std::string&)> surface_of,
+    const std::string& os, const std::string& target) {
+  if (!surface_of) surface_of = [](const std::string& name) { return name; };
+  std::vector<SurfaceBinary> out;
+  for (const std::string& name : repo.package_names()) {
+    const repo::PackageDef& pkg = repo.get(name);
+    for (const repo::VersionDecl& v : pkg.versions()) {
+      spec::Spec s = spec::Spec::parse(name + "@=" + v.version.str() +
+                                       " os=" + os + " target=" + target);
+      s.finalize_concrete();
+
+      binary::MockBinary bin;
+      bin.name = name;
+      bin.version = v.version.str();
+      bin.hash = s.dag_hash();
+      bin.soname = "/synth/" + name + "/lib/lib" + name + ".so";
+      bin.exports = binary::abi_symbols(surface_of(name));
+      bin.code = "synthetic";
+      out.emplace_back(std::move(s), std::move(bin));
+    }
+  }
+  return out;
+}
+
+}  // namespace splice::workload

@@ -1,0 +1,36 @@
+// Synthetic ABI surfaces for repository auditing.
+//
+// The splice-safety checks of analysis::RepoAuditor need binaries to compare
+// symbol surfaces against can_splice claims.  CI audits the RADIUSS workload
+// repo without building anything, so this module synthesizes the surface
+// model the Installer would produce: one mock binary per (package, declared
+// version), exporting the symbols of the package's ABI surface (providers of
+// the same virtual share a surface — see binary::abi_symbols and
+// workload::radiuss_abi_surface).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/binary/mockbin.hpp"
+#include "src/repo/repository.hpp"
+#include "src/spec/spec.hpp"
+
+namespace splice::workload {
+
+/// One synthetic binary and the concrete single-node spec describing it.
+using SurfaceBinary = std::pair<spec::Spec, binary::MockBinary>;
+
+/// Synthesize one binary per (package, declared version) of `repo`.
+/// `surface_of` maps a package name to its ABI surface string (defaults to
+/// the package name itself, i.e. each package has a private surface).
+/// Deterministic: packages in registration order, versions in declaration
+/// order.
+std::vector<SurfaceBinary> synthetic_surface_binaries(
+    const repo::Repository& repo,
+    std::function<std::string(const std::string&)> surface_of = {},
+    const std::string& os = "linux", const std::string& target = "x86_64");
+
+}  // namespace splice::workload

@@ -150,5 +150,79 @@ TEST(Discovery, RejectsAbstractSpecs) {
                splice::Error);
 }
 
+TEST(CompareExports, EmptySurfaces) {
+  // An empty surface is covered by anything, covers nothing non-empty, and
+  // two empty surfaces are (vacuously) identical.
+  MockBinary empty = bin_with_exports("stub", {});
+  MockBinary full = bin_with_exports("full", {"f"});
+  AbiComparison cmp = compare_exports(full, empty);
+  EXPECT_TRUE(cmp.a_covers_b());
+  EXPECT_FALSE(cmp.b_covers_a());
+  EXPECT_TRUE(cmp.shared.empty());
+  EXPECT_TRUE(compare_exports(empty, empty).identical());
+}
+
+TEST(Discovery, EmptySurfaceNeverSuggested) {
+  // With no shared symbols there is no evidence of compatibility: a stub
+  // that exports nothing must not be suggested in either direction.
+  AbiDiscovery d;
+  d.add_binary(concrete_node("stub", "1.0"), bin_with_exports("stub", {}));
+  d.add_binary(concrete_node("lib", "1.0"), bin_with_exports("lib", {"f"}));
+  EXPECT_TRUE(d.suggest().empty());
+}
+
+TEST(Discovery, SymbolPresentInTargetOnly) {
+  // The replacement misses one symbol the target provides: replacing the
+  // target would break its dependents, so only the reverse direction (the
+  // superset replacing the subset) may be suggested.
+  AbiDiscovery d;
+  d.add_binary(concrete_node("partial", "1.0"),
+               bin_with_exports("partial", {"f"}));
+  d.add_binary(concrete_node("target", "1.0"),
+               bin_with_exports("target", {"f", "only_in_target"}));
+  auto s = d.suggest();
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0].replacement_package, "target");
+  EXPECT_EQ(s[0].target, "partial@1.0");
+}
+
+TEST(Discovery, VersionedSymbolRenameBreaksCoverage) {
+  // Versioned symbols compare as opaque strings: foo@v1 and foo@v2 are
+  // distinct exports, so an soname-style version bump of every symbol
+  // yields no coverage in either direction despite identical base names.
+  MockBinary v1 = bin_with_exports("lib", {"bar@v1", "foo@v1"});
+  MockBinary v2 = bin_with_exports("lib", {"bar@v2", "foo@v2"});
+  AbiComparison cmp = compare_exports(v1, v2);
+  EXPECT_TRUE(cmp.shared.empty());
+  EXPECT_FALSE(cmp.a_covers_b());
+  EXPECT_FALSE(cmp.b_covers_a());
+
+  AbiDiscovery d;
+  d.add_binary(concrete_node("liba", "1.0"), v1);
+  d.add_binary(concrete_node("libb", "2.0"), v2);
+  EXPECT_TRUE(d.suggest().empty());
+}
+
+TEST(Discovery, BuildcacheIndexOnlyEntriesSkipped) {
+  // Index-only entries (spec metadata without an artifact, the public
+  // Spack cache shape) have no symbol surface and must be skipped.
+  auto root = fs::temp_directory_path() /
+              ("splice-abi-cache-" + std::to_string(::getpid()));
+  fs::remove_all(root);
+  {
+    binary::BuildCache cache{root};
+    Spec with_blob = concrete_node("zlib", "1.3.1");
+    Spec index_only = concrete_node("zlib", "1.2.13");
+    cache.push(with_blob,
+               bin_with_exports("zlib", binary::abi_symbols("zlib")).serialize());
+    cache.push(index_only, "");  // no binary payload
+    AbiDiscovery d;
+    d.scan_buildcache(cache);
+    EXPECT_EQ(d.num_binaries(), 1u);
+    EXPECT_TRUE(d.suggest().empty());  // the lone binary has no peer
+  }
+  fs::remove_all(root);
+}
+
 }  // namespace
 }  // namespace splice::abi

@@ -134,6 +134,60 @@ TEST(Repository, ValidatePassesOnConsistentRepo) {
   EXPECT_NO_THROW(repo.validate());
 }
 
+TEST(Package, DirectivesRecordSourceLocations) {
+  PackageDef p = PackageDef("pkg")
+                     .version("1.0")
+                     .variant("opt", false)
+                     .depends_on("zlib")
+                     .provides("virt")
+                     .conflicts("zlib@2:")
+                     .can_splice("other@1.0");
+  // Every directive captured its call site: this file, a positive line,
+  // and a declaration-order index spanning all directive kinds.
+  const DirectiveLoc* locs[] = {&p.versions()[0].loc,     &p.variants()[0].loc,
+                                &p.dependencies()[0].loc, &p.provided()[0].loc,
+                                &p.conflicts_list()[0].loc,
+                                &p.splices()[0].loc};
+  std::uint32_t index = 0;
+  std::uint32_t prev_line = 0;
+  for (const DirectiveLoc* loc : locs) {
+    EXPECT_TRUE(loc->known());
+    EXPECT_EQ(loc->file, "repo_test.cpp");
+    EXPECT_GT(loc->line, prev_line);  // fluent chain: strictly increasing
+    EXPECT_EQ(loc->index, index++);
+    prev_line = loc->line;
+  }
+  EXPECT_EQ(p.num_directives(), 6u);
+  EXPECT_EQ(p.versions()[0].loc.str(),
+            "repo_test.cpp:" + std::to_string(p.versions()[0].loc.line));
+}
+
+TEST(Package, UnknownDirectiveLocRendersAsIndex) {
+  DirectiveLoc loc;
+  loc.index = 3;
+  EXPECT_FALSE(loc.known());
+  EXPECT_EQ(loc.str(), "#3");
+}
+
+TEST(Package, BlankWhenConditionRejected) {
+  // A whitespace-only when= used to silently become an always-true
+  // condition; it now raises instead of dropping the author's intent.
+  EXPECT_THROW(PackageDef("p").version("1.0").depends_on("zlib", "  "),
+               PackageError);
+  EXPECT_THROW(PackageDef("p").version("1.0").conflicts("zlib", "\t"),
+               PackageError);
+  // The empty string still means "unconditional", as before.
+  EXPECT_NO_THROW(PackageDef("p").version("1.0").depends_on("zlib", ""));
+}
+
+TEST(Repository, VirtualNamesAccessor) {
+  Repository repo;
+  repo.declare_virtual("blas");
+  repo.add(PackageDef("mpich").version("3.4").provides("mpi"));
+  EXPECT_EQ(repo.virtual_names(),
+            (std::vector<std::string>{"blas", "mpi"}));
+}
+
 TEST(Repository, LookupApi) {
   Repository repo;
   repo.add(PackageDef("zlib").version("1.2"));

@@ -1,0 +1,137 @@
+// repo_audit: whole-repository static auditor CLI.
+//
+// Runs analysis::RepoAuditor over the built-in RADIUSS workload repository:
+// constraint checks (unsatisfiable when= conditions, contradictory sibling
+// deps), virtual/provider graph checks, splice-safety checks of every
+// can_splice directive against binary symbol surfaces, and the concretizer
+// encoding cross-check (asp::analyze over each package's compiled program).
+// No solving happens; the audit is strictly offline.
+//
+//   repo_audit                          # audit RADIUSS, synthetic surfaces
+//   repo_audit --cache /path/to/cache   # audit against real cached binaries
+//   repo_audit --werror --json out.json # CI mode: fail on warnings, emit
+//                                       # the repo-audit-v1 artifact
+//
+// Exit status: 0 clean (infos allowed), 1 errors found (or warnings with
+// --werror), 2 usage or audit failure.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/audit.hpp"
+#include "src/binary/buildcache.hpp"
+#include "src/support/error.hpp"
+#include "src/workload/radiuss.hpp"
+#include "src/workload/synthbin.hpp"
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: repo_audit [options]
+
+Statically audits the RADIUSS workload package repository: constraint,
+provider, splice-safety and encoding checks.  See DESIGN.md §11 for the
+check-ID taxonomy and severity policy.
+
+options:
+  --replicas N     add N mpiabi replica packages (the RQ4 scaling shape)
+  --cache DIR      scan buildcache DIR for splice-safety binaries
+                   (repeatable; adds to the synthetic surfaces)
+  --no-synth       do not synthesize per-package surface binaries
+  --no-splice      skip the splice-safety check group
+  --no-encoding    skip the concretizer encoding cross-check
+  --same-package   also report same-package version-splice suggestions
+  --json FILE      write the repo-audit-v1 JSON document to FILE
+  --quiet          print only the summary line
+  --werror         exit 1 on warnings too
+  -h, --help       this message
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t replicas = 0;
+  std::vector<std::string> cache_dirs;
+  std::string json_path;
+  bool synth = true;
+  bool quiet = false;
+  bool werror = false;
+  splice::analysis::AuditOptions opts;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "repo_audit: " << flag << " needs an argument\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "-h" || arg == "--help") {
+      std::cout << kUsage;
+      return 0;
+    } else if (arg == "--replicas") {
+      replicas = std::stoul(value("--replicas"));
+    } else if (arg == "--cache") {
+      cache_dirs.push_back(value("--cache"));
+    } else if (arg == "--no-synth") {
+      synth = false;
+    } else if (arg == "--no-splice") {
+      opts.splice_checks = false;
+    } else if (arg == "--no-encoding") {
+      opts.encoding_checks = false;
+    } else if (arg == "--same-package") {
+      opts.suggest_same_package = true;
+    } else if (arg == "--json") {
+      json_path = value("--json");
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--werror") {
+      werror = true;
+    } else {
+      std::cerr << "repo_audit: unknown option '" << arg << "'\n" << kUsage;
+      return 2;
+    }
+  }
+
+  try {
+    splice::repo::Repository repo = splice::workload::radiuss_repo(replicas);
+    splice::analysis::RepoAuditor auditor(repo, opts);
+    if (opts.splice_checks && synth) {
+      for (auto& [spec, bin] : splice::workload::synthetic_surface_binaries(
+               repo, splice::workload::radiuss_abi_surface)) {
+        auditor.add_binary(spec, std::move(bin));
+      }
+    }
+    for (const std::string& dir : cache_dirs) {
+      splice::binary::BuildCache cache{std::filesystem::path(dir)};
+      auditor.scan_buildcache(cache);
+    }
+
+    splice::analysis::AuditReport report = auditor.run();
+    if (quiet) {
+      std::string text = report.str();
+      std::size_t last = text.find_last_of('\n', text.size() - 2);
+      std::cout << (last == std::string::npos ? text : text.substr(last + 1));
+    } else {
+      std::cout << report.str();
+    }
+
+    if (!json_path.empty()) {
+      std::ofstream out(json_path);
+      if (!out) {
+        std::cerr << "repo_audit: cannot write '" << json_path << "'\n";
+        return 2;
+      }
+      out << report.to_json().dump_pretty() << "\n";
+    }
+
+    using splice::analysis::Severity;
+    if (report.has_errors()) return 1;
+    if (werror && report.count(Severity::Warning) > 0) return 1;
+    return 0;
+  } catch (const splice::Error& e) {
+    std::cerr << "repo_audit: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,9 +1,10 @@
 // trace_check: structural validator for the JSON formats this repo emits —
 // Chrome trace-event files (splice_trace / SPLICE_TRACE), stats files
 // (schema "splice-stats-v1"), bench result files (schema "splice-bench-v1"),
-// and explanation documents (schema "splice-explain-v1", from
-// splice_explain).  CI runs it over the artifacts a workload resolution
-// produces; exit 0 means every file validated.
+// explanation documents (schema "splice-explain-v1", from splice_explain),
+// and repository audit reports (schema "repo-audit-v1", from repo_audit).
+// CI runs it over the artifacts a workload resolution produces; exit 0 means
+// every file validated.
 //
 // usage: trace_check FILE...
 #include <cstdio>
@@ -299,6 +300,94 @@ void check_explain(const std::string& file, const Value& doc) {
   }
 }
 
+/// {"schema": "repo-audit-v1", "repo": {...counts...},
+///  "summary": {errors, warnings, infos, clean},
+///  "findings": [{id, severity, package, directive, message, source,
+///                related}]}
+void check_repo_audit(const std::string& file, const Value& doc) {
+  int before = errors;
+  const Value* repo = doc.find("repo");
+  if (repo == nullptr || !repo->is_object()) {
+    fail(file, "no \"repo\" object");
+  } else {
+    for (const char* field : {"packages", "virtuals", "splice_directives",
+                              "binaries", "encoding_programs"}) {
+      require_number(file, *repo, field, "repo");
+    }
+  }
+  const Value* summary = doc.find("summary");
+  std::int64_t declared_errors = -1;
+  if (summary == nullptr || !summary->is_object()) {
+    fail(file, "no \"summary\" object");
+  } else {
+    for (const char* field : {"errors", "warnings", "infos"}) {
+      require_number(file, *summary, field, "summary");
+    }
+    require_bool(file, *summary, "clean", "summary");
+    const Value* e = summary->find("errors");
+    if (e != nullptr && e->is_int()) declared_errors = e->as_int();
+  }
+  const Value* findings = doc.find("findings");
+  if (findings == nullptr || !findings->is_array()) {
+    fail(file, "no \"findings\" array");
+    return;
+  }
+  std::int64_t counted_errors = 0;
+  std::size_t i = 0;
+  for (const Value& f : findings->as_array()) {
+    std::string ctx = "findings[" + std::to_string(i++) + "]";
+    if (!f.is_object()) {
+      fail(file, ctx + ": not an object");
+      continue;
+    }
+    for (const char* field : {"id", "package", "directive", "message"}) {
+      require_string(file, f, field, ctx);
+    }
+    const Value* sev = f.find("severity");
+    if (sev == nullptr || !sev->is_string()) {
+      fail(file, ctx + ": missing string \"severity\"");
+    } else {
+      const std::string& s = sev->as_string();
+      if (s != "error" && s != "warning" && s != "info") {
+        fail(file, ctx + ": severity \"" + s +
+                       "\" not one of error/warning/info");
+      }
+      if (s == "error") ++counted_errors;
+    }
+    const Value* src = f.find("source");
+    if (src == nullptr || !src->is_object()) {
+      fail(file, ctx + ": no \"source\" object");
+    } else if (require_bool(file, *src, "known", ctx + "/source")) {
+      require_number(file, *src, "index", ctx + "/source");
+      if (src->find("known")->as_bool()) {
+        require_string(file, *src, "file", ctx + "/source");
+        require_number(file, *src, "line", ctx + "/source");
+      }
+    }
+    const Value* related = f.find("related");
+    if (related == nullptr || !related->is_array()) {
+      fail(file, ctx + ": no \"related\" array");
+    } else {
+      std::size_t j = 0;
+      for (const Value& r : related->as_array()) {
+        if (!r.is_string()) {
+          fail(file, ctx + "/related[" + std::to_string(j) + "]: not a string");
+        }
+        ++j;
+      }
+    }
+  }
+  if (declared_errors >= 0 && declared_errors != counted_errors) {
+    fail(file, "summary says " + std::to_string(declared_errors) +
+                   " error(s) but findings contain " +
+                   std::to_string(counted_errors));
+  }
+  if (errors == before) {
+    std::printf("trace_check: %s: repo audit OK (%zu findings)\n", file.c_str(),
+                findings->as_array().size());
+  }
+}
+
 void check_file(const std::string& file) {
   std::ifstream in(file);
   if (!in) {
@@ -331,6 +420,8 @@ void check_file(const std::string& file) {
     check_bench(file, doc);
   } else if (name == "splice-explain-v1") {
     check_explain(file, doc);
+  } else if (name == "repo-audit-v1") {
+    check_repo_audit(file, doc);
   } else {
     fail(file, "unrecognized document (no traceEvents, schema=\"" + name +
                    "\")");
