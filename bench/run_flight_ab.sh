@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# Interleaved A/B measurement of the flight recorder's overhead contract:
+# bench_asp_core with the recorder compiled in and enabled at default
+# capacity (-DSPLICE_FLIGHT=ON, the shipped default) versus compiled out
+# (-DSPLICE_FLIGHT=OFF -> SPLICE_FLIGHT_DISABLED, every hook dead code).
+#
+# Methodology (same as bench_logs/TRACING_OVERHEAD.md): both trees build
+# RelWithDebInfo; the two binaries run alternating — off, on, off, on, … —
+# for ROUNDS rounds in the same time window so machine noise hits both
+# sides equally.  Per benchmark the min across rounds is the comparison
+# estimator.  Results land in:
+#   bench_logs/BENCH_asp_core_flight_before.json   (recorder compiled out)
+#   bench_logs/BENCH_asp_core_flight_after.json    (recorder on, default cap)
+# both schema splice-bench-v1, and the per-bench delta table prints at the
+# end.  The contract is an aggregate (sum of mins) delta <= 2%.
+#
+# Usage: bench/run_flight_ab.sh [rounds]
+#   ROUNDS      override round count (default 10)
+#   MIN_TIME    --benchmark_min_time per run (default 0.2)
+#   WORK        scratch directory (default <repo>/build-flight-ab)
+set -euo pipefail
+
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+ROUNDS="${1:-${ROUNDS:-10}}"
+MIN_TIME="${MIN_TIME:-0.2}"
+WORK="${WORK:-$REPO/build-flight-ab}"
+OUT="$REPO/bench_logs"
+
+for side in on off; do
+  flag=$([ "$side" = on ] && echo ON || echo OFF)
+  cmake -B "$WORK/$side" -S "$REPO" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DSPLICE_FLIGHT="$flag" >/dev/null
+  cmake --build "$WORK/$side" -j --target bench_asp_core >/dev/null
+done
+
+# The compiled-out binary must not even contain the recorder singleton's
+# configuration path; sanity-check the macro took effect via the binary.
+if ! SPLICE_BENCH_JSON_DIR="$WORK" \
+     "$WORK/off/bench/bench_asp_core" --benchmark_list_tests >/dev/null; then
+  echo "flight-ab: OFF binary does not run" >&2
+  exit 1
+fi
+
+rm -rf "$WORK/json"
+for r in $(seq 1 "$ROUNDS"); do
+  for side in off on; do
+    mkdir -p "$WORK/json/$side-$r"
+    echo "flight-ab: round $r/$ROUNDS ($side)" >&2
+    SPLICE_BENCH_JSON_DIR="$WORK/json/$side-$r" \
+      "$WORK/$side/bench/bench_asp_core" \
+      --benchmark_min_time="$MIN_TIME" >/dev/null 2>&1
+  done
+done
+
+python3 - "$WORK/json" "$OUT" "$ROUNDS" "$MIN_TIME" <<'EOF'
+import json, math, statistics, sys
+json_dir, out_dir, rounds, min_time = sys.argv[1], sys.argv[2], int(sys.argv[3]), sys.argv[4]
+
+def collect(side):
+    samples = {}
+    for r in range(1, rounds + 1):
+        with open(f"{json_dir}/{side}-{r}/BENCH_asp_core.json") as f:
+            doc = json.load(f)
+        for name, cell in doc["series"]["bench"].items():
+            samples.setdefault(name, []).append(cell["mean_seconds"])
+    return samples
+
+def aggregate(samples):
+    series = {}
+    for name, xs in sorted(samples.items()):
+        xs = sorted(xs)
+        n = len(xs)
+        series[name] = {
+            "n": n,
+            "mean_seconds": statistics.fmean(xs),
+            "stddev_seconds": statistics.stdev(xs) if n > 1 else 0.0,
+            "median_seconds": statistics.median(xs),
+            "p90_seconds": xs[min(n - 1, math.ceil(0.9 * n) - 1)],
+            "min_seconds": xs[0],
+            "max_seconds": xs[-1],
+        }
+    return series
+
+note = (f"{rounds} interleaved runs of bench_asp_core with the flight recorder "
+        "compiled out (-DSPLICE_FLIGHT=OFF, 'before') and compiled in + enabled at "
+        "default capacity ('after'), alternating in the same time window on the "
+        f"same machine (RelWithDebInfo, --benchmark_min_time={min_time}); each "
+        "sample is one run's per-iteration real time.  Compare min_seconds; "
+        "the overhead contract is an aggregate (sum of mins) delta <= 2%.")
+
+sides = {"before": collect("off"), "after": collect("on")}
+for stem, samples in sides.items():
+    doc = {"schema": "splice-bench-v1", "bench": f"asp_core_flight_{stem}",
+           "note": note, "series": {"bench": aggregate(samples)}}
+    path = f"{out_dir}/BENCH_asp_core_flight_{stem}.json"
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"flight-ab: wrote {path}", file=sys.stderr)
+
+before, after = sides["before"], sides["after"]
+print(f"\n{'benchmark':<34} {'off (ns)':>14} {'on (ns)':>14} {'delta':>8}")
+total_b = total_a = 0.0
+for name in sorted(before):
+    b, a = min(before[name]), min(after[name])
+    total_b += b; total_a += a
+    print(f"{name:<34} {b * 1e9:>14.0f} {a * 1e9:>14.0f} "
+          f"{(a - b) / b * 100:>+7.2f}%")
+agg = (total_a - total_b) / total_b * 100
+deltas = sorted((min(after[n]) - min(before[n])) / min(before[n]) * 100
+                for n in before)
+median = statistics.median(deltas)
+print(f"\naggregate (sum of mins): {agg:+.2f}%   median per-bench: {median:+.2f}%")
+sys.exit(0 if agg <= 2.0 else 1)
+EOF

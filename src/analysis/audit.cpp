@@ -9,6 +9,7 @@
 #include "src/asp/analyze.hpp"
 #include "src/concretize/concretizer.hpp"
 #include "src/support/error.hpp"
+#include "src/support/flight.hpp"
 #include "src/support/strings.hpp"
 
 namespace splice::analysis {
@@ -625,13 +626,23 @@ AuditReport RepoAuditor::run() const {
     out.splice_directives += repo_.get(name).splices().size();
   }
 
+  // Each check group runs under its own flight-recorder request so a batch
+  // audit can attribute wall time per group after the fact.
   if (opts_.constraint_checks) {
+    flight::RequestScope req("audit constraint-checks");
+    flight::PhaseScope phase(flight::Phase::Audit);
     for (const std::string& name : repo_.package_names()) {
       check_package(repo_.get(name), out);
     }
   }
-  if (opts_.provider_checks) check_providers(out);
+  if (opts_.provider_checks) {
+    flight::RequestScope req("audit provider-checks");
+    flight::PhaseScope phase(flight::Phase::Audit);
+    check_providers(out);
+  }
   if (opts_.splice_checks && !binaries_.empty()) {
+    flight::RequestScope req("audit splice-safety");
+    flight::PhaseScope phase(flight::Phase::Audit);
     for (const std::string& name : repo_.package_names()) {
       check_splices(repo_.get(name), out);
     }
@@ -640,7 +651,11 @@ AuditReport RepoAuditor::run() const {
   // The encoding cross-check only means something for a repo the
   // repo-level checks accept: compiled facts for a broken repo would
   // re-report the same defects as opaque compiler failures.
-  if (opts_.encoding_checks && !out.has_errors()) check_encoding(out);
+  if (opts_.encoding_checks && !out.has_errors()) {
+    flight::RequestScope req("audit encoding-cross-check");
+    flight::PhaseScope phase(flight::Phase::Audit);
+    check_encoding(out);
+  }
   return out;
 }
 

@@ -7,6 +7,7 @@
 
 #include "src/support/error.hpp"
 #include "src/support/hash.hpp"
+#include "src/support/flight.hpp"
 #include "src/support/trace.hpp"
 
 namespace splice::asp {
@@ -295,6 +296,11 @@ class Grounder {
     span.attr("rules", out.stats.rules);
     span.attr("choices", out.stats.choices);
     span.attr("iterations", out.stats.iterations);
+    flight::Recorder::global().emit(
+        flight::EventKind::GroundDone,
+        static_cast<std::int64_t>(out.stats.possible_atoms),
+        static_cast<std::int64_t>(out.stats.rules), {},
+        flight::Phase::Ground);
     record_predicate_counts();
     return out;
   }

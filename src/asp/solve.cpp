@@ -8,9 +8,28 @@
 #include "src/asp/sat.hpp"
 #include "src/asp/translate.hpp"
 #include "src/support/error.hpp"
+#include "src/support/flight.hpp"
 #include "src/support/trace.hpp"
 
 namespace splice::asp {
+
+namespace {
+
+flight::EventKind flight_kind(SolveEvent::Kind kind) {
+  switch (kind) {
+    case SolveEvent::Kind::SatRestart: return flight::EventKind::SatRestart;
+    case SolveEvent::Kind::SatConflicts:
+      return flight::EventKind::SatConflicts;
+    case SolveEvent::Kind::ModelFound: return flight::EventKind::ModelFound;
+    case SolveEvent::Kind::LoopNogood: return flight::EventKind::LoopNogood;
+    case SolveEvent::Kind::BoundImproved:
+      return flight::EventKind::BoundImproved;
+    case SolveEvent::Kind::LevelDone: return flight::EventKind::LevelDone;
+  }
+  return flight::EventKind::Mark;
+}
+
+}  // namespace
 
 using sat::Lit;
 
@@ -69,11 +88,15 @@ SolveResult solve_ground(const GroundProgram& gp, const SolveOptions& opts) {
   result.stats.ground_seconds = gp.stats.seconds;
 
   trace::Tracer& tracer = trace::Tracer::global();
+  flight::Recorder& flightrec = flight::Recorder::global();
   trace::Span span("solve", "asp");
 
   // Event plumbing: solve_stable / the optimization loop call `emit`, which
-  // completes the counters and forwards to the user callback and the tracer.
-  const bool want_events = static_cast<bool>(opts.progress) || tracer.enabled();
+  // completes the counters and forwards to the user callback, the tracer,
+  // and the flight recorder.  The flight tap is always-on but cheap: the
+  // CDCL core only fires it per restart / per 2048-conflict batch.
+  const bool want_events = static_cast<bool>(opts.progress) ||
+                           tracer.enabled() || flightrec.enabled();
   SolveEventFn emit;
 
   auto t0 = std::chrono::steady_clock::now();
@@ -90,7 +113,7 @@ SolveResult solve_ground(const GroundProgram& gp, const SolveOptions& opts) {
   span.attr("sat_clauses", result.stats.sat_clauses);
 
   if (want_events) {
-    emit = [&opts, &tracer, &result, &tr](SolveEvent ev) {
+    emit = [&opts, &tracer, &flightrec, &result, &tr](SolveEvent ev) {
       ev.conflicts = result.stats.conflicts + tr->solver().stats().conflicts;
       ev.models = result.stats.models_enumerated;
       if (opts.progress) opts.progress(ev);
@@ -100,6 +123,24 @@ SolveResult solve_ground(const GroundProgram& gp, const SolveOptions& opts) {
                         {"cost", json::Value(ev.cost)},
                         {"conflicts", json::Value(ev.conflicts)},
                         {"models", json::Value(ev.models)}});
+      }
+      switch (ev.kind) {
+        case SolveEvent::Kind::BoundImproved:
+        case SolveEvent::Kind::LevelDone:
+          flightrec.emit(flight_kind(ev.kind), ev.cost, ev.priority, {},
+                         flight::Phase::Solve);
+          break;
+        case SolveEvent::Kind::ModelFound:
+          flightrec.emit(flight_kind(ev.kind),
+                         static_cast<std::int64_t>(ev.models),
+                         static_cast<std::int64_t>(ev.conflicts), {},
+                         flight::Phase::Solve);
+          break;
+        default:
+          flightrec.emit(flight_kind(ev.kind),
+                         static_cast<std::int64_t>(ev.conflicts), 0, {},
+                         flight::Phase::Solve);
+          break;
       }
     };
   }

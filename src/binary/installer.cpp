@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "src/support/error.hpp"
+#include "src/support/flight.hpp"
 #include "src/support/strings.hpp"
 #include "src/support/trace.hpp"
 
@@ -108,6 +109,10 @@ InstallReport Installer::install_from_source(const spec::Spec& concrete) {
     write_node_binary(node, bytes);
     report.bytes_written += bytes.size();
     ++report.built;
+    flight::Recorder::global().emit(
+        flight::EventKind::InstallStep,
+        static_cast<std::int64_t>(bytes.size()), 0, node.name,
+        flight::Phase::Install);
     db_.add(concrete.subdag(i), db_.layout().prefix(node), i == 0);
   }
   return report;
@@ -134,6 +139,10 @@ InstallReport Installer::install_from_cache(const spec::Spec& concrete,
       write_node_binary(node, bytes);
       report.bytes_written += bytes.size();
       ++report.built;
+      flight::Recorder::global().emit(
+          flight::EventKind::InstallStep,
+          static_cast<std::int64_t>(bytes.size()), 0, node.name,
+          flight::Phase::Install);
       db_.add(concrete.subdag(i), layout.prefix(node), i == 0);
       continue;
     }
@@ -158,6 +167,10 @@ InstallReport Installer::install_from_cache(const spec::Spec& concrete,
     write_node_binary(node, bytes);
     report.bytes_written += bytes.size();
     ++report.relocated;
+    flight::Recorder::global().emit(
+        flight::EventKind::InstallStep,
+        static_cast<std::int64_t>(bytes.size()), 1, node.name,
+        flight::Phase::Install);
     db_.add(concrete.subdag(i), layout.prefix(node), i == 0);
   }
   return report;
@@ -270,6 +283,10 @@ InstallReport Installer::rewire(const spec::Spec& spliced,
     write_node_binary(node, out);
     report.bytes_written += out.size();
     ++report.rewired;
+    flight::Recorder::global().emit(
+        flight::EventKind::RewireStep,
+        static_cast<std::int64_t>(out.size()), 0, node.name,
+        flight::Phase::Install);
     db_.add(spliced.subdag(i), layout.prefix(node), i == 0);
   }
   span.attr("rewired", report.rewired);

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "src/support/error.hpp"
+#include "src/support/flight.hpp"
 #include "src/support/trace.hpp"
 
 namespace splice::concretize {
@@ -676,9 +677,19 @@ static SolvedDag solve_requests(
   span.attr("reusable", reusable.size());
   span.attr("splicing", opts.enable_splicing);
 
+  // Per-request flight account: every concretization gets a stable id with
+  // phase durations, solver rollups and the outcome, always-on.
+  std::string request_text;
+  for (const Request& r : requests) {
+    if (!request_text.empty()) request_text += "; ";
+    request_text += r.root.str();
+  }
+  flight::RequestScope flight_req(request_text);
+
   Program program;
   {
     trace::Span phase("compile", "concretize");
+    flight::PhaseScope fphase(flight::Phase::Compile);
     Concretizer::Compiler compiler(repo, opts, reusable, std::move(cache));
     program = compiler.compile(requests);
     phase.attr("rules", program.rules().size());
@@ -686,21 +697,41 @@ static SolvedDag solve_requests(
   asp::GroundProgram gp;
   {
     trace::Span phase("ground", "concretize");
+    flight::PhaseScope fphase(flight::Phase::Ground);
     gp = asp::ground(program);
   }
   asp::SolveResult solved;
   {
     trace::Span phase("solve", "concretize");
+    flight::PhaseScope fphase(flight::Phase::Solve);
     solved = asp::solve_ground(gp);
+  }
+  {
+    const asp::SolveStats& st = solved.stats;
+    flight::Rollup roll;
+    roll.conflicts = static_cast<std::uint64_t>(st.conflicts);
+    roll.decisions = static_cast<std::uint64_t>(st.decisions);
+    roll.propagations = static_cast<std::uint64_t>(st.propagations);
+    roll.restarts = static_cast<std::uint64_t>(st.restarts);
+    roll.models = static_cast<std::uint64_t>(st.models_enumerated);
+    roll.loop_nogoods = static_cast<std::uint64_t>(st.loop_nogoods);
+    roll.ground_rules = static_cast<std::uint64_t>(st.ground.rules);
+    roll.ground_atoms = static_cast<std::uint64_t>(st.ground.possible_atoms);
+    roll.sat_vars = static_cast<std::uint64_t>(st.sat_vars);
+    roll.sat_clauses = static_cast<std::uint64_t>(st.sat_clauses);
+    flight::Recorder& rec = flight::Recorder::global();
+    rec.add_rollup(flight_req.id(), roll);
   }
   if (!solved.sat) {
     std::string what = "no concretization satisfies:";
     for (const Request& r : requests) what += " " + r.root.str() + ";";
+    flight_req.finish(flight::Outcome::Unsat, what);
     throw UnsatisfiableError(what);
   }
   const asp::Model& model = solved.model;
 
   trace::Span extract_span("extract", "concretize");
+  flight::PhaseScope flight_extract(flight::Phase::Extract);
   SolvedDag result;
   result.stats = solved.stats;
 
@@ -820,11 +851,22 @@ static SolvedDag solve_requests(
         parent, hash_of.at(parent), replaced, replacement});
   }
   extract_span.end();
+  flight_extract.end();
 
   span.attr("nodes", result.combined.nodes().size());
   span.attr("builds", result.build_names.size());
   span.attr("reused", result.reused_hashes.size());
   span.attr("splices", result.splices.size());
+  {
+    flight::Recorder& rec = flight::Recorder::global();
+    for (const SpliceDecision& s : result.splices) {
+      rec.emit(flight::EventKind::SpliceVerdict, 0, 0,
+               s.parent_name + "<-" + s.replacement_name,
+               flight::Phase::Extract);
+    }
+    rec.add_solution(flight_req.id(), result.build_names.size(),
+                     result.reused_hashes.size(), result.splices.size());
+  }
   return result;
 }
 

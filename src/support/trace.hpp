@@ -66,13 +66,21 @@ class MetricsRegistry {
   struct HistSummary {
     std::size_t count = 0;
     double min = 0, max = 0, mean = 0;
-    double p50 = 0, p90 = 0, p99 = 0;
+    double p50 = 0, p90 = 0, p95 = 0, p99 = 0;
   };
   /// Nearest-rank percentiles over everything observed so far.
   HistSummary histogram(const std::string& name) const;
 
   /// {"counters": {...}, "gauges": {...}, "histograms": {name: summary}}.
   json::Value to_json() const;
+
+  /// Prometheus text exposition (version 0.0.4): counters and gauges become
+  /// samples, histograms become summaries with p50/p95/p99 quantiles plus
+  /// `_sum`/`_count`.  Metric names are prefixed and sanitized to the
+  /// `[a-zA-Z_:][a-zA-Z0-9_:]*` grammar; everything after a name's first
+  /// '/' becomes a `key="..."` label, so families like `ground.atoms/<sig>`
+  /// expose one series per signature.
+  std::string metrics_text(std::string_view prefix = "splice_") const;
 
   void clear();
 
@@ -167,5 +175,12 @@ class Span {
   std::chrono::steady_clock::time_point start_;
   TraceEvent ev_;             ///< name/category/args staging (when recording)
 };
+
+/// True when `value` names a usable export path for environment hook `var`.
+/// A set-but-blank value (empty or all-whitespace) emits one stderr warning
+/// naming the variable instead of being silently dropped; unset (nullptr)
+/// is silently false.  Used by Tracer::global() for SPLICE_TRACE /
+/// SPLICE_TRACE_STATS; exposed for tests.
+bool env_export_path_ok(const char* var, const char* value);
 
 }  // namespace splice::trace

@@ -141,6 +141,87 @@ TEST(MetricsTest, HistogramPercentiles) {
   EXPECT_DOUBLE_EQ(hist->find("latency")->find("p90")->as_double(), 90.0);
 }
 
+TEST(MetricsTest, PrometheusTextExposition) {
+  MetricsRegistry metrics;
+  metrics.add("splice.builds", 5);
+  metrics.set_gauge("load", 0.75);
+  for (int i = 1; i <= 100; ++i) {
+    metrics.observe("request/seconds", static_cast<double>(i));
+  }
+  std::string text = metrics.metrics_text();
+
+  // Counters and gauges: sanitized family, one # TYPE line, then the sample.
+  EXPECT_NE(text.find("# TYPE splice_splice_builds counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("splice_splice_builds 5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE splice_load gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("splice_load 0.75\n"), std::string::npos);
+
+  // Histograms expose p50/p95/p99 summaries with the post-'/' part as a
+  // key label, plus _sum and _count.
+  EXPECT_NE(text.find("# TYPE splice_request summary\n"), std::string::npos);
+  EXPECT_NE(text.find("splice_request{key=\"seconds\",quantile=\"0.5\"} 50\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("splice_request{key=\"seconds\",quantile=\"0.95\"} 95\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("splice_request{key=\"seconds\",quantile=\"0.99\"} 99\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("splice_request_sum{key=\"seconds\"} 5050\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("splice_request_count{key=\"seconds\"} 100\n"),
+            std::string::npos);
+
+  // One TYPE line per family even with several series in it.
+  metrics.add("request/errors", 2);
+  text = metrics.metrics_text();
+  std::size_t first = text.find("# TYPE splice_request ");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("# TYPE splice_request ", first + 1),
+            std::string::npos);
+}
+
+TEST(MetricsTest, PrometheusCrossKindCollisionRenames) {
+  MetricsRegistry metrics;
+  metrics.add("total", 1);         // counter claims splice_total
+  metrics.set_gauge("total", 2.0); // gauge must not re-TYPE the family
+  std::string text = metrics.metrics_text();
+  EXPECT_NE(text.find("# TYPE splice_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("splice_total 1\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE splice_total_ gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("splice_total_ 2\n"), std::string::npos);
+}
+
+TEST(MetricsTest, HistogramP95) {
+  MetricsRegistry metrics;
+  for (int i = 1; i <= 100; ++i) {
+    metrics.observe("latency", static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(metrics.histogram("latency").p95, 95.0);
+  json::Value j = metrics.to_json();
+  EXPECT_DOUBLE_EQ(
+      j.find("histograms")->find("latency")->find("p95")->as_double(), 95.0);
+}
+
+TEST(EnvExportTest, BlankPathWarnsInsteadOfSilentlyDropping) {
+  testing::internal::CaptureStderr();
+  EXPECT_FALSE(trace::env_export_path_ok("SPLICE_TRACE", "  "));
+  std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("SPLICE_TRACE"), std::string::npos);
+  EXPECT_NE(err.find("warning"), std::string::npos);
+
+  testing::internal::CaptureStderr();
+  EXPECT_FALSE(trace::env_export_path_ok("SPLICE_TRACE_STATS", ""));
+  err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("SPLICE_TRACE_STATS"), std::string::npos);
+}
+
+TEST(EnvExportTest, UnsetAndUsableValuesStaySilent) {
+  testing::internal::CaptureStderr();
+  EXPECT_FALSE(trace::env_export_path_ok("SPLICE_TRACE", nullptr));
+  EXPECT_TRUE(trace::env_export_path_ok("SPLICE_TRACE", "/tmp/out.json"));
+  EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
+}
+
 TEST(MetricsTest, SingleSampleHistogram) {
   MetricsRegistry metrics;
   metrics.observe("one", 3.5);

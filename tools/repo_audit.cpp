@@ -22,6 +22,7 @@
 #include "src/analysis/audit.hpp"
 #include "src/binary/buildcache.hpp"
 #include "src/support/error.hpp"
+#include "src/support/flight.hpp"
 #include "src/workload/radiuss.hpp"
 #include "src/workload/synthbin.hpp"
 
@@ -42,6 +43,9 @@ options:
   --no-encoding    skip the concretizer encoding cross-check
   --same-package   also report same-package version-splice suggestions
   --json FILE      write the repo-audit-v1 JSON document to FILE
+  --flight FILE    write the per-check-group flight recording
+                   (splice-flight-v1 JSON) to FILE
+  --slow-ms N      flag check groups slower than N ms in the recording
   --quiet          print only the summary line
   --werror         exit 1 on warnings too
   -h, --help       this message
@@ -53,6 +57,8 @@ int main(int argc, char** argv) {
   std::size_t replicas = 0;
   std::vector<std::string> cache_dirs;
   std::string json_path;
+  std::string flight_path;
+  double slow_ms = 0;
   bool synth = true;
   bool quiet = false;
   bool werror = false;
@@ -84,6 +90,10 @@ int main(int argc, char** argv) {
       opts.suggest_same_package = true;
     } else if (arg == "--json") {
       json_path = value("--json");
+    } else if (arg == "--flight") {
+      flight_path = value("--flight");
+    } else if (arg == "--slow-ms") {
+      slow_ms = std::stod(value("--slow-ms"));
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--werror") {
@@ -92,6 +102,12 @@ int main(int argc, char** argv) {
       std::cerr << "repo_audit: unknown option '" << arg << "'\n" << kUsage;
       return 2;
     }
+  }
+
+  if (slow_ms > 0) {
+    splice::flight::RecorderOptions ropts;
+    ropts.slow_ms = slow_ms;
+    splice::flight::Recorder::global().configure(ropts);
   }
 
   try {
@@ -124,6 +140,15 @@ int main(int argc, char** argv) {
         return 2;
       }
       out << report.to_json().dump_pretty() << "\n";
+    }
+
+    // Per-check-group wall-time accounting: RepoAuditor::run() opened one
+    // flight request per group, so the recording breaks the audit down.
+    if (!flight_path.empty() &&
+        !splice::flight::Recorder::global().write_dump(flight_path,
+                                                       "manual")) {
+      std::cerr << "repo_audit: cannot write '" << flight_path << "'\n";
+      return 2;
     }
 
     using splice::analysis::Severity;

@@ -23,6 +23,7 @@
 
 #include "src/concretize/concretizer.hpp"
 #include "src/support/error.hpp"
+#include "src/support/flight.hpp"
 #include "src/support/trace.hpp"
 #include "src/workload/caches.hpp"
 #include "src/workload/radiuss.hpp"
@@ -40,6 +41,10 @@ void usage(std::FILE* out) {
                "\n"
                "options:\n"
                "  --json FILE    write the splice-explain-v1 JSON document\n"
+               "  --flight FILE  write the per-probe flight recording "
+               "(splice-flight-v1)\n"
+               "  --slow-ms N    flag probes slower than N ms in the "
+               "recording\n"
                "  --splice       enable splicing (indirect encoding)\n"
                "  --direct       old-spack direct encoding, splicing off\n"
                "  --public N     reuse against a synthetic public cache of "
@@ -70,6 +75,8 @@ bool write_json(const std::string& path, const splice::json::Value& doc) {
 
 int main(int argc, char** argv) {
   std::string json_path;
+  std::string flight_path;
+  double slow_ms = 0;
   bool enable_splicing = false;
   bool direct = false;
   bool no_cache = false;
@@ -93,6 +100,10 @@ int main(int argc, char** argv) {
       return 0;
     } else if (arg == "--json") {
       json_path = value("--json");
+    } else if (arg == "--flight") {
+      flight_path = value("--flight");
+    } else if (arg == "--slow-ms") {
+      slow_ms = std::strtod(value("--slow-ms"), nullptr);
     } else if (arg == "--splice") {
       enable_splicing = true;
     } else if (arg == "--direct") {
@@ -124,6 +135,17 @@ int main(int argc, char** argv) {
   }
 
   using namespace splice;
+
+  if (slow_ms > 0) {
+    flight::RecorderOptions ropts;
+    ropts.slow_ms = slow_ms;
+    flight::Recorder::global().configure(ropts);
+  }
+  std::string roots_text;
+  for (const std::string& root : roots) {
+    if (!roots_text.empty()) roots_text += "; ";
+    roots_text += root;
+  }
 
   concretize::ConcretizerOptions opts;
   opts.encoding = direct ? concretize::ReuseEncoding::Direct
@@ -159,21 +181,24 @@ int main(int argc, char** argv) {
     // A solvable request set gets the splice report (when splicing is on);
     // an unsolvable one gets the unsat core.  explain_splice doubles as the
     // satisfiability probe so the two paths share one solve.
+    // Each explain probe runs under its own flight request so a slow probe
+    // is attributable after the fact (--flight / --slow-ms).
     json::Value doc;
+    bool need_unsat_probe = !enable_splicing;
     if (enable_splicing) {
+      flight::RequestScope probe("explain splice: " + roots_text);
+      flight::PhaseScope phase(flight::Phase::Explain);
       concretize::SpliceDiagnosis splice_diag = c.explain_splice(requests);
       if (splice_diag.sat) {
         std::fputs(splice_diag.text().c_str(), stdout);
         doc = splice_diag.to_json();
+      } else {
+        need_unsat_probe = true;
       }
-      if (!splice_diag.sat) {
-        asp::ExplainOptions eopts;
-        eopts.minimize = minimize;
-        concretize::UnsatDiagnosis unsat_diag = c.explain_unsat(requests, eopts);
-        std::fputs(unsat_diag.text().c_str(), stdout);
-        doc = unsat_diag.to_json();
-      }
-    } else {
+    }
+    if (need_unsat_probe) {
+      flight::RequestScope probe("explain unsat: " + roots_text);
+      flight::PhaseScope phase(flight::Phase::Explain);
       asp::ExplainOptions eopts;
       eopts.minimize = minimize;
       concretize::UnsatDiagnosis unsat_diag = c.explain_unsat(requests, eopts);
@@ -188,6 +213,15 @@ int main(int argc, char** argv) {
         return 1;
       }
       std::printf("\nsplice_explain: wrote %s\n", json_path.c_str());
+    }
+    if (!flight_path.empty()) {
+      if (!flight::Recorder::global().write_dump(flight_path, "manual")) {
+        std::fprintf(stderr, "splice_explain: cannot write %s\n",
+                     flight_path.c_str());
+        return 1;
+      }
+      std::printf("splice_explain: wrote flight recording %s\n",
+                  flight_path.c_str());
     }
   } catch (const Error& e) {
     std::fprintf(stderr, "splice_explain: %s\n", e.what());

@@ -1,0 +1,509 @@
+// splice_flight: the flight-recorder front door.
+//
+//   splice_flight record [--slow-ms N] [--dump FILE] [root-spec ...]
+//       run a RADIUSS batch with the recorder configured, auto-dumping
+//       slow requests and optionally writing the full ring + Prometheus
+//       metrics at the end
+//   splice_flight list FILE...     one table row per recorded request
+//   splice_flight show FILE        pretty-print a recording (accounts,
+//                                  phase coverage, span tree, events)
+//   splice_flight chrome FILE -o OUT.json
+//                                  convert to Chrome trace-event JSON
+//                                  (chrome://tracing / Perfetto)
+//
+// Recordings are `splice-flight-v1` JSON as produced by the always-on
+// recorder's slow-request log, watchdog, exit/crash hooks, or by the
+// --flight flag on repo_audit / splice_explain; `trace_check` validates
+// them.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/concretize/concretizer.hpp"
+#include "src/support/error.hpp"
+#include "src/support/flight.hpp"
+#include "src/support/json.hpp"
+#include "src/support/trace.hpp"
+#include "src/workload/caches.hpp"
+#include "src/workload/radiuss.hpp"
+
+namespace {
+
+using splice::json::Value;
+
+void usage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: splice_flight <command> [options]\n"
+      "\n"
+      "commands:\n"
+      "  record [options] [root-spec ...]\n"
+      "      concretize each root against the synthetic RADIUSS workload\n"
+      "      with the flight recorder configured\n"
+      "      --slow-ms N         slow-request latency threshold (auto-dump)\n"
+      "      --slow-conflicts N  slow-request conflict threshold\n"
+      "      --dir DIR           directory for automatic dumps (default .)\n"
+      "      --dump FILE         write the full ring as FILE at the end\n"
+      "      --metrics FILE      write Prometheus metrics text as FILE\n"
+      "      --capacity N        ring capacity in events\n"
+      "      --splice | --direct | --public N | --replicas N | --no-cache\n"
+      "                          workload shape (as in splice_trace)\n"
+      "      default roots: every RADIUSS app with ^mpiabi (--splice)\n"
+      "      or ^mpich\n"
+      "  list FILE...            one summary row per recorded request\n"
+      "  show FILE [--request N] [--events]\n"
+      "                          pretty-print one recording\n"
+      "  chrome FILE -o OUT      convert a recording to Chrome trace JSON\n");
+}
+
+std::optional<Value> load(const std::string& file) {
+  std::ifstream in(file);
+  if (!in) {
+    std::fprintf(stderr, "splice_flight: cannot open %s\n", file.c_str());
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    Value doc = splice::json::parse(buf.str());
+    const Value* schema = doc.find("schema");
+    if (schema == nullptr || !schema->is_string() ||
+        schema->as_string() != "splice-flight-v1") {
+      std::fprintf(stderr, "splice_flight: %s: not a splice-flight-v1 file\n",
+                   file.c_str());
+      return std::nullopt;
+    }
+    return doc;
+  } catch (const splice::Error& e) {
+    std::fprintf(stderr, "splice_flight: %s: %s\n", file.c_str(), e.what());
+    return std::nullopt;
+  }
+}
+
+double num(const Value& obj, const char* key) {
+  const Value* v = obj.find(key);
+  return v != nullptr && v->is_number() ? v->as_double() : 0;
+}
+
+std::string str(const Value& obj, const char* key) {
+  const Value* v = obj.find(key);
+  return v != nullptr && v->is_string() ? v->as_string() : "";
+}
+
+// ---- list ------------------------------------------------------------------
+
+int cmd_list(const std::vector<std::string>& files) {
+  if (files.empty()) {
+    std::fprintf(stderr, "splice_flight: list needs at least one file\n");
+    return 2;
+  }
+  std::printf("%-4s %-8s %-5s %9s %10s %-s\n", "id", "outcome", "slow",
+              "seconds", "conflicts", "request");
+  int rc = 0;
+  for (const std::string& file : files) {
+    auto doc = load(file);
+    if (!doc) {
+      rc = 1;
+      continue;
+    }
+    const Value* reqs = doc->find("requests");
+    if (reqs == nullptr || !reqs->is_array()) continue;
+    for (const Value& r : reqs->as_array()) {
+      const Value* stats = r.find("stats");
+      double conflicts = stats != nullptr ? num(*stats, "conflicts") : 0;
+      const Value* slow = r.find("slow");
+      std::printf("%-4lld %-8s %-5s %9.3f %10.0f %s\n",
+                  static_cast<long long>(num(r, "id")),
+                  str(r, "outcome").c_str(),
+                  slow != nullptr && slow->is_bool() && slow->as_bool()
+                      ? "yes"
+                      : "no",
+                  num(r, "seconds"), conflicts, str(r, "request").c_str());
+    }
+  }
+  return rc;
+}
+
+// ---- show ------------------------------------------------------------------
+
+void print_span(const Value& node, int depth) {
+  std::printf("    %*s%-*s %9.3f ms\n", depth * 2, "",
+              24 - depth * 2, str(node, "name").c_str(),
+              num(node, "dur_us") * 1e-3);
+  const Value* children = node.find("children");
+  if (children != nullptr && children->is_array()) {
+    for (const Value& c : children->as_array()) print_span(c, depth + 1);
+  }
+}
+
+int cmd_show(const std::string& file, std::int64_t only_request,
+             bool with_events) {
+  auto doc = load(file);
+  if (!doc) return 1;
+  std::printf("%s: reason=%s capacity=%lld dropped=%lld\n", file.c_str(),
+              str(*doc, "reason").c_str(),
+              static_cast<long long>(num(*doc, "capacity")),
+              static_cast<long long>(num(*doc, "dropped_events")));
+  const Value* reqs = doc->find("requests");
+  if (reqs != nullptr && reqs->is_array()) {
+    for (const Value& r : reqs->as_array()) {
+      auto id = static_cast<std::int64_t>(num(r, "id"));
+      if (only_request != 0 && id != only_request) continue;
+      double seconds = num(r, "seconds");
+      std::printf("\nrequest #%lld: %s\n", static_cast<long long>(id),
+                  str(r, "request").c_str());
+      std::printf("  outcome: %s%s   %.3fs\n", str(r, "outcome").c_str(),
+                  r.find("slow") != nullptr && r.find("slow")->is_bool() &&
+                          r.find("slow")->as_bool()
+                      ? " (SLOW)"
+                      : "",
+                  seconds);
+      const Value* note = r.find("note");
+      if (note != nullptr && note->is_string()) {
+        std::printf("  note: %s\n", note->as_string().c_str());
+      }
+      const Value* phases = r.find("phases");
+      if (phases != nullptr && phases->is_object()) {
+        double phase_sum = 0;
+        for (const auto& [name, s] : phases->as_object()) {
+          if (!s.is_number()) continue;
+          phase_sum += s.as_double();
+          std::printf("  phase %-10s %9.3f ms\n", name.c_str(),
+                      s.as_double() * 1e3);
+        }
+        if (seconds > 0) {
+          std::printf("  phase coverage: %.1f%% of end-to-end\n",
+                      100.0 * phase_sum / seconds);
+        }
+      }
+      const Value* stats = r.find("stats");
+      if (stats != nullptr && stats->is_object()) {
+        std::printf("  conflicts=%lld decisions=%lld restarts=%lld "
+                    "models=%lld ground_atoms=%lld sat_clauses=%lld\n",
+                    static_cast<long long>(num(*stats, "conflicts")),
+                    static_cast<long long>(num(*stats, "decisions")),
+                    static_cast<long long>(num(*stats, "restarts")),
+                    static_cast<long long>(num(*stats, "models")),
+                    static_cast<long long>(num(*stats, "ground_atoms")),
+                    static_cast<long long>(num(*stats, "sat_clauses")));
+      }
+      std::printf("  builds=%lld reused=%lld splices=%lld\n",
+                  static_cast<long long>(num(r, "builds")),
+                  static_cast<long long>(num(r, "reused")),
+                  static_cast<long long>(num(r, "splices")));
+      const Value* spans = r.find("spans");
+      if (spans != nullptr && spans->is_array() &&
+          !spans->as_array().empty()) {
+        std::printf("  span tree:\n");
+        for (const Value& s : spans->as_array()) print_span(s, 0);
+      }
+    }
+  }
+  const Value* events = doc->find("events");
+  if (events != nullptr && events->is_array()) {
+    if (with_events) {
+      std::printf("\n%-8s %12s %-4s %-16s %-8s %s\n", "seq", "t_us", "req",
+                  "kind", "phase", "detail");
+      for (const Value& ev : events->as_array()) {
+        auto req = static_cast<std::int64_t>(num(ev, "req"));
+        if (only_request != 0 && req != only_request) continue;
+        std::printf("%-8lld %12.0f %-4lld %-16s %-8s %s\n",
+                    static_cast<long long>(num(ev, "seq")), num(ev, "t_us"),
+                    static_cast<long long>(req), str(ev, "kind").c_str(),
+                    str(ev, "phase").c_str(), str(ev, "detail").c_str());
+      }
+    } else {
+      std::printf("\n%zu event(s) in the window (use --events to print)\n",
+                  events->as_array().size());
+    }
+  }
+  return 0;
+}
+
+// ---- chrome ----------------------------------------------------------------
+
+/// Phase begin/end pairs become "X" complete events (per-thread stacks);
+/// everything else becomes a thread-scoped "i" instant.
+int cmd_chrome(const std::string& file, const std::string& out_path) {
+  auto doc = load(file);
+  if (!doc) return 1;
+  splice::json::Array out;
+  const Value* reqs = doc->find("requests");
+  if (reqs != nullptr && reqs->is_array()) {
+    for (const Value& r : reqs->as_array()) {
+      double begin = num(r, "begin_us");
+      double end = num(r, "end_us");
+      splice::json::Object e;
+      e["name"] = "request " + std::to_string(
+                      static_cast<long long>(num(r, "id"))) +
+                  ": " + str(r, "request");
+      e["cat"] = "flight";
+      e["ph"] = "X";
+      e["ts"] = begin;
+      e["dur"] = end > begin ? end - begin : 0.0;
+      e["pid"] = 1;
+      e["tid"] = static_cast<std::int64_t>(num(r, "id"));
+      out.push_back(Value(std::move(e)));
+    }
+  }
+  const Value* events = doc->find("events");
+  struct Open {
+    std::string phase;
+    double t_us;
+  };
+  std::map<std::int64_t, std::vector<Open>> stacks;
+  if (events != nullptr && events->is_array()) {
+    for (const Value& ev : events->as_array()) {
+      std::string kind = str(ev, "kind");
+      auto tid = static_cast<std::int64_t>(num(ev, "tid"));
+      double t = num(ev, "t_us");
+      if (kind == "phase.begin") {
+        stacks[tid].push_back({str(ev, "phase"), t});
+        continue;
+      }
+      if (kind == "phase.end") {
+        auto& stack = stacks[tid];
+        if (stack.empty()) continue;  // begin fell off the ring
+        Open o = stack.back();
+        stack.pop_back();
+        splice::json::Object e;
+        e["name"] = o.phase;
+        e["cat"] = "flight";
+        e["ph"] = "X";
+        e["ts"] = o.t_us;
+        e["dur"] = t - o.t_us;
+        e["pid"] = 1;
+        e["tid"] = tid;
+        out.push_back(Value(std::move(e)));
+        continue;
+      }
+      splice::json::Object e;
+      e["name"] = kind;
+      e["cat"] = "flight";
+      e["ph"] = "i";
+      e["ts"] = t;
+      e["s"] = "t";
+      e["pid"] = 1;
+      e["tid"] = tid;
+      splice::json::Object args;
+      args["req"] = static_cast<std::int64_t>(num(ev, "req"));
+      args["a"] = static_cast<std::int64_t>(num(ev, "a"));
+      args["b"] = static_cast<std::int64_t>(num(ev, "b"));
+      std::string detail = str(ev, "detail");
+      if (!detail.empty()) args["detail"] = detail;
+      e["args"] = Value(std::move(args));
+      out.push_back(Value(std::move(e)));
+    }
+  }
+  splice::json::Object chrome;
+  chrome["displayTimeUnit"] = "ms";
+  chrome["traceEvents"] = Value(std::move(out));
+  std::ofstream os(out_path);
+  if (!os) {
+    std::fprintf(stderr, "splice_flight: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  os << Value(std::move(chrome)).dump_pretty() << "\n";
+  std::printf("splice_flight: wrote chrome trace %s\n", out_path.c_str());
+  return 0;
+}
+
+// ---- record ----------------------------------------------------------------
+
+int cmd_record(int argc, char** argv) {
+  using namespace splice;
+  flight::RecorderOptions ropts;
+  ropts.slow_ms = 0;
+  std::string dump_path;
+  std::string metrics_path;
+  bool enable_splicing = false;
+  bool direct = false;
+  bool no_cache = false;
+  std::size_t public_nodes = 0;
+  std::size_t replicas = 0;
+  std::vector<std::string> roots;
+
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "splice_flight: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--slow-ms") {
+      ropts.slow_ms = std::strtod(value("--slow-ms"), nullptr);
+    } else if (arg == "--slow-conflicts") {
+      ropts.slow_conflicts = std::strtoull(value("--slow-conflicts"),
+                                           nullptr, 10);
+    } else if (arg == "--dir") {
+      ropts.dump_dir = value("--dir");
+    } else if (arg == "--capacity") {
+      ropts.capacity = std::strtoull(value("--capacity"), nullptr, 10);
+    } else if (arg == "--dump") {
+      dump_path = value("--dump");
+    } else if (arg == "--metrics") {
+      metrics_path = value("--metrics");
+    } else if (arg == "--splice") {
+      enable_splicing = true;
+    } else if (arg == "--direct") {
+      direct = true;
+    } else if (arg == "--no-cache") {
+      no_cache = true;
+    } else if (arg == "--public") {
+      public_nodes = std::strtoull(value("--public"), nullptr, 10);
+    } else if (arg == "--replicas") {
+      replicas = std::strtoull(value("--replicas"), nullptr, 10);
+    } else if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "splice_flight: unknown option %s\n", arg.c_str());
+      usage(stderr);
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (direct && enable_splicing) {
+    std::fprintf(stderr, "splice_flight: --direct and --splice conflict\n");
+    return 2;
+  }
+  if (roots.empty()) {
+    const char* dep = enable_splicing ? " ^mpiabi" : " ^mpich";
+    for (const char* app : {"visit", "laghos", "samrai", "sundials"}) {
+      roots.push_back(std::string(app) + dep);
+    }
+  }
+
+  flight::Recorder& rec = flight::Recorder::global();
+  rec.configure(ropts);
+
+  concretize::ConcretizerOptions opts;
+  opts.encoding = direct ? concretize::ReuseEncoding::Direct
+                         : concretize::ReuseEncoding::Indirect;
+  opts.enable_splicing = enable_splicing;
+
+  repo::Repository repo = workload::radiuss_repo(replicas);
+  std::vector<spec::Spec> cache;
+  if (!no_cache) {
+    cache = public_nodes > 0
+                ? workload::public_cache_specs(repo, public_nodes)
+                : workload::local_cache_specs(repo);
+  }
+  std::printf("splice_flight: recording %zu root(s), slow-ms=%.0f, "
+              "capacity=%zu, dumps in %s\n",
+              roots.size(), rec.options().slow_ms, rec.capacity(),
+              rec.options().dump_dir.c_str());
+
+  int failures = 0;
+  for (const std::string& root : roots) {
+    try {
+      concretize::Concretizer c(repo, opts);
+      for (const auto& s : cache) c.add_reusable(s);
+      concretize::ConcretizeResult result =
+          c.concretize(concretize::Request(root));
+      (void)result;
+    } catch (const Error& e) {
+      std::fprintf(stderr, "  %-28s FAILED: %s\n", root.c_str(), e.what());
+      ++failures;
+    }
+  }
+
+  for (const flight::RequestAccount& acc : rec.requests()) {
+    std::printf("  #%-3u %-8s%s %7.3fs  %s\n", acc.id,
+                std::string(flight::outcome_name(acc.outcome)).c_str(),
+                acc.slow ? " SLOW" : "     ", acc.seconds(),
+                acc.text.c_str());
+  }
+
+  bool ok = true;
+  if (!dump_path.empty()) {
+    if (rec.write_dump(dump_path, "manual")) {
+      std::printf("splice_flight: wrote recording %s\n", dump_path.c_str());
+    } else {
+      std::fprintf(stderr, "splice_flight: cannot write %s\n",
+                   dump_path.c_str());
+      ok = false;
+    }
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream os(metrics_path);
+    if (os) {
+      os << trace::Tracer::global().metrics().metrics_text();
+      std::printf("splice_flight: wrote metrics %s\n", metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "splice_flight: cannot write %s\n",
+                   metrics_path.c_str());
+      ok = false;
+    }
+  }
+  return (failures == 0 && ok) ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage(stderr);
+    return 2;
+  }
+  std::string cmd = argv[1];
+  if (cmd == "--help" || cmd == "-h") {
+    usage(stdout);
+    return 0;
+  }
+  if (cmd == "record") return cmd_record(argc - 2, argv + 2);
+  if (cmd == "list") {
+    std::vector<std::string> files;
+    for (int i = 2; i < argc; ++i) files.emplace_back(argv[i]);
+    return cmd_list(files);
+  }
+  if (cmd == "show") {
+    std::string file;
+    std::int64_t request = 0;
+    bool events = false;
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--request" && i + 1 < argc) {
+        request = std::strtoll(argv[++i], nullptr, 10);
+      } else if (arg == "--events") {
+        events = true;
+      } else if (file.empty()) {
+        file = arg;
+      }
+    }
+    if (file.empty()) {
+      std::fprintf(stderr, "splice_flight: show needs a file\n");
+      return 2;
+    }
+    return cmd_show(file, request, events);
+  }
+  if (cmd == "chrome") {
+    std::string file, out;
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "-o" && i + 1 < argc) {
+        out = argv[++i];
+      } else if (file.empty()) {
+        file = arg;
+      }
+    }
+    if (file.empty() || out.empty()) {
+      std::fprintf(stderr, "splice_flight: chrome needs FILE and -o OUT\n");
+      return 2;
+    }
+    return cmd_chrome(file, out);
+  }
+  std::fprintf(stderr, "splice_flight: unknown command \"%s\"\n", cmd.c_str());
+  usage(stderr);
+  return 2;
+}

@@ -1,14 +1,19 @@
-// trace_check: structural validator for the JSON formats this repo emits —
+// trace_check: structural validator for the formats this repo emits —
 // Chrome trace-event files (splice_trace / SPLICE_TRACE), stats files
 // (schema "splice-stats-v1"), bench result files (schema "splice-bench-v1"),
 // explanation documents (schema "splice-explain-v1", from splice_explain),
-// and repository audit reports (schema "repo-audit-v1", from repo_audit).
-// CI runs it over the artifacts a workload resolution produces; exit 0 means
-// every file validated.
+// repository audit reports (schema "repo-audit-v1", from repo_audit),
+// flight recordings (schema "splice-flight-v1", from the flight recorder /
+// splice_flight), and Prometheus text exposition (*.prom, or any input not
+// starting with '{'; from MetricsRegistry::metrics_text).  CI runs it over
+// the artifacts a workload resolution produces; exit 0 means every file
+// validated.
 //
 // usage: trace_check FILE...
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 
@@ -388,6 +393,332 @@ void check_repo_audit(const std::string& file, const Value& doc) {
   }
 }
 
+/// Recursive {name, t_us, dur_us, children: [...]} span-tree node.
+void check_flight_span(const std::string& file, const Value& node,
+                       const std::string& ctx) {
+  if (!node.is_object()) {
+    fail(file, ctx + ": not an object");
+    return;
+  }
+  require_string(file, node, "name", ctx);
+  require_number(file, node, "t_us", ctx);
+  if (require_number(file, node, "dur_us", ctx) &&
+      node.find("dur_us")->as_double() < 0) {
+    fail(file, ctx + ": negative \"dur_us\"");
+  }
+  const Value* children = node.find("children");
+  if (children != nullptr) {
+    if (!children->is_array()) {
+      fail(file, ctx + ": \"children\" is not an array");
+      return;
+    }
+    std::size_t i = 0;
+    for (const Value& c : children->as_array()) {
+      check_flight_span(file, c, ctx + "/children[" + std::to_string(i++) +
+                                     "]");
+    }
+  }
+}
+
+/// {"schema": "splice-flight-v1", "reason": ..., "capacity": ...,
+///  "requests": [{id, request, outcome, phases, stats, spans, ...}],
+///  "events": [{seq, t_us, req, kind, phase, tid, ...}]}
+void check_flight(const std::string& file, const Value& doc) {
+  int before = errors;
+  const Value* reason = doc.find("reason");
+  std::string r =
+      reason != nullptr && reason->is_string() ? reason->as_string() : "";
+  if (r != "slow" && r != "abnormal" && r != "watchdog" && r != "exit" &&
+      r != "signal" && r != "manual") {
+    fail(file, "reason \"" + r +
+                   "\" not one of slow/abnormal/watchdog/exit/signal/manual");
+  }
+  for (const char* field : {"capacity", "total_events", "dropped_events",
+                            "slow_ms", "slow_conflicts"}) {
+    require_number(file, doc, field, "flight");
+  }
+  const Value* reqs = doc.find("requests");
+  if (reqs == nullptr || !reqs->is_array()) {
+    fail(file, "no \"requests\" array");
+    return;
+  }
+  std::size_t i = 0;
+  for (const Value& req : reqs->as_array()) {
+    std::string ctx = "requests[" + std::to_string(i++) + "]";
+    if (!req.is_object()) {
+      fail(file, ctx + ": not an object");
+      continue;
+    }
+    require_number(file, req, "id", ctx);
+    require_string(file, req, "request", ctx);
+    const Value* outcome = req.find("outcome");
+    std::string o =
+        outcome != nullptr && outcome->is_string() ? outcome->as_string() : "";
+    if (o != "active" && o != "ok" && o != "unsat" && o != "error" &&
+        o != "budget") {
+      fail(file, ctx + ": outcome \"" + o +
+                     "\" not one of active/ok/unsat/error/budget");
+    }
+    for (const char* field :
+         {"begin_us", "end_us", "seconds", "builds", "reused", "splices"}) {
+      require_number(file, req, field, ctx);
+    }
+    require_bool(file, req, "slow", ctx);
+    const Value* phases = req.find("phases");
+    if (phases == nullptr || !phases->is_object()) {
+      fail(file, ctx + ": no \"phases\" object");
+    } else {
+      for (const auto& [name, seconds] : phases->as_object()) {
+        if (!seconds.is_number()) {
+          fail(file, ctx + "/phases/" + name + ": not a number");
+        }
+      }
+    }
+    const Value* stats = req.find("stats");
+    if (stats == nullptr || !stats->is_object()) {
+      fail(file, ctx + ": no \"stats\" object");
+    } else {
+      for (const char* field :
+           {"conflicts", "decisions", "propagations", "restarts", "models",
+            "loop_nogoods", "ground_rules", "ground_atoms", "sat_vars",
+            "sat_clauses"}) {
+        require_number(file, *stats, field, ctx + "/stats");
+      }
+    }
+    const Value* spans = req.find("spans");
+    if (spans == nullptr || !spans->is_array()) {
+      fail(file, ctx + ": no \"spans\" array");
+    } else {
+      std::size_t j = 0;
+      for (const Value& s : spans->as_array()) {
+        check_flight_span(file, s, ctx + "/spans[" + std::to_string(j++) +
+                                       "]");
+      }
+    }
+  }
+  const Value* events = doc.find("events");
+  if (events == nullptr || !events->is_array()) {
+    fail(file, "no \"events\" array");
+    return;
+  }
+  std::int64_t last_seq = -1;
+  std::size_t j = 0;
+  for (const Value& ev : events->as_array()) {
+    std::string ctx = "events[" + std::to_string(j++) + "]";
+    if (!ev.is_object()) {
+      fail(file, ctx + ": not an object");
+      continue;
+    }
+    for (const char* field : {"seq", "t_us", "req", "tid"}) {
+      require_number(file, ev, field, ctx);
+    }
+    require_string(file, ev, "kind", ctx);
+    require_string(file, ev, "phase", ctx);
+    const Value* seq = ev.find("seq");
+    if (seq != nullptr && seq->is_int()) {
+      if (seq->as_int() <= last_seq) {
+        fail(file, ctx + ": \"seq\" not strictly increasing");
+      }
+      last_seq = seq->as_int();
+    }
+  }
+  if (errors == before) {
+    std::printf("trace_check: %s: flight recording OK "
+                "(%zu request(s), %zu event(s))\n",
+                file.c_str(), reqs->as_array().size(),
+                events->as_array().size());
+  }
+}
+
+// ---- Prometheus text exposition (version 0.0.4) ----------------------------
+
+bool valid_metric_name(std::string_view name) {
+  if (name.empty()) return false;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    char c = name[i];
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+              c == ':' || (i > 0 && c >= '0' && c <= '9');
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool valid_label_name(std::string_view name) {
+  if (name.empty()) return false;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    char c = name[i];
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+              (i > 0 && c >= '0' && c <= '9');
+    if (!ok) return false;
+  }
+  return true;
+}
+
+/// Validate a `name{label="value",...} value [timestamp]` sample line.
+/// Returns the metric name via `out_name` (empty on hard parse failure).
+void check_prom_sample(const std::string& file, const std::string& line,
+                       std::size_t lineno, std::string& out_name,
+                       std::map<std::string, std::string>& out_labels) {
+  std::string ctx = "line " + std::to_string(lineno);
+  std::size_t pos = 0;
+  while (pos < line.size() && line[pos] != '{' && line[pos] != ' ') ++pos;
+  out_name = line.substr(0, pos);
+  if (!valid_metric_name(out_name)) {
+    fail(file, ctx + ": invalid metric name \"" + out_name + "\"");
+    out_name.clear();
+    return;
+  }
+  if (pos < line.size() && line[pos] == '{') {
+    ++pos;
+    while (pos < line.size() && line[pos] != '}') {
+      std::size_t eq = line.find('=', pos);
+      if (eq == std::string::npos) {
+        fail(file, ctx + ": malformed label pair");
+        return;
+      }
+      std::string lname = line.substr(pos, eq - pos);
+      if (!valid_label_name(lname)) {
+        fail(file, ctx + ": invalid label name \"" + lname + "\"");
+        return;
+      }
+      pos = eq + 1;
+      if (pos >= line.size() || line[pos] != '"') {
+        fail(file, ctx + ": label value for \"" + lname + "\" not quoted");
+        return;
+      }
+      ++pos;
+      std::string lvalue;
+      while (pos < line.size() && line[pos] != '"') {
+        if (line[pos] == '\\' && pos + 1 < line.size()) ++pos;
+        lvalue.push_back(line[pos++]);
+      }
+      if (pos >= line.size()) {
+        fail(file, ctx + ": unterminated label value");
+        return;
+      }
+      ++pos;  // closing quote
+      out_labels[lname] = lvalue;
+      if (pos < line.size() && line[pos] == ',') ++pos;
+    }
+    if (pos >= line.size() || line[pos] != '}') {
+      fail(file, ctx + ": unterminated label set");
+      return;
+    }
+    ++pos;
+  }
+  if (pos >= line.size() || line[pos] != ' ') {
+    fail(file, ctx + ": no value after metric name");
+    return;
+  }
+  ++pos;
+  std::string rest = line.substr(pos);
+  std::size_t space = rest.find(' ');
+  std::string value = rest.substr(0, space);
+  if (value != "+Inf" && value != "-Inf" && value != "NaN") {
+    char* end = nullptr;
+    std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0') {
+      fail(file, ctx + ": unparsable sample value \"" + value + "\"");
+    }
+  }
+  if (space != std::string::npos) {
+    std::string ts = rest.substr(space + 1);
+    char* end = nullptr;
+    std::strtoll(ts.c_str(), &end, 10);
+    if (end == ts.c_str() || *end != '\0') {
+      fail(file, ctx + ": unparsable timestamp \"" + ts + "\"");
+    }
+  }
+  auto q = out_labels.find("quantile");
+  if (q != out_labels.end()) {
+    char* end = nullptr;
+    double qv = std::strtod(q->second.c_str(), &end);
+    if (end == q->second.c_str() || *end != '\0' || qv < 0 || qv > 1) {
+      fail(file, ctx + ": quantile \"" + q->second + "\" not in [0, 1]");
+    }
+  }
+}
+
+/// Validate Prometheus text exposition: TYPE/HELP comment syntax, metric and
+/// label name grammar, numeric sample values, and that every sample belongs
+/// to a family with a preceding # TYPE line (stripping _sum/_count/_bucket
+/// for summary and histogram families).
+void check_prometheus(const std::string& file, const std::string& text) {
+  int before = errors;
+  std::map<std::string, std::string> family_type;  // name -> type
+  std::size_t samples = 0;
+  std::size_t lineno = 0;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string ctx = "line " + std::to_string(lineno);
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream ls(line);
+      std::string hash, keyword, name, type;
+      ls >> hash >> keyword;
+      if (keyword == "TYPE") {
+        ls >> name >> type;
+        if (!valid_metric_name(name)) {
+          fail(file, ctx + ": invalid family name \"" + name + "\"");
+          continue;
+        }
+        if (type != "counter" && type != "gauge" && type != "summary" &&
+            type != "histogram" && type != "untyped") {
+          fail(file, ctx + ": unknown family type \"" + type + "\"");
+          continue;
+        }
+        if (family_type.count(name) > 0) {
+          fail(file, ctx + ": duplicate # TYPE for \"" + name + "\"");
+          continue;
+        }
+        family_type[name] = type;
+      }
+      // # HELP and other comments pass through unvalidated.
+      continue;
+    }
+    std::string name;
+    std::map<std::string, std::string> labels;
+    check_prom_sample(file, line, lineno, name, labels);
+    if (name.empty()) continue;
+    ++samples;
+    // Resolve the sample to its declared family: exact, or a _sum/_count
+    // (_bucket) series of a summary/histogram family.
+    std::string family = name;
+    if (family_type.count(family) == 0) {
+      for (const char* suffix : {"_sum", "_count", "_bucket"}) {
+        std::string s(suffix);
+        if (family.size() > s.size() &&
+            family.compare(family.size() - s.size(), s.size(), s) == 0) {
+          std::string base = family.substr(0, family.size() - s.size());
+          auto it = family_type.find(base);
+          if (it != family_type.end() &&
+              (it->second == "summary" || it->second == "histogram")) {
+            if (s == "_bucket" && it->second != "histogram") continue;
+            family = base;
+            break;
+          }
+        }
+      }
+    }
+    auto it = family_type.find(family);
+    if (it == family_type.end()) {
+      fail(file, ctx + ": sample \"" + name +
+                     "\" has no preceding # TYPE family declaration");
+    } else if (it->second == "summary" && name == family &&
+               labels.count("quantile") == 0) {
+      fail(file, ctx + ": summary sample \"" + name +
+                     "\" without a quantile label");
+    }
+  }
+  if (errors == before) {
+    std::printf("trace_check: %s: prometheus text OK "
+                "(%zu familie(s), %zu sample(s))\n",
+                file.c_str(), family_type.size(), samples);
+  }
+}
+
 void check_file(const std::string& file) {
   std::ifstream in(file);
   if (!in) {
@@ -396,6 +727,17 @@ void check_file(const std::string& file) {
   }
   std::ostringstream buf;
   buf << in.rdbuf();
+  // Prometheus text exposition: by extension, or by content (a JSON
+  // document's first significant character is always '{').
+  if (file.size() > 5 && file.compare(file.size() - 5, 5, ".prom") == 0) {
+    check_prometheus(file, buf.str());
+    return;
+  }
+  std::size_t first = buf.str().find_first_not_of(" \t\r\n");
+  if (first != std::string::npos && buf.str()[first] != '{') {
+    check_prometheus(file, buf.str());
+    return;
+  }
   Value doc;
   try {
     doc = splice::json::parse(buf.str());
@@ -422,6 +764,8 @@ void check_file(const std::string& file) {
     check_explain(file, doc);
   } else if (name == "repo-audit-v1") {
     check_repo_audit(file, doc);
+  } else if (name == "splice-flight-v1") {
+    check_flight(file, doc);
   } else {
     fail(file, "unrecognized document (no traceEvents, schema=\"" + name +
                    "\")");
