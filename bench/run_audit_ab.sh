@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# Interleaved A/B measurement of the incremental audit cache: repo_audit
+# over the RADIUSS repository cold (empty cache directory, every check task
+# is a miss) versus warm (second run over the same repo-audit-cache-v1 file,
+# every task replays from the cache).
+#
+# Methodology (same as bench/run_flight_ab.sh): one RelWithDebInfo build;
+# the two configurations run alternating — cold, warm, cold, warm, … — for
+# ROUNDS rounds in the same time window so machine noise hits both sides
+# equally.  Per series the min across rounds is the comparison estimator.
+# Each run emits its Prometheus exposition and the audit phase time is read
+# from splice_flight_phase_sum{key="audit.seconds"}, so the headline series
+# excludes process startup and repository construction; the end-to-end
+# process time is recorded as a second series.  Results land in:
+#   bench_logs/BENCH_repo_audit_incremental_before.json   (cold, cache miss)
+#   bench_logs/BENCH_repo_audit_incremental_after.json    (warm, cache hit)
+# both schema splice-bench-v1.  The contract is warm audit time >= 10x
+# faster than cold (min over rounds); the script exits 1 if it is not.
+#
+# Usage: bench/run_audit_ab.sh [rounds]
+#   ROUNDS      override round count (default 10)
+#   JOBS        --jobs for every run (default 4)
+#   WORK        scratch directory (default <repo>/build-audit-ab)
+set -euo pipefail
+
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+ROUNDS="${1:-${ROUNDS:-10}}"
+JOBS="${JOBS:-4}"
+WORK="${WORK:-$REPO/build-audit-ab}"
+OUT="$REPO/bench_logs"
+
+cmake -B "$WORK/build" -S "$REPO" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build "$WORK/build" -j --target repo_audit >/dev/null
+
+python3 - "$WORK" "$OUT" "$ROUNDS" "$JOBS" <<'EOF'
+import json, math, shutil, statistics, subprocess, sys, time
+
+work, out_dir, rounds, jobs = (sys.argv[1], sys.argv[2], int(sys.argv[3]),
+                               sys.argv[4])
+audit = f"{work}/build/tools/repo_audit"
+prom = f"{work}/run.prom"
+
+def run(cache_dir):
+    """One audit run; returns (audit phase seconds, process seconds)."""
+    t0 = time.perf_counter()
+    subprocess.run([audit, "--jobs", jobs, "--cache-dir", cache_dir,
+                    "--metrics", prom],
+                   check=True, stdout=subprocess.DEVNULL,
+                   stderr=subprocess.DEVNULL)
+    wall = time.perf_counter() - t0
+    with open(prom) as f:
+        for line in f:
+            if line.startswith('splice_flight_phase_sum{key="audit.seconds"}'):
+                return float(line.split()[-1]), wall
+    sys.exit(f"audit-ab: no audit.seconds phase in {prom}")
+
+samples = {"cold": {"radiuss_audit": [], "radiuss_process": []},
+           "warm": {"radiuss_audit": [], "radiuss_process": []}}
+warm_cache = f"{work}/warm-cache"
+shutil.rmtree(warm_cache, ignore_errors=True)
+run(warm_cache)  # seed the warm side's cache once, unmeasured
+for r in range(1, rounds + 1):
+    cold_cache = f"{work}/cold-cache"
+    shutil.rmtree(cold_cache, ignore_errors=True)
+    for side, cache in (("cold", cold_cache), ("warm", warm_cache)):
+        phase, wall = run(cache)
+        samples[side]["radiuss_audit"].append(phase)
+        samples[side]["radiuss_process"].append(wall)
+    print(f"audit-ab: round {r}/{rounds} "
+          f"cold={samples['cold']['radiuss_audit'][-1] * 1e3:.1f}ms "
+          f"warm={samples['warm']['radiuss_audit'][-1] * 1e3:.1f}ms",
+          file=sys.stderr)
+
+def aggregate(series_samples):
+    series = {}
+    for name, xs in sorted(series_samples.items()):
+        xs = sorted(xs)
+        n = len(xs)
+        series[name] = {
+            "n": n,
+            "mean_seconds": statistics.fmean(xs),
+            "stddev_seconds": statistics.stdev(xs) if n > 1 else 0.0,
+            "median_seconds": statistics.median(xs),
+            "p90_seconds": xs[min(n - 1, math.ceil(0.9 * n) - 1)],
+            "min_seconds": xs[0],
+            "max_seconds": xs[-1],
+        }
+    return series
+
+note = (f"{rounds} interleaved runs of repo_audit --jobs {jobs} over RADIUSS "
+        "with an empty audit cache directory ('before', every task a miss) "
+        "and a pre-seeded repo-audit-cache-v1 file ('after', every task "
+        "replays), alternating in the same time window on the same machine "
+        "(RelWithDebInfo).  radiuss_audit is the audit phase only "
+        '(splice_flight_phase_sum{key="audit.seconds"}); radiuss_process is '
+        "the end-to-end process time.  Compare min_seconds; the contract is "
+        "a >= 10x cold->warm speedup on radiuss_audit.")
+
+for stem, side in (("before", "cold"), ("after", "warm")):
+    doc = {"schema": "splice-bench-v1",
+           "bench": f"repo_audit_incremental_{stem}", "note": note,
+           "series": {"bench": aggregate(samples[side])}}
+    path = f"{out_dir}/BENCH_repo_audit_incremental_{stem}.json"
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"audit-ab: wrote {path}", file=sys.stderr)
+
+print(f"\n{'series':<22} {'cold (ms)':>12} {'warm (ms)':>12} {'speedup':>9}")
+for name in sorted(samples["cold"]):
+    c = min(samples["cold"][name])
+    w = min(samples["warm"][name])
+    print(f"{name:<22} {c * 1e3:>12.2f} {w * 1e3:>12.2f} {c / w:>8.1f}x")
+speedup = (min(samples["cold"]["radiuss_audit"]) /
+           min(samples["warm"]["radiuss_audit"]))
+print(f"\ncold->warm audit speedup (min over rounds): {speedup:.1f}x")
+sys.exit(0 if speedup >= 10.0 else 1)
+EOF

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "src/support/error.hpp"
+#include "src/support/hash.hpp"
 
 namespace splice::abi {
 
@@ -23,6 +24,13 @@ AbiComparison compare_exports(const MockBinary& a, const MockBinary& b) {
   std::set_difference(eb.begin(), eb.end(), ea.begin(), ea.end(),
                       std::back_inserter(out.only_in_b));
   return out;
+}
+
+std::string surface_fingerprint(const MockBinary& bin) {
+  std::set<std::string> exports(bin.exports.begin(), bin.exports.end());
+  Hasher h;
+  for (const std::string& sym : exports) h.field(sym);
+  return h.hex();
 }
 
 std::string SpliceSuggestion::directive_text() const {

@@ -37,6 +37,16 @@ struct AbiComparison {
 AbiComparison compare_exports(const binary::MockBinary& a,
                               const binary::MockBinary& b);
 
+/// Content hash of a binary's exported symbol surface: the sorted,
+/// deduplicated export set, independent of declaration order and of
+/// everything else in the binary (code bytes, rpaths, needed records).
+/// Two binaries with equal fingerprints are interchangeable as far as every
+/// splice-safety comparison is concerned, which makes this the ABI-side
+/// input of the incremental audit cache (src/analysis/audit_cache): a
+/// rebuilt artifact re-validates cached splice findings only when its
+/// surface actually changed.
+std::string surface_fingerprint(const binary::MockBinary& bin);
+
 /// A proposed can_splice directive.
 struct SpliceSuggestion {
   std::string replacement_package;  ///< package that would declare it

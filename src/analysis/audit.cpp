@@ -2,15 +2,20 @@
 
 #include <algorithm>
 #include <fstream>
+#include <functional>
 #include <set>
 #include <sstream>
+#include <thread>
 
 #include "src/abi/discovery.hpp"
+#include "src/analysis/audit_cache.hpp"
 #include "src/asp/analyze.hpp"
 #include "src/concretize/concretizer.hpp"
 #include "src/support/error.hpp"
 #include "src/support/flight.hpp"
+#include "src/support/parallel.hpp"
 #include "src/support/strings.hpp"
+#include "src/support/trace.hpp"
 
 namespace splice::analysis {
 
@@ -61,6 +66,18 @@ std::string_view check_id_str(CheckId id) {
   return "?";
 }
 
+bool check_id_from_str(std::string_view text, CheckId& out) {
+  for (std::uint8_t raw = 0;
+       raw <= static_cast<std::uint8_t>(CheckId::EncodingWarning); ++raw) {
+    CheckId id = static_cast<CheckId>(raw);
+    if (check_id_str(id) == text) {
+      out = id;
+      return true;
+    }
+  }
+  return false;
+}
+
 Severity severity_of(CheckId id) {
   switch (id) {
     case CheckId::WhenUnsatisfiableVersion:
@@ -106,6 +123,71 @@ std::string Finding::str() const {
   return out;
 }
 
+json::Value Finding::to_json() const {
+  json::Object item;
+  item["id"] = std::string(check_id_str(id));
+  item["severity"] = std::string(severity_str(severity));
+  item["package"] = package;
+  item["directive"] = directive;
+  item["message"] = message;
+  json::Object source;
+  source["known"] = loc.known();
+  source["index"] = static_cast<std::int64_t>(loc.index);
+  if (loc.known()) {
+    source["file"] = loc.file;
+    source["line"] = static_cast<std::int64_t>(loc.line);
+  }
+  item["source"] = std::move(source);
+  json::Array related_arr;
+  for (const std::string& r : related) related_arr.push_back(r);
+  item["related"] = std::move(related_arr);
+  return json::Value(std::move(item));
+}
+
+bool Finding::from_json(const json::Value& v, Finding& out) {
+  if (!v.is_object()) return false;
+  const json::Value* id = v.find("id");
+  const json::Value* package = v.find("package");
+  const json::Value* directive = v.find("directive");
+  const json::Value* message = v.find("message");
+  const json::Value* source = v.find("source");
+  if (id == nullptr || !id->is_string() ||
+      !check_id_from_str(id->as_string(), out.id)) {
+    return false;
+  }
+  if (package == nullptr || !package->is_string()) return false;
+  if (directive == nullptr || !directive->is_string()) return false;
+  if (message == nullptr || !message->is_string()) return false;
+  // Severity is the fixed per-check policy; re-derive rather than trust the
+  // serialized string, so a stale cache can never downgrade an error.
+  out.severity = severity_of(out.id);
+  out.package = package->as_string();
+  out.directive = directive->as_string();
+  out.message = message->as_string();
+  out.loc = {};
+  if (source != nullptr && source->is_object()) {
+    const json::Value* index = source->find("index");
+    const json::Value* file = source->find("file");
+    const json::Value* line = source->find("line");
+    if (index != nullptr && index->is_int()) {
+      out.loc.index = static_cast<std::uint32_t>(index->as_int());
+    }
+    if (file != nullptr && file->is_string()) out.loc.file = file->as_string();
+    if (line != nullptr && line->is_int()) {
+      out.loc.line = static_cast<std::uint32_t>(line->as_int());
+    }
+  }
+  out.related.clear();
+  if (const json::Value* related = v.find("related");
+      related != nullptr && related->is_array()) {
+    for (const json::Value& r : related->as_array()) {
+      if (!r.is_string()) return false;
+      out.related.push_back(r.as_string());
+    }
+  }
+  return true;
+}
+
 std::size_t AuditReport::count(Severity severity) const {
   return static_cast<std::size_t>(
       std::count_if(findings.begin(), findings.end(),
@@ -118,12 +200,16 @@ std::size_t AuditReport::count(CheckId id) const {
                     [&](const Finding& f) { return f.id == id; }));
 }
 
-std::string AuditReport::str() const {
+std::string AuditReport::findings_str() const {
   std::string out;
   for (const Finding& f : findings) {
     out += f.str();
     out += '\n';
   }
+  return out;
+}
+
+std::string AuditReport::summary_str() const {
   std::ostringstream summary;
   summary << "audited " << packages_audited << " package(s), "
           << virtuals_audited << " virtual(s), " << splice_directives
@@ -132,9 +218,10 @@ std::string AuditReport::str() const {
           << encoding_programs << " encoding program(s): " << count(Severity::Error)
           << " error(s), " << count(Severity::Warning) << " warning(s), "
           << count(Severity::Info) << " info(s)\n";
-  out += summary.str();
-  return out;
+  return summary.str();
 }
+
+std::string AuditReport::str() const { return findings_str() + summary_str(); }
 
 json::Value AuditReport::to_json() const {
   json::Object doc;
@@ -153,26 +240,7 @@ json::Value AuditReport::to_json() const {
   summary["clean"] = !has_errors();
   doc["summary"] = std::move(summary);
   json::Array items;
-  for (const Finding& f : findings) {
-    json::Object item;
-    item["id"] = std::string(check_id_str(f.id));
-    item["severity"] = std::string(severity_str(f.severity));
-    item["package"] = f.package;
-    item["directive"] = f.directive;
-    item["message"] = f.message;
-    json::Object source;
-    source["known"] = f.loc.known();
-    source["index"] = static_cast<std::int64_t>(f.loc.index);
-    if (f.loc.known()) {
-      source["file"] = f.loc.file;
-      source["line"] = static_cast<std::int64_t>(f.loc.line);
-    }
-    item["source"] = std::move(source);
-    json::Array related;
-    for (const std::string& r : f.related) related.push_back(r);
-    item["related"] = std::move(related);
-    items.push_back(json::Value(std::move(item)));
-  }
+  for (const Finding& f : findings) items.push_back(f.to_json());
   doc["findings"] = std::move(items);
   return json::Value(std::move(doc));
 }
@@ -184,7 +252,7 @@ void RepoAuditor::add_binary(const Spec& concrete, binary::MockBinary bin) {
   if (!concrete.is_concrete()) {
     throw Error("repo audit: binary spec is not concrete: " + concrete.str());
   }
-  binaries_.push_back(BinEntry{concrete, std::move(bin)});
+  binaries_.push_back(AuditBinary{concrete, std::move(bin)});
 }
 
 void RepoAuditor::scan_buildcache(const binary::BuildCache& cache) {
@@ -244,13 +312,14 @@ std::string declared_versions_str(const PackageDef& def) {
 
 void RepoAuditor::check_spec(const PackageDef& pkg, const Spec& s,
                              bool when_side, std::string_view directive,
-                             const DirectiveLoc& loc, AuditReport& out) const {
+                             const DirectiveLoc& loc,
+                             std::vector<Finding>& out) const {
   const char* side = when_side ? "when=" : "target";
   for (const SpecNode& node : s.nodes()) {
     if (repo_.is_virtual(node.name)) continue;  // constraints flow to providers
     const PackageDef* def = repo_.find(node.name);
     if (def == nullptr) {
-      out.findings.push_back(make_finding(
+      out.push_back(make_finding(
           when_side ? CheckId::WhenUnknownPackage : CheckId::TargetUnknownPackage,
           pkg.name(), std::string(directive),
           std::string(side) + " constrains '" + node.name +
@@ -265,7 +334,7 @@ void RepoAuditor::check_spec(const PackageDef& pkg, const Spec& s,
           def->versions().begin(), def->versions().end(),
           [&](const auto& v) { return node.versions.includes(v.version); });
       if (!some) {
-        out.findings.push_back(make_finding(
+        out.push_back(make_finding(
             when_side ? CheckId::WhenUnsatisfiableVersion
                       : CheckId::TargetUnsatisfiableVersion,
             pkg.name(), std::string(directive),
@@ -280,7 +349,7 @@ void RepoAuditor::check_spec(const PackageDef& pkg, const Spec& s,
     for (const auto& [vname, vval] : node.variants) {
       const repo::VariantDecl* vd = def->find_variant(vname);
       if (vd == nullptr) {
-        out.findings.push_back(make_finding(
+        out.push_back(make_finding(
             when_side ? CheckId::WhenUnknownVariant : CheckId::TargetUnknownVariant,
             pkg.name(), std::string(directive),
             std::string(side) + " references variant '" + vname + "' of '" +
@@ -292,7 +361,7 @@ void RepoAuditor::check_spec(const PackageDef& pkg, const Spec& s,
                                : std::find(vd->allowed.begin(), vd->allowed.end(),
                                            vval) != vd->allowed.end();
       if (!valid) {
-        out.findings.push_back(make_finding(
+        out.push_back(make_finding(
             when_side ? CheckId::WhenInvalidVariantValue
                       : CheckId::TargetInvalidVariantValue,
             pkg.name(), std::string(directive),
@@ -304,7 +373,8 @@ void RepoAuditor::check_spec(const PackageDef& pkg, const Spec& s,
   }
 }
 
-void RepoAuditor::check_package(const PackageDef& pkg, AuditReport& out) const {
+void RepoAuditor::check_package(const PackageDef& pkg,
+                                std::vector<Finding>& out) const {
   for (const DependencyDecl& d : pkg.dependencies()) {
     if (d.when) check_spec(pkg, *d.when, true, "depends_on", d.loc, out);
     check_spec(pkg, d.target, false, "depends_on", d.loc, out);
@@ -332,7 +402,7 @@ void RepoAuditor::check_package(const PackageDef& pkg, AuditReport& out) const {
       if (a.target.root().name != b.target.root().name) continue;
       if (a.target.str() == b.target.str() &&
           when_str(a.when) == when_str(b.when) && a.type == b.type) {
-        out.findings.push_back(make_finding(
+        out.push_back(make_finding(
             CheckId::DuplicateDirective, pkg.name(), "depends_on",
             "duplicate depends_on('" + b.target.str() + "', when=" +
                 when_str(b.when) + "'); the first declaration is at " +
@@ -343,7 +413,7 @@ void RepoAuditor::check_package(const PackageDef& pkg, AuditReport& out) const {
       bool whens_overlap =
           !a.when || !b.when || a.when->intersects(*b.when);
       if (whens_overlap && !a.target.intersects(b.target)) {
-        out.findings.push_back(make_finding(
+        out.push_back(make_finding(
             CheckId::ContradictoryDeps, pkg.name(), "depends_on",
             "conditions " + when_str(a.when) + " and " + when_str(b.when) +
                 " can hold together but impose contradictory constraints '" +
@@ -361,7 +431,7 @@ void RepoAuditor::check_package(const PackageDef& pkg, AuditReport& out) const {
     for (const ConditionalSpec& c : pkg.conflicts_list()) {
       if (c.when) continue;
       if (d.when->satisfies(c.target)) {
-        out.findings.push_back(make_finding(
+        out.push_back(make_finding(
             CheckId::UnreachableDep, pkg.name(), "depends_on",
             "condition " + d.when->str() + " implies the unconditional "
                 "conflict '" + c.target.str() + "' declared at " +
@@ -372,7 +442,7 @@ void RepoAuditor::check_package(const PackageDef& pkg, AuditReport& out) const {
   }
 }
 
-void RepoAuditor::check_providers(AuditReport& out) const {
+void RepoAuditor::check_providers(std::vector<Finding>& out) const {
   for (const std::string& virt : repo_.virtual_names()) {
     std::vector<std::string> providers = repo_.providers(virt);
     if (providers.empty()) {
@@ -388,7 +458,7 @@ void RepoAuditor::check_providers(AuditReport& out) const {
       std::string message =
           "virtual '" + virt + "' has no provider in this repo (" +
           std::to_string(dependers.size()) + " package(s) depend on it)";
-      out.findings.push_back(make_finding(CheckId::VirtualNoProvider, virt, "",
+      out.push_back(make_finding(CheckId::VirtualNoProvider, virt, "",
                                           std::move(message), {},
                                           std::move(dependers)));
       continue;
@@ -423,7 +493,7 @@ void RepoAuditor::check_providers(AuditReport& out) const {
         }
       }
       if (cycle) {
-        out.findings.push_back(make_finding(
+        out.push_back(make_finding(
             CheckId::ProviderCycle, provider, "provides",
             "provider '" + provider + "' of virtual '" + virt +
                 "' transitively depends on that same virtual",
@@ -447,7 +517,7 @@ void RepoAuditor::check_providers(AuditReport& out) const {
           "virtual '" + virt + "' has " + std::to_string(unconditional.size()) +
           " unconditional providers; the default is registration order (" +
           unconditional.front() + " first)";
-      out.findings.push_back(make_finding(CheckId::AmbiguousDefaultProvider,
+      out.push_back(make_finding(CheckId::AmbiguousDefaultProvider,
                                           virt, "", std::move(message), {},
                                           std::move(unconditional)));
     }
@@ -456,7 +526,7 @@ void RepoAuditor::check_providers(AuditReport& out) const {
   for (const std::string& name : repo_.package_names()) {
     for (const CanSpliceDecl& s : repo_.get(name).splices()) {
       if (repo_.is_virtual(s.target.root().name)) {
-        out.findings.push_back(make_finding(
+        out.push_back(make_finding(
             CheckId::SpliceVirtualTarget, name, "can_splice",
             "can_splice target '" + s.target.str() +
                 "' names a virtual; splice targets must be concrete packages",
@@ -466,15 +536,16 @@ void RepoAuditor::check_providers(AuditReport& out) const {
   }
 }
 
-void RepoAuditor::check_splices(const PackageDef& pkg, AuditReport& out) const {
+void RepoAuditor::check_splices(const PackageDef& pkg,
+                                std::vector<Finding>& out) const {
   for (const CanSpliceDecl& s : pkg.splices()) {
     const std::string& target_name = s.target.root().name;
     if (repo_.is_virtual(target_name) || !repo_.contains(target_name)) {
       continue;  // already an error from the provider/constraint groups
     }
-    std::vector<const BinEntry*> repl;
-    std::vector<const BinEntry*> tgt;
-    for (const BinEntry& e : binaries_) {
+    std::vector<const AuditBinary*> repl;
+    std::vector<const AuditBinary*> tgt;
+    for (const AuditBinary& e : binaries_) {
       if (e.spec.root().name == pkg.name() &&
           (!s.when || e.spec.satisfies(*s.when))) {
         repl.push_back(&e);
@@ -491,7 +562,7 @@ void RepoAuditor::check_splices(const PackageDef& pkg, AuditReport& out) const {
               ? "no binary on either side"
               : repl.empty() ? "no binary of '" + pkg.name() + "' satisfies when="
                              : "no binary satisfies the target";
-      out.findings.push_back(make_finding(
+      out.push_back(make_finding(
           CheckId::SpliceUnexercised, pkg.name(), "can_splice",
           claim + " has no installed/cached candidate pair to exercise it (" +
               missing + " among " + std::to_string(binaries_.size()) +
@@ -506,8 +577,8 @@ void RepoAuditor::check_splices(const PackageDef& pkg, AuditReport& out) const {
     bool reciprocal_holds = true;
     std::vector<std::string> sample_missing;
     std::string sample_pair;
-    for (const BinEntry* r : repl) {
-      for (const BinEntry* t : tgt) {
+    for (const AuditBinary* r : repl) {
+      for (const AuditBinary* t : tgt) {
         ++pairs;
         abi::AbiComparison cmp = abi::compare_exports(r->bin, t->bin);
         if (!cmp.a_covers_b()) {
@@ -527,7 +598,7 @@ void RepoAuditor::check_splices(const PackageDef& pkg, AuditReport& out) const {
       }
     }
     if (refuting > 0) {
-      out.findings.push_back(make_finding(
+      out.push_back(make_finding(
           CheckId::SpliceRefuted, pkg.name(), "can_splice",
           claim + " is refuted by the binaries: " + std::to_string(refuting) +
               " of " + std::to_string(pairs) +
@@ -549,7 +620,7 @@ void RepoAuditor::check_splices(const PackageDef& pkg, AuditReport& out) const {
         }
       }
       if (!reciprocal_declared) {
-        out.findings.push_back(make_finding(
+        out.push_back(make_finding(
             CheckId::SpliceAsymmetric, pkg.name(), "can_splice",
             claim + " verified over " + std::to_string(pairs) +
                 " pair(s); surfaces cover both directions but '" + target_name +
@@ -560,9 +631,9 @@ void RepoAuditor::check_splices(const PackageDef& pkg, AuditReport& out) const {
   }
 }
 
-void RepoAuditor::check_suggestions(AuditReport& out) const {
+void RepoAuditor::check_suggestions(std::vector<Finding>& out) const {
   abi::AbiDiscovery discovery;
-  for (const BinEntry& e : binaries_) discovery.add_binary(e.spec, e.bin);
+  for (const AuditBinary& e : binaries_) discovery.add_binary(e.spec, e.bin);
   for (const abi::SpliceSuggestion& sug : discovery.suggest()) {
     Spec target = Spec::parse(sug.target);
     const std::string& target_name = target.root().name;
@@ -579,7 +650,7 @@ void RepoAuditor::check_suggestions(AuditReport& out) const {
       }
     }
     if (declared) continue;
-    out.findings.push_back(make_finding(
+    out.push_back(make_finding(
         CheckId::SpliceUndeclared, sug.replacement_package, "can_splice",
         "abi discovery suggests " + sug.directive_text() + " — " +
             sug.rationale + " — but no directive declares it",
@@ -587,37 +658,106 @@ void RepoAuditor::check_suggestions(AuditReport& out) const {
   }
 }
 
-void RepoAuditor::check_encoding(AuditReport& out) const {
+std::size_t RepoAuditor::check_encoding(const std::string& package,
+                                        std::vector<Finding>& out) const {
+  // One Concretizer per task: compile state is not shared across the worker
+  // threads the parallel audit fans these tasks out to.
   concretize::ConcretizerOptions copts;
   copts.encoding = concretize::ReuseEncoding::Indirect;
   copts.enable_splicing = true;
   concretize::Concretizer conc(repo_, copts);
   asp::AnalyzeOptions lint = concretize::Concretizer::lint_options();
-  for (const std::string& name : repo_.package_names()) {
-    asp::AnalysisReport rep;
-    try {
-      asp::Program program =
-          conc.compile_program({concretize::Request(Spec::make(name))});
-      rep = asp::analyze(program, lint);
-    } catch (const Error& e) {
-      out.findings.push_back(make_finding(
-          CheckId::EncodingError, name, "",
-          std::string("compiling the concretizer program failed: ") + e.what()));
-      continue;
+  asp::AnalysisReport rep;
+  try {
+    asp::Program program =
+        conc.compile_program({concretize::Request(Spec::make(package))});
+    rep = asp::analyze(program, lint);
+  } catch (const Error& e) {
+    out.push_back(make_finding(
+        CheckId::EncodingError, package, "",
+        std::string("compiling the concretizer program failed: ") + e.what()));
+    return 0;
+  }
+  for (const asp::Diagnostic& d : rep.diagnostics) {
+    if (d.severity == asp::DiagSeverity::Info) continue;  // expected cycles
+    out.push_back(make_finding(
+        d.severity == asp::DiagSeverity::Error ? CheckId::EncodingError
+                                               : CheckId::EncodingWarning,
+        package, "", "compiled program for '" + package + "': " + d.str(), {},
+        {d.predicate}));
+  }
+  return 1;
+}
+
+/// One schedulable unit of an audit run: a task id ("group/package", or
+/// "group//name" for repo-level tasks), the content key it caches under
+/// (empty when no cache is in play), and the work itself.
+struct RepoAuditor::Task {
+  std::string id;
+  std::string key;
+  std::function<std::size_t(std::vector<Finding>&)> fn;  ///< returns programs
+};
+
+void RepoAuditor::run_tasks(std::vector<Task>& tasks, AuditCache* cache,
+                            std::set<std::string>& live_tasks,
+                            AuditReport& out) const {
+  struct Slot {
+    std::vector<Finding> findings;
+    std::size_t programs = 0;
+    bool cached = false;
+  };
+  std::vector<Slot> slots(tasks.size());
+
+  // Resolve cache hits up front; collect the remainder for the pool.
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const Task& t = tasks[i];
+    live_tasks.insert(t.id);
+    if (cache != nullptr) {
+      if (const CacheEntry* e = cache->lookup(t.id, t.key)) {
+        slots[i].findings = e->findings;
+        slots[i].programs = e->programs;
+        slots[i].cached = true;
+        ++out.cache_hits;
+        continue;
+      }
+      if (cache->contains(t.id)) {
+        ++out.cache_invalidated;
+      } else {
+        ++out.cache_misses;
+      }
     }
-    ++out.encoding_programs;
-    for (const asp::Diagnostic& d : rep.diagnostics) {
-      if (d.severity == asp::DiagSeverity::Info) continue;  // expected cycles
-      out.findings.push_back(make_finding(
-          d.severity == asp::DiagSeverity::Error ? CheckId::EncodingError
-                                                 : CheckId::EncodingWarning,
-          name, "", "compiled program for '" + name + "': " + d.str(), {},
-          {d.predicate}));
+    pending.push_back(i);
+  }
+
+  std::size_t jobs = opts_.jobs == 0
+                         ? std::max(1u, std::thread::hardware_concurrency())
+                         : opts_.jobs;
+  out.workers_used =
+      std::max(out.workers_used, parallel_workers(pending.size(), jobs));
+  parallel_for_each(pending.size(), jobs, [&](std::size_t k) {
+    Slot& slot = slots[pending[k]];
+    slot.programs = tasks[pending[k]].fn(slot.findings);
+  });
+
+  // Deterministic merge: strictly in task-declaration order, which is the
+  // sequential auditor's iteration order — every job count and every
+  // cold/warm split yields a byte-identical findings list.
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    Slot& slot = slots[i];
+    if (!slot.cached) {
+      out.rechecked_tasks.push_back(tasks[i].id);
+      if (cache != nullptr) {
+        cache->store(tasks[i].id,
+                     CacheEntry{tasks[i].key, slot.findings, slot.programs});
+      }
     }
+    out.encoding_programs += slot.programs;
+    for (Finding& f : slot.findings) out.findings.push_back(std::move(f));
   }
 }
 
-AuditReport RepoAuditor::run() const {
+AuditReport RepoAuditor::run(AuditCache* cache) const {
   AuditReport out;
   out.packages_audited = repo_.size();
   out.virtuals_audited = repo_.virtual_names().size();
@@ -626,27 +766,57 @@ AuditReport RepoAuditor::run() const {
     out.splice_directives += repo_.get(name).splices().size();
   }
 
+  std::optional<AuditFingerprints> fp;
+  if (cache != nullptr) fp.emplace(repo_, binaries_, opts_);
+  std::set<std::string> live_tasks;
+
   // Each check group runs under its own flight-recorder request so a batch
   // audit can attribute wall time per group after the fact.
   if (opts_.constraint_checks) {
     flight::RequestScope req("audit constraint-checks");
     flight::PhaseScope phase(flight::Phase::Audit);
+    std::vector<Task> tasks;
     for (const std::string& name : repo_.package_names()) {
-      check_package(repo_.get(name), out);
+      tasks.push_back(Task{
+          "constraint/" + name, fp ? fp->constraint_key(name) : "",
+          [this, &name](std::vector<Finding>& findings) {
+            check_package(repo_.get(name), findings);
+            return std::size_t{0};
+          }});
     }
+    run_tasks(tasks, cache, live_tasks, out);
   }
   if (opts_.provider_checks) {
     flight::RequestScope req("audit provider-checks");
     flight::PhaseScope phase(flight::Phase::Audit);
-    check_providers(out);
+    std::vector<Task> tasks;
+    tasks.push_back(Task{"provider//graph",
+                         fp ? fp->provider_graph_key() : "",
+                         [this](std::vector<Finding>& findings) {
+                           check_providers(findings);
+                           return std::size_t{0};
+                         }});
+    run_tasks(tasks, cache, live_tasks, out);
   }
   if (opts_.splice_checks && !binaries_.empty()) {
     flight::RequestScope req("audit splice-safety");
     flight::PhaseScope phase(flight::Phase::Audit);
+    std::vector<Task> tasks;
     for (const std::string& name : repo_.package_names()) {
-      check_splices(repo_.get(name), out);
+      tasks.push_back(Task{
+          "splice/" + name, fp ? fp->splice_key(name) : "",
+          [this, &name](std::vector<Finding>& findings) {
+            check_splices(repo_.get(name), findings);
+            return std::size_t{0};
+          }});
     }
-    check_suggestions(out);
+    tasks.push_back(Task{"splice//suggestions",
+                         fp ? fp->suggestions_key() : "",
+                         [this](std::vector<Finding>& findings) {
+                           check_suggestions(findings);
+                           return std::size_t{0};
+                         }});
+    run_tasks(tasks, cache, live_tasks, out);
   }
   // The encoding cross-check only means something for a repo the
   // repo-level checks accept: compiled facts for a broken repo would
@@ -654,8 +824,38 @@ AuditReport RepoAuditor::run() const {
   if (opts_.encoding_checks && !out.has_errors()) {
     flight::RequestScope req("audit encoding-cross-check");
     flight::PhaseScope phase(flight::Phase::Audit);
-    check_encoding(out);
+    std::vector<Task> tasks;
+    for (const std::string& name : repo_.package_names()) {
+      tasks.push_back(Task{"encoding/" + name,
+                           fp ? fp->encoding_key(name) : "",
+                           [this, &name](std::vector<Finding>& findings) {
+                             return check_encoding(name, findings);
+                           }});
+    }
+    run_tasks(tasks, cache, live_tasks, out);
   }
+
+  if (cache != nullptr) {
+    // Tasks that no longer exist (deleted packages, disabled groups with
+    // their checks now unreachable) must not survive as immortal entries.
+    // The encoding group is special: when it was *gated off* by errors its
+    // entries stay — they will be valid again once the repo is clean.
+    if (opts_.encoding_checks && out.has_errors()) {
+      for (const std::string& name : repo_.package_names()) {
+        live_tasks.insert("encoding/" + name);
+      }
+    }
+    cache->retain(live_tasks);
+
+    trace::MetricsRegistry& metrics = trace::Tracer::global().metrics();
+    metrics.add("audit.cache/hit", static_cast<std::int64_t>(out.cache_hits));
+    metrics.add("audit.cache/miss",
+                static_cast<std::int64_t>(out.cache_misses));
+    metrics.add("audit.cache/invalidated",
+                static_cast<std::int64_t>(out.cache_invalidated));
+  }
+  trace::Tracer::global().metrics().set_gauge(
+      "audit.parallel/workers", static_cast<double>(out.workers_used));
   return out;
 }
 

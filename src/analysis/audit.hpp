@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -76,6 +77,10 @@ enum class CheckId : std::uint8_t {
 
 std::string_view check_id_str(CheckId id);
 
+/// Inverse of check_id_str; returns false on an unknown id string.  Used by
+/// the audit cache to round-trip findings through `repo-audit-cache-v1`.
+bool check_id_from_str(std::string_view text, CheckId& out);
+
 /// The fixed severity policy per check (DESIGN.md §11).
 Severity severity_of(CheckId id);
 
@@ -91,6 +96,13 @@ struct Finding {
 
   /// "error: splice-refuted [mpiabi @ radiuss.cpp:113] message" rendering.
   std::string str() const;
+
+  /// The `repo-audit-v1` finding object (also the cache's on-disk form).
+  json::Value to_json() const;
+
+  /// Inverse of to_json; returns false when `v` is not a well-formed
+  /// finding object (unknown check id, missing field, wrong type).
+  static bool from_json(const json::Value& v, Finding& out);
 };
 
 struct AuditOptions {
@@ -106,6 +118,10 @@ struct AuditOptions {
   bool suggest_same_package = false;
   /// Cap on missing symbols listed per refuted claim.
   std::size_t max_refuted_symbols = 5;
+  /// Worker threads for per-package check tasks.  1 = serial (the default);
+  /// 0 = one per hardware thread.  Findings are merged in fixed task order,
+  /// so every job count produces byte-identical reports.
+  std::size_t jobs = 1;
 };
 
 struct AuditReport {
@@ -116,14 +132,38 @@ struct AuditReport {
   std::size_t binaries_scanned = 0;
   std::size_t encoding_programs = 0;  ///< per-package programs analyzed
 
+  // -- incremental/parallel accounting (not part of repo-audit-v1: cold and
+  //    warm runs must emit byte-identical report artifacts) --
+  std::size_t cache_hits = 0;         ///< tasks replayed from the cache
+  std::size_t cache_misses = 0;       ///< tasks never cached before
+  std::size_t cache_invalidated = 0;  ///< tasks whose content key changed
+  std::size_t workers_used = 1;       ///< peak worker-thread count
+  /// Task ids ("group/package") actually executed this run, in task order.
+  /// With a fully warm cache this is empty — the differential harness's
+  /// oracle that only hashed-as-dirty packages were re-checked.
+  std::vector<std::string> rechecked_tasks;
+
   bool has_errors() const { return count(Severity::Error) > 0; }
   std::size_t count(Severity severity) const;
   std::size_t count(CheckId id) const;
-  /// Multi-line human rendering: every finding plus a summary line.
+  /// One line per finding (what `repo_audit --quiet` prints).
+  std::string findings_str() const;
+  /// The single "audited N package(s), ...: E error(s), ..." line.
+  std::string summary_str() const;
+  /// Multi-line human rendering: every finding plus the summary line.
   std::string str() const;
   /// The `repo-audit-v1` JSON document.
   json::Value to_json() const;
 };
+
+/// One binary under audit with the concrete spec describing it (shared with
+/// the audit cache's fingerprint computation).
+struct AuditBinary {
+  spec::Spec spec;
+  binary::MockBinary bin;
+};
+
+class AuditCache;
 
 /// The whole-repository auditor.  Feed it binaries (installed store,
 /// buildcache artifacts, or direct spec+binary pairs) to enable the
@@ -145,33 +185,51 @@ class RepoAuditor {
 
   std::size_t num_binaries() const { return binaries_.size(); }
 
-  /// Run every enabled check group.  Never throws on findings; deterministic
-  /// order (packages in registration order, directives in declaration
-  /// order).
-  AuditReport run() const;
+  /// Run every enabled check group.  Never throws on findings.
+  ///
+  /// Determinism contract: per-package tasks run across `opts.jobs` worker
+  /// threads, but results merge in fixed task order (check group, then
+  /// packages in registration order, directives in declaration order), so
+  /// the findings list — and every serialized artifact — is byte-identical
+  /// for every job count.
+  ///
+  /// With `cache`, each task's content key (AuditFingerprints) is looked up
+  /// first: an exact match replays the cached findings, anything else runs
+  /// fresh and is stored back.  A cold cache and a warm cache produce
+  /// identical reports by construction; hit/miss/invalidated counts land in
+  /// the report and in the `audit.cache/{hit,miss,invalidated}` metrics.
+  AuditReport run(AuditCache* cache = nullptr) const;
 
  private:
-  struct BinEntry {
-    spec::Spec spec;
-    binary::MockBinary bin;
-  };
+  struct Task;
 
-  void check_package(const repo::PackageDef& pkg, AuditReport& out) const;
-  void check_providers(AuditReport& out) const;
-  void check_splices(const repo::PackageDef& pkg, AuditReport& out) const;
-  void check_suggestions(AuditReport& out) const;
-  void check_encoding(AuditReport& out) const;
+  void check_package(const repo::PackageDef& pkg,
+                     std::vector<Finding>& out) const;
+  void check_providers(std::vector<Finding>& out) const;
+  void check_splices(const repo::PackageDef& pkg,
+                     std::vector<Finding>& out) const;
+  void check_suggestions(std::vector<Finding>& out) const;
+  /// Compile and analyze one package's program; returns the number of
+  /// programs analyzed (0 when compilation itself failed and was reported).
+  std::size_t check_encoding(const std::string& package,
+                             std::vector<Finding>& out) const;
+
+  /// Execute one task group: cache lookups, parallel execution of the
+  /// remainder, deterministic in-order merge, cache store-back.
+  void run_tasks(std::vector<Task>& tasks, AuditCache* cache,
+                 std::set<std::string>& live_tasks, AuditReport& out) const;
 
   /// Constraint-check one spec (a when= condition or a directive target)
   /// node-by-node against the declaring repo.  `when_side` selects the
   /// check-ID family.
   void check_spec(const repo::PackageDef& pkg, const spec::Spec& s,
                   bool when_side, std::string_view directive,
-                  const repo::DirectiveLoc& loc, AuditReport& out) const;
+                  const repo::DirectiveLoc& loc,
+                  std::vector<Finding>& out) const;
 
   const repo::Repository& repo_;
   AuditOptions opts_;
-  std::vector<BinEntry> binaries_;
+  std::vector<AuditBinary> binaries_;
 };
 
 }  // namespace splice::analysis

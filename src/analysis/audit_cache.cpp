@@ -1,0 +1,332 @@
+#include "src/analysis/audit_cache.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "src/abi/discovery.hpp"
+#include "src/support/error.hpp"
+#include "src/support/hash.hpp"
+
+namespace splice::analysis {
+
+using repo::PackageDef;
+
+// ---------------------------------------------------------------------------
+// AuditCache
+
+AuditCache AuditCache::load(const std::filesystem::path& dir) {
+  AuditCache out;
+  std::filesystem::path file = dir / kFileName;
+  std::ifstream in(file, std::ios::binary);
+  if (!in) return out;  // no cache yet: a cold run, not an error
+  std::ostringstream ss;
+  ss << in.rdbuf();
+
+  auto corrupt = [&](std::string_view why) {
+    std::cerr << "warning: ignoring audit cache " << file.string() << ": "
+              << why << " (running a full audit)\n";
+    out.entries_.clear();
+    return out;
+  };
+
+  json::Value doc;
+  try {
+    doc = json::parse(ss.str());
+  } catch (const Error& e) {
+    return corrupt(e.what());
+  }
+  const json::Value* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != kSchema) {
+    return corrupt("unrecognized schema");
+  }
+  const json::Value* entries = doc.find("entries");
+  if (entries == nullptr || !entries->is_object()) {
+    return corrupt("missing entries object");
+  }
+  for (const auto& [task, v] : entries->as_object()) {
+    if (!v.is_object()) continue;  // skip what we cannot parse, keep the rest
+    const json::Value* key = v.find("key");
+    const json::Value* programs = v.find("programs");
+    const json::Value* findings = v.find("findings");
+    if (key == nullptr || !key->is_string() || findings == nullptr ||
+        !findings->is_array()) {
+      continue;
+    }
+    CacheEntry entry;
+    entry.key = key->as_string();
+    if (programs != nullptr && programs->is_int()) {
+      entry.programs = static_cast<std::size_t>(programs->as_int());
+    }
+    bool ok = true;
+    for (const json::Value& f : findings->as_array()) {
+      Finding parsed;
+      if (!Finding::from_json(f, parsed)) {
+        ok = false;
+        break;
+      }
+      entry.findings.push_back(std::move(parsed));
+    }
+    if (ok) out.entries_.emplace(task, std::move(entry));
+  }
+  return out;
+}
+
+json::Value AuditCache::to_json() const {
+  json::Object doc;
+  doc["schema"] = std::string(kSchema);
+  json::Object entries;
+  for (const auto& [task, entry] : entries_) {  // std::map: task-id order
+    json::Object e;
+    e["key"] = entry.key;
+    e["programs"] = static_cast<std::int64_t>(entry.programs);
+    json::Array findings;
+    for (const Finding& f : entry.findings) findings.push_back(f.to_json());
+    e["findings"] = std::move(findings);
+    entries[task] = std::move(e);
+  }
+  doc["entries"] = std::move(entries);
+  return json::Value(std::move(doc));
+}
+
+bool AuditCache::save(const std::filesystem::path& dir) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  std::ofstream out(dir / kFileName, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << to_json().dump_pretty() << '\n';
+  return static_cast<bool>(out);
+}
+
+const CacheEntry* AuditCache::lookup(const std::string& task,
+                                     std::string_view key) const {
+  auto it = entries_.find(task);
+  if (it == entries_.end() || it->second.key != key) return nullptr;
+  return &it->second;
+}
+
+bool AuditCache::contains(const std::string& task) const {
+  return entries_.count(task) > 0;
+}
+
+void AuditCache::store(const std::string& task, CacheEntry entry) {
+  entries_[task] = std::move(entry);
+}
+
+void AuditCache::retain(const std::set<std::string>& tasks) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (tasks.count(it->first) == 0) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AuditFingerprints
+
+namespace {
+
+/// Every package/virtual name referenced by any spec of any directive of
+/// `pkg` — the cross-package surface the constraint checks consult.
+std::set<std::string> referenced_names(const PackageDef& pkg) {
+  std::set<std::string> out;
+  auto absorb = [&](const spec::Spec& s) {
+    for (const spec::SpecNode& node : s.nodes()) out.insert(node.name);
+  };
+  for (const repo::DependencyDecl& d : pkg.dependencies()) {
+    if (d.when) absorb(*d.when);
+    absorb(d.target);
+  }
+  for (const repo::ConditionalSpec& c : pkg.conflicts_list()) {
+    if (c.when) absorb(*c.when);
+    absorb(c.target);
+  }
+  for (const repo::CanSpliceDecl& s : pkg.splices()) {
+    if (s.when) absorb(*s.when);
+    absorb(s.target);
+  }
+  for (const repo::ProvidesDecl& p : pkg.provided()) {
+    if (p.when) absorb(*p.when);
+  }
+  return out;
+}
+
+}  // namespace
+
+AuditFingerprints::AuditFingerprints(const repo::Repository& repo,
+                                     const std::vector<AuditBinary>& binaries,
+                                     const AuditOptions& opts)
+    : repo_(repo), opts_(opts) {
+  Hasher repo_hash;
+  repo_hash.field(AuditCache::kSchema);  // domain/version separation
+  for (const std::string& name : repo.package_names()) {
+    const PackageDef& pkg = repo.get(name);
+    Hasher h;
+    h.field(pkg.canonical_directive_text());
+    directive_hash_.emplace(name, h.hex());
+    Hasher hi;
+    hi.field(pkg.canonical_interface_text());
+    interface_hash_.emplace(name, hi.hex());
+    repo_hash.field(name);
+    repo_hash.field(directive_hash_.at(name));
+  }
+  // The virtual registry is part of the repo surface: which names *are*
+  // virtual changes how every check treats them.
+  for (const std::string& virt : repo.virtual_names()) {
+    repo_hash.field("virtual");
+    repo_hash.field(virt);
+  }
+  repo_hash_ = repo_hash.hex();
+  for (const AuditBinary& b : binaries) {
+    binaries_[b.spec.root().name].emplace_back(
+        b.spec.str(), abi::surface_fingerprint(b.bin));
+  }
+}
+
+const std::string& AuditFingerprints::directive_hash(
+    const std::string& package) const {
+  static const std::string kMissing = "<missing>";
+  auto it = directive_hash_.find(package);
+  return it == directive_hash_.end() ? kMissing : it->second;
+}
+
+const std::string& AuditFingerprints::interface_hash(
+    const std::string& package) const {
+  static const std::string kMissing = "<missing>";
+  auto it = interface_hash_.find(package);
+  return it == interface_hash_.end() ? kMissing : it->second;
+}
+
+std::string AuditFingerprints::constraint_key(
+    const std::string& package) const {
+  Hasher h;
+  h.field("constraint");
+  h.field(directive_hash(package));
+  // The checks consult each referenced package's declared versions and
+  // variants only — its interface — so edits to a neighbour's dependency
+  // list do not invalidate this package's constraint findings.
+  for (const std::string& name : referenced_names(repo_.get(package))) {
+    h.field(name);
+    if (repo_.is_virtual(name)) {
+      h.field("<virtual>");
+    } else {
+      h.field(interface_hash(name));
+    }
+  }
+  return h.hex();
+}
+
+std::string AuditFingerprints::splice_key(const std::string& package) const {
+  Hasher h;
+  h.field("splice");
+  h.field_u64(opts_.max_refuted_symbols);  // caps the message's symbol list
+  h.field(directive_hash(package));
+  auto absorb_binaries = [&](const std::string& name) {
+    auto it = binaries_.find(name);
+    if (it == binaries_.end()) return;
+    for (const auto& [spec_text, fingerprint] : it->second) {
+      h.field(spec_text);
+      h.field(fingerprint);
+    }
+  };
+  absorb_binaries(package);
+  for (const repo::CanSpliceDecl& s : repo_.get(package).splices()) {
+    const std::string& target = s.target.root().name;
+    h.field(target);
+    if (repo_.is_virtual(target)) {
+      h.field("<virtual>");
+      continue;
+    }
+    const PackageDef* def = repo_.find(target);
+    if (def == nullptr) {
+      h.field("<missing>");
+      continue;
+    }
+    // The target's *full* directive text: the reciprocal-claim scan reads
+    // its can_splice list, so a sibling directive edit over there must
+    // re-run this package's splice checks.
+    h.field(directive_hash(target));
+    // Whose virtuals the target provides is splice-relevant context: a
+    // provider change re-routes which binaries can ever pair with it.
+    for (const repo::ProvidesDecl& p : def->provided()) {
+      h.field(p.virtual_name);
+      for (const std::string& provider : repo_.providers(p.virtual_name)) {
+        h.field(provider);
+      }
+    }
+    absorb_binaries(target);
+  }
+  return h.hex();
+}
+
+std::string AuditFingerprints::encoding_key(const std::string& package) const {
+  // The compiled program embeds the package's whole transitive dependency
+  // closure, with virtuals expanded to their ordered provider lists (the
+  // encoding serializes default-provider preference).  Walk that closure.
+  std::set<std::string> packages;
+  std::set<std::string> virtuals;
+  std::vector<std::string> work{package};
+  while (!work.empty()) {
+    std::string cur = std::move(work.back());
+    work.pop_back();
+    if (repo_.is_virtual(cur)) {
+      if (!virtuals.insert(cur).second) continue;
+      for (const std::string& p : repo_.providers(cur)) work.push_back(p);
+      continue;
+    }
+    if (!packages.insert(cur).second) continue;
+    const PackageDef* def = repo_.find(cur);
+    if (def == nullptr) continue;
+    for (const std::string& name : referenced_names(*def)) {
+      work.push_back(name);
+    }
+  }
+  Hasher h;
+  h.field("encoding");
+  for (const std::string& name : packages) {
+    h.field(name);
+    h.field(directive_hash(name));
+  }
+  for (const std::string& virt : virtuals) {
+    h.field(virt);
+    for (const std::string& p : repo_.providers(virt)) h.field(p);
+  }
+  return h.hex();
+}
+
+std::string AuditFingerprints::provider_graph_key() const {
+  // The provider-graph checks walk every package's dependencies, provides
+  // directives, and splices: their input is the whole repository.
+  Hasher h;
+  h.field("provider");
+  h.field(repo_hash_);
+  return h.hex();
+}
+
+std::string AuditFingerprints::suggestions_key() const {
+  Hasher h;
+  h.field("suggestions");
+  h.field(opts_.suggest_same_package ? "same-package" : "cross-package");
+  // Every scanned binary surface feeds the pairwise sweep...
+  for (const auto& [name, bins] : binaries_) {
+    h.field(name);
+    for (const auto& [spec_text, fingerprint] : bins) {
+      h.field(spec_text);
+      h.field(fingerprint);
+    }
+  }
+  // ...and every declared can_splice decides whether a suggestion is novel.
+  for (const std::string& name : repo_.package_names()) {
+    h.field(name);
+    for (const repo::CanSpliceDecl& s : repo_.get(name).splices()) {
+      h.field(s.target.str());
+      h.field(s.when ? s.when->str() : "<always>");
+    }
+  }
+  return h.hex();
+}
+
+}  // namespace splice::analysis

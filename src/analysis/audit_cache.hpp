@@ -1,0 +1,154 @@
+// Incremental auditing: a persistent content-hash cache of per-package
+// audit results (ROADMAP: "cache per-package constraint-check results keyed
+// by directive content hash so a 10k-package repo re-audits in milliseconds
+// after touching one package").
+//
+// Every cacheable unit of RepoAuditor::run() — one (check group, package)
+// pair, plus the two repo-level groups — gets a *task id* ("constraint/app",
+// "splice/vendor-blas", "encoding/app", "provider//graph",
+// "splice//suggestions") and a *content key*: a 128-bit hash over exactly
+// the inputs that check reads.  The key construction is the correctness
+// contract — a check's findings may be replayed from the cache if and only
+// if its key is unchanged — so each key covers:
+//
+//   * the package's own directives, via repo::PackageDef::
+//     canonical_directive_text() (source-location-independent: moving a
+//     package to another file keeps its key; editing any directive,
+//     including a when= condition, changes it);
+//   * the slice of every *other* package the check consults: declared
+//     versions/variants of referenced packages (constraint checks), the
+//     target package's full directive text plus the provider registry of
+//     every virtual it provides (splice-safety checks), the transitive
+//     dependency closure with virtuals expanded to their ordered provider
+//     lists (encoding cross-check);
+//   * the ABI surface inputs of splice-safety checks, via
+//     abi::surface_fingerprint() over every binary of the package and of
+//     its splice targets — a rebuilt artifact invalidates dependents only
+//     when its exported surface actually changed;
+//   * the AuditOptions fields that alter the group's findings.
+//
+// Any upstream change therefore invalidates exactly the tasks whose inputs
+// it reaches, and nothing else.  The cache persists as
+// `<dir>/audit-cache.json`, schema `repo-audit-cache-v1`, validated by
+// tools/trace_check; a corrupt or truncated file degrades to a full audit
+// with a stderr warning, never a crash.
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/analysis/audit.hpp"
+#include "src/repo/repository.hpp"
+#include "src/support/json.hpp"
+
+namespace splice::analysis {
+
+/// One cached task result: the content key it was computed under, the
+/// findings it produced, and how many encoding programs it analyzed.
+struct CacheEntry {
+  std::string key;  ///< 32-hex content hash (AuditFingerprints)
+  std::vector<Finding> findings;
+  std::size_t programs = 0;  ///< encoding programs analyzed by this task
+};
+
+/// The persistent audit cache: task id -> CacheEntry, saved as the
+/// `repo-audit-cache-v1` JSON document.  Deterministic: entries serialize
+/// in task-id order, so cold runs over the same repo produce byte-identical
+/// cache files.
+class AuditCache {
+ public:
+  static constexpr std::string_view kSchema = "repo-audit-cache-v1";
+  static constexpr std::string_view kFileName = "audit-cache.json";
+
+  AuditCache() = default;
+
+  /// Load from `dir / kFileName`.  A missing file yields an empty cache
+  /// silently; a corrupt, truncated, or schema-mismatched file yields an
+  /// empty cache plus one stderr warning — an unreadable cache must degrade
+  /// to a full audit, never fail it.  Entries that fail to parse
+  /// individually are skipped the same way.
+  static AuditCache load(const std::filesystem::path& dir);
+
+  /// Write to `dir / kFileName`, creating `dir` as needed.  Returns false
+  /// on I/O failure.
+  bool save(const std::filesystem::path& dir) const;
+
+  /// The entry for `task` iff it was stored under exactly `key`.
+  const CacheEntry* lookup(const std::string& task, std::string_view key) const;
+
+  /// True when any entry exists for `task` (whatever its key); distinguishes
+  /// an *invalidated* entry from a never-seen *miss* in the counters.
+  bool contains(const std::string& task) const;
+
+  void store(const std::string& task, CacheEntry entry);
+
+  /// Drop every entry whose task id is not in `tasks`: packages deleted
+  /// from the repo must not leave immortal cache entries behind.
+  void retain(const std::set<std::string>& tasks);
+
+  std::size_t size() const { return entries_.size(); }
+
+  json::Value to_json() const;
+
+ private:
+  std::map<std::string, CacheEntry> entries_;
+};
+
+/// Content keys for every cacheable audit task, computed once per run over
+/// one (repository, binaries, options) snapshot.  Key construction is
+/// documented per method; all keys are 32 hex characters.
+class AuditFingerprints {
+ public:
+  AuditFingerprints(const repo::Repository& repo,
+                    const std::vector<AuditBinary>& binaries,
+                    const AuditOptions& opts);
+
+  /// Constraint checks on `package`: its own directive text plus, for every
+  /// package name referenced anywhere in its directive specs, that
+  /// package's declared versions/variants (canonical_interface_text), or a
+  /// virtual/missing marker.
+  std::string constraint_key(const std::string& package) const;
+
+  /// Splice-safety checks on `package`: its own directive text, the
+  /// surface fingerprints of its binaries, and per splice-target: the
+  /// target's full directive text (covers reciprocal can_splice edits), the
+  /// provider registry of every virtual the target provides, and the
+  /// target's binary surfaces.
+  std::string splice_key(const std::string& package) const;
+
+  /// Encoding cross-check on `package`: the full directive text of every
+  /// package in its transitive dependency closure, with virtuals expanded
+  /// to their ordered provider lists (the compiled program embeds default-
+  /// provider preference order).
+  std::string encoding_key(const std::string& package) const;
+
+  /// The repo-level virtual/provider graph checks read every package's
+  /// dependency and provides directives, so their key covers the whole
+  /// repository's directive text.
+  std::string provider_graph_key() const;
+
+  /// The repo-level splice-suggestion sweep reads every binary surface and
+  /// every declared can_splice directive.
+  std::string suggestions_key() const;
+
+ private:
+  const std::string& directive_hash(const std::string& package) const;
+  const std::string& interface_hash(const std::string& package) const;
+
+  const repo::Repository& repo_;
+  const AuditOptions& opts_;
+  /// Per-package precomputed hashes of canonical_directive_text /
+  /// canonical_interface_text.
+  std::map<std::string, std::string> directive_hash_;
+  std::map<std::string, std::string> interface_hash_;
+  /// Per-package (spec text, surface fingerprint) pairs, in scan order.
+  std::map<std::string, std::vector<std::pair<std::string, std::string>>>
+      binaries_;
+  std::string repo_hash_;  ///< combined directive hash of every package
+};
+
+}  // namespace splice::analysis

@@ -1,16 +1,18 @@
 #include "src/asp/term.hpp"
 
+#include <atomic>
 #include <deque>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "src/support/error.hpp"
 
 namespace splice::asp {
 
 namespace detail {
-const TermData* const* g_term_pages = nullptr;
+std::atomic<const TermData* const*> g_term_pages{nullptr};
 
 void throw_invalid_term() {
   throw AspError("dereference of invalid Term handle");
@@ -72,13 +74,54 @@ class ArgArena {
   std::size_t used_ = 0;
 };
 
+/// Append-only paged storage with a lock-free read side.  Elements live in
+/// fixed-size pages (stable addresses); a snapshot directory of page
+/// pointers is republished atomically whenever a page is added, and
+/// superseded directories are retired into a keep-alive list instead of
+/// freed, so a reader holding a stale directory pointer can still resolve
+/// every id published before it loaded the pointer.  Writers must hold the
+/// table lock; readers need no lock as long as the id they dereference
+/// reached them through a synchronized channel.
+template <typename T, std::uint32_t PageShift>
+class PagedStore {
+ public:
+  static constexpr std::uint32_t kMask = (1u << PageShift) - 1;
+
+  /// Append under the writer lock; returns the slot for the new element.
+  T& append(std::size_t id) {
+    std::size_t page = id >> PageShift;
+    if (page == pages_.size()) {
+      pages_.push_back(std::make_unique<T[]>(kMask + 1));
+      auto dir = std::make_unique<const T*[]>(pages_.size());
+      for (std::size_t i = 0; i < pages_.size(); ++i) dir[i] = pages_[i].get();
+      dir_.store(dir.get(), std::memory_order_release);
+      retired_.push_back(std::move(dir));
+    }
+    return pages_[page][id & kMask];
+  }
+
+  /// Lock-free read of a previously published element.
+  const T& at(std::size_t id) const {
+    return dir_.load(std::memory_order_acquire)[id >> PageShift][id & kMask];
+  }
+
+  const std::atomic<const T* const*>& dir() const { return dir_; }
+  std::atomic<const T* const*>& dir() { return dir_; }
+
+ private:
+  std::vector<std::unique_ptr<T[]>> pages_;
+  std::vector<std::unique_ptr<const T*[]>> retired_;  // superseded directories
+  std::atomic<const T* const*> dir_{nullptr};
+};
+
 // Global interning table.  Append-only; TermData entries live in fixed-size
 // pages whose addresses are stable across growth (the page directory backing
-// `detail::g_term_pages` is refreshed under the lock whenever a page is
+// `detail::g_term_pages` is republished under the lock whenever a page is
 // added), and argument spans live in the chunked arena.  Entries never
-// mutate after insertion, so accessors read without the lock (the engine is
-// single-threaded per solve, but interning itself is guarded for the
-// multi-session case).
+// mutate after insertion, so accessors read without the lock: the engine is
+// single-threaded per solve, but the parallel repository auditor compiles
+// one program per package across worker threads, so interning and reading
+// race by design and every read path must be data-race-free (TSan-clean).
 class Table {
  public:
   static Table& instance() {
@@ -101,7 +144,7 @@ class Table {
   }
 
   std::string_view name_of(std::uint32_t name_id) const {
-    return names_[name_id];
+    return names_.at(name_id);
   }
 
   SigId intern_sig(std::string_view name, std::size_t arity) {
@@ -110,11 +153,11 @@ class Table {
   }
 
   std::string sig_str(SigId sig) const {
-    const auto& [name_id, arity] = sigs_[sig];
-    return std::string(names_[name_id]) + "/" + std::to_string(arity);
+    const auto& [name_id, arity] = sigs_.at(sig);
+    return std::string(names_.at(name_id)) + "/" + std::to_string(arity);
   }
 
-  std::size_t size() const { return count_; }
+  std::size_t size() const { return count_.load(std::memory_order_acquire); }
 
  private:
   std::uint32_t intern_locked(TermKind kind, std::int64_t iv,
@@ -134,16 +177,11 @@ class Table {
         name_id, kind == TermKind::Fun ? stored_args.size() : 0);
     data.ground = kind != TermKind::Var;
     for (Term a : stored_args) data.ground = data.ground && a.is_ground();
-    auto id = static_cast<std::uint32_t>(count_);
-    std::size_t page = id >> detail::kTermPageShift;
-    if (page == pages_.size()) {
-      pages_.push_back(
-          std::make_unique<TermData[]>(detail::kTermPageMask + 1));
-      page_dir_.push_back(pages_.back().get());
-      detail::g_term_pages = page_dir_.data();
-    }
-    pages_[page][id & detail::kTermPageMask] = data;
-    ++count_;
+    auto id = static_cast<std::uint32_t>(count_.load(std::memory_order_relaxed));
+    terms_.append(id) = data;
+    detail::g_term_pages.store(
+        terms_.dir().load(std::memory_order_relaxed), std::memory_order_release);
+    count_.store(id + 1, std::memory_order_release);
     index_.emplace(Key{kind, iv, name_id, stored_args}, id);
     return id;
   }
@@ -152,8 +190,9 @@ class Table {
     auto it = name_ids_.find(name);
     if (it != name_ids_.end()) return it->second;
     name_storage_.emplace_back(name);
-    auto id = static_cast<std::uint32_t>(names_.size());
-    names_.push_back(name_storage_.back());
+    auto id = static_cast<std::uint32_t>(name_count_);
+    names_.append(id) = name_storage_.back();
+    ++name_count_;
     name_ids_.emplace(name_storage_.back(), id);
     return id;
   }
@@ -163,24 +202,26 @@ class Table {
         (static_cast<std::uint64_t>(name_id) << 32) | static_cast<std::uint32_t>(arity);
     auto it = sig_ids_.find(key);
     if (it != sig_ids_.end()) return it->second;
-    auto id = static_cast<SigId>(sigs_.size());
-    sigs_.emplace_back(name_id, static_cast<std::uint32_t>(arity));
+    auto id = static_cast<SigId>(sig_count_);
+    sigs_.append(id) = {name_id, static_cast<std::uint32_t>(arity)};
+    ++sig_count_;
     sig_ids_.emplace(key, id);
     return id;
   }
 
   std::mutex mu_;
   ArgArena args_;
-  std::vector<std::unique_ptr<TermData[]>> pages_;
-  std::vector<const TermData*> page_dir_;
-  std::size_t count_ = 0;
+  PagedStore<TermData, detail::kTermPageShift> terms_;
+  std::atomic<std::size_t> count_{0};
   std::unordered_map<Key, std::uint32_t, KeyHash> index_;
 
   std::deque<std::string> name_storage_;          // stable string bodies
-  std::vector<std::string_view> names_;           // name_id -> spelling
+  PagedStore<std::string_view, 10> names_;        // name_id -> spelling
+  std::size_t name_count_ = 0;
   std::unordered_map<std::string_view, std::uint32_t> name_ids_;
 
-  std::deque<std::pair<std::uint32_t, std::uint32_t>> sigs_;  // sig -> (name, arity)
+  PagedStore<std::pair<std::uint32_t, std::uint32_t>, 10> sigs_;  // (name, arity)
+  std::size_t sig_count_ = 0;
   std::unordered_map<std::uint64_t, SigId> sig_ids_;
 };
 

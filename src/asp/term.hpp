@@ -15,6 +15,7 @@
 // and guarded by a mutex; handles are stable for the lifetime of the process.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -57,12 +58,17 @@ inline constexpr std::uint32_t kTermPageShift = 12;  // 4096 terms per page
 inline constexpr std::uint32_t kTermPageMask = (1u << kTermPageShift) - 1;
 
 /// Page directory of the global term arena.  Pages are fixed-size and
-/// address-stable; the directory pointer is refreshed by the interning table
-/// whenever a page is added.  Exposed so the hot accessors below inline to
-/// two dependent loads — the grounder reads term fields hundreds of millions
-/// of times per resolve and an out-of-line call per access dominates ground
-/// time.
-extern const TermData* const* g_term_pages;
+/// address-stable; the directory pointer is republished by the interning
+/// table whenever a page is added (superseded directories are kept alive, so
+/// a stale pointer still resolves every previously published id).  Exposed
+/// so the hot accessors below inline to two dependent loads — the grounder
+/// reads term fields hundreds of millions of times per resolve and an
+/// out-of-line call per access dominates ground time.  The directory pointer
+/// is atomic so threads that received ids through a synchronized channel
+/// (the intern lock, a task queue) can dereference concurrently with
+/// interning on other threads; the acquire load compiles to a plain load on
+/// x86/ARM.
+extern std::atomic<const TermData* const*> g_term_pages;
 
 [[noreturn]] void throw_invalid_term();
 
@@ -139,8 +145,8 @@ class Term {
 
 inline const detail::TermData& Term::data_() const {
   if (id_ == kInvalid) detail::throw_invalid_term();
-  return detail::g_term_pages[id_ >> detail::kTermPageShift]
-                             [id_ & detail::kTermPageMask];
+  return detail::g_term_pages.load(std::memory_order_acquire)
+      [id_ >> detail::kTermPageShift][id_ & detail::kTermPageMask];
 }
 
 inline TermKind Term::kind() const { return data_().kind; }

@@ -1,6 +1,7 @@
 #include "src/concretize/concretizer.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <set>
 
 #include "src/support/error.hpp"
@@ -128,9 +129,14 @@ attr("splice", node(P), D, R) :- impose(H, node(P)), splice_with(H, D, R).
 
 /// Parse a static logic fragment once per process and hand out the parsed
 /// Program for extend()-ing into compiled programs (the fragments are
-/// compile-time constants, keyed by their storage address).
+/// compile-time constants, keyed by their storage address).  Concretizers
+/// may compile on concurrent audit workers, so the lazy parse is serialized;
+/// the entry is fully built before any caller's reference escapes the lock,
+/// and map node references survive later insertions.
 const Program& cached_fragment(std::string_view text) {
+  static std::mutex mu;
   static std::map<const void*, Program> cache;
+  std::scoped_lock lock(mu);
   auto [it, inserted] = cache.try_emplace(text.data());
   if (inserted) asp::parse_into(it->second, text);
   return it->second;

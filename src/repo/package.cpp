@@ -154,6 +154,55 @@ bool PackageDef::declares_version(const spec::Version& v) const {
   return false;
 }
 
+namespace {
+
+void append_when(std::string& out, const std::optional<spec::Spec>& when) {
+  if (when) {
+    out += ", when=";
+    out += when->str();
+  }
+  out += ")\n";
+}
+
+}  // namespace
+
+std::string PackageDef::canonical_interface_text() const {
+  std::string out = "package(" + name_ + ")\n";
+  for (const VersionDecl& v : versions_) {
+    out += "version(" + v.version.str();
+    if (v.deprecated) out += ", deprecated";
+    out += ")\n";
+  }
+  for (const VariantDecl& v : variants_) {
+    out += "variant(" + v.name + ", default=" + v.default_value;
+    if (!v.boolean) out += ", values=" + join(v.allowed, "|");
+    out += ")\n";
+  }
+  return out;
+}
+
+std::string PackageDef::canonical_directive_text() const {
+  std::string out = canonical_interface_text();
+  for (const DependencyDecl& d : deps_) {
+    out += "depends_on(" + d.target.str();
+    out += std::string(", type=") + std::string(spec::dep_type_str(d.type));
+    append_when(out, d.when);
+  }
+  for (const ProvidesDecl& p : provides_) {
+    out += "provides(" + p.virtual_name;
+    append_when(out, p.when);
+  }
+  for (const ConditionalSpec& c : conflicts_) {
+    out += "conflicts(" + c.target.str();
+    append_when(out, c.when);
+  }
+  for (const CanSpliceDecl& s : splices_) {
+    out += "can_splice(" + s.target.str();
+    append_when(out, s.when);
+  }
+  return out;
+}
+
 spec::Spec PackageDef::parse_when(std::string_view text) const {
   std::string_view trimmed = trim(text);
   if (trimmed.empty()) {

@@ -155,6 +155,22 @@ class PackageDef {
   /// Directives declared so far, across every directive kind.
   std::uint32_t num_directives() const { return next_directive_; }
 
+  /// Source-location-independent canonical rendering of every directive, in
+  /// declaration order: one line per directive, spec arguments rendered
+  /// through Spec::str().  Two PackageDefs with the same directives produce
+  /// byte-identical text regardless of the file/line they were declared at,
+  /// which makes this the content-hash input for the incremental audit
+  /// cache (src/analysis/audit_cache) — moving a package to another file
+  /// must not invalidate its cached findings, while editing any directive
+  /// must.
+  std::string canonical_directive_text() const;
+
+  /// Canonical rendering of the version and variant declarations only: the
+  /// subset of the package surface that constraint checks on *other*
+  /// packages consult (does a when=/target range hit a declared version, is
+  /// a variant declared, is a value allowed).
+  std::string canonical_interface_text() const;
+
  private:
   DirectiveLoc next_loc(const std::source_location& site);
 

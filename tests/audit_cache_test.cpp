@@ -1,0 +1,518 @@
+// Tests for the incremental/parallel audit layer (DESIGN.md §13):
+//
+//  * a differential equivalence harness: ~100 seeded random repository
+//    mutations, each audited cold (no cache) and warm (persistent cache),
+//    asserting byte-identical findings and — via AuditFingerprints as the
+//    oracle — that exactly the hashed-as-dirty tasks were re-checked;
+//  * parallel determinism: RADIUSS audited with --jobs 8 worth of workers
+//    produces byte-identical reports to --jobs 1 (and runs under the
+//    Debug+TSan CI job, which makes it the data-race stress);
+//  * cache-invalidation property tests: an ABI surface change, a new
+//    provider of a virtual, and a sibling can_splice edit on the target
+//    package each invalidate the dependent's splice entry, while untouched
+//    entries replay;
+//  * robustness: corrupt, truncated, or wrong-schema cache files degrade to
+//    a full audit with a warning, never a crash or a stale replay.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/analysis/audit.hpp"
+#include "src/analysis/audit_cache.hpp"
+#include "src/repo/package.hpp"
+#include "src/repo/repository.hpp"
+#include "src/support/json.hpp"
+#include "src/workload/radiuss.hpp"
+#include "src/workload/synthbin.hpp"
+
+namespace splice::analysis {
+namespace {
+
+using binary::MockBinary;
+using repo::PackageDef;
+using repo::Repository;
+using spec::Spec;
+
+Spec concrete_node(const std::string& name, const std::string& version) {
+  Spec s = Spec::parse(name + "@=" + version + " os=linux target=x86_64");
+  s.finalize_concrete();
+  return s;
+}
+
+MockBinary bin_with_exports(const std::string& name,
+                            const std::string& version,
+                            std::vector<std::string> exports,
+                            std::string code = "x") {
+  MockBinary b;
+  b.name = name;
+  b.version = version;
+  b.hash = "h_" + name + "_" + version;
+  b.soname = "/s/" + name + "/lib/lib" + name + ".so";
+  b.exports = std::move(exports);
+  b.code = std::move(code);
+  return b;
+}
+
+// ---------------------------------------------------------------------------
+// The mutable repository model driving the differential harness.
+
+struct PkgModel {
+  std::string name;
+  std::vector<std::string> versions;
+  std::vector<std::pair<std::string, std::string>> deps;  ///< target, when
+  std::vector<std::pair<std::string, std::string>> splices;
+  std::vector<std::string> provides;
+  bool abi_extra = false;  ///< binary exports one extra symbol
+};
+
+/// Ten packages in a dependency chain, one virtual with one provider, one
+/// declared can_splice.  Clean by construction, so round 0 exercises the
+/// encoding cross-check group too.
+std::vector<PkgModel> initial_model() {
+  std::vector<PkgModel> m(10);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m[i].name = "lib" + std::to_string(i);
+    m[i].versions = {"1.0", "2.0"};
+  }
+  // A dependency chain toward higher indices; every mutation also only ever
+  // adds edges in that direction, so cycles are impossible by construction.
+  for (std::size_t i = 0; i + 1 < m.size(); ++i) {
+    m[i].deps.emplace_back(m[i + 1].name, "");
+  }
+  m[0].deps.emplace_back("vlib", "");
+  m.back().provides = {"vlib"};
+  m[2].splices.emplace_back("lib3@1.0", "");
+  return m;
+}
+
+Repository build_repo(const std::vector<PkgModel>& model) {
+  Repository repo;
+  for (const PkgModel& p : model) {
+    PackageDef def(p.name);
+    for (const std::string& v : p.versions) def.version(v);
+    for (const auto& [target, when] : p.deps) def.depends_on(target, when);
+    for (const auto& [target, when] : p.splices) def.can_splice(target, when);
+    for (const std::string& virt : p.provides) def.provides(virt);
+    repo.add(std::move(def));
+  }
+  return repo;
+}
+
+/// One binary per package at its first declared version.  Every surface
+/// shares a core so declared splices verify; `abi_extra` perturbs exactly
+/// one package's exported set (the ABI-change mutation).
+std::vector<AuditBinary> model_binaries(const std::vector<PkgModel>& model) {
+  std::vector<AuditBinary> out;
+  for (const PkgModel& p : model) {
+    std::vector<std::string> exports = {"core_init", "core_call"};
+    if (p.abi_extra) exports.push_back("extra_" + p.name);
+    out.push_back(AuditBinary{
+        concrete_node(p.name, p.versions.front()),
+        bin_with_exports(p.name, p.versions.front(), std::move(exports))});
+  }
+  return out;
+}
+
+RepoAuditor make_auditor(const Repository& repo,
+                         const std::vector<AuditBinary>& bins,
+                         const AuditOptions& opts) {
+  RepoAuditor auditor(repo, opts);
+  for (const AuditBinary& b : bins) auditor.add_binary(b.spec, b.bin);
+  return auditor;
+}
+
+/// Apply one seeded random mutation: add a version, add/remove a dependency
+/// (conditional or not), declare a can_splice, or change a binary surface.
+void mutate(std::vector<PkgModel>& model, std::mt19937& rng, int round) {
+  std::size_t pi = rng() % model.size();
+  PkgModel& p = model[pi];
+  switch (rng() % 6) {
+    case 0:
+      p.versions.push_back("9." + std::to_string(round));
+      break;
+    case 1:
+      if (pi + 1 < model.size()) {
+        std::size_t j = pi + 1 + rng() % (model.size() - pi - 1);
+        p.deps.emplace_back(model[j].name, "");
+      }
+      break;
+    case 2:
+      if (!p.deps.empty()) p.deps.pop_back();
+      break;
+    case 3:
+      if (pi + 1 < model.size()) {
+        std::size_t j = pi + 1 + rng() % (model.size() - pi - 1);
+        p.deps.emplace_back(model[j].name, "@" + p.versions.front());
+      }
+      break;
+    case 4:
+      if (pi + 1 < model.size()) {
+        std::size_t j = pi + 1 + rng() % (model.size() - pi - 1);
+        p.splices.emplace_back(
+            model[j].name + "@" + model[j].versions.front(), "");
+      }
+      break;
+    case 5:
+      p.abi_extra = !p.abi_extra;
+      break;
+  }
+}
+
+/// The oracle: recompute every task's content key with AuditFingerprints
+/// and predict, from the cache's current contents, exactly which task ids a
+/// warm run must re-check.  Mirrors RepoAuditor::run()'s task order.
+std::vector<std::string> expected_rechecks(
+    const Repository& repo, const std::vector<AuditBinary>& bins,
+    const AuditOptions& opts, const AuditCache& cache, bool has_errors) {
+  AuditFingerprints fp(repo, bins, opts);
+  std::vector<std::pair<std::string, std::string>> tasks;
+  for (const std::string& name : repo.package_names()) {
+    tasks.emplace_back("constraint/" + name, fp.constraint_key(name));
+  }
+  tasks.emplace_back("provider//graph", fp.provider_graph_key());
+  if (!bins.empty()) {
+    for (const std::string& name : repo.package_names()) {
+      tasks.emplace_back("splice/" + name, fp.splice_key(name));
+    }
+    tasks.emplace_back("splice//suggestions", fp.suggestions_key());
+  }
+  if (!has_errors) {
+    for (const std::string& name : repo.package_names()) {
+      tasks.emplace_back("encoding/" + name, fp.encoding_key(name));
+    }
+  }
+  std::vector<std::string> out;
+  for (const auto& [id, key] : tasks) {
+    if (cache.lookup(id, key) == nullptr) out.push_back(id);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 1: the differential equivalence harness.
+
+TEST(AuditCacheDifferential, HundredMutationsColdWarmIdentical) {
+  std::mt19937 rng(20260808);
+  std::vector<PkgModel> model = initial_model();
+  AuditCache cache;  // persists across every round, like an on-disk cache
+  AuditOptions opts;
+  opts.jobs = 3;
+
+  std::size_t total_tasks = 0;
+  std::size_t total_hits = 0;
+  for (int round = 0; round < 100; ++round) {
+    mutate(model, rng, round);
+    Repository repo = build_repo(model);
+    std::vector<AuditBinary> bins = model_binaries(model);
+
+    AuditReport cold = make_auditor(repo, bins, opts).run();
+    std::vector<std::string> expected =
+        expected_rechecks(repo, bins, opts, cache, cold.has_errors());
+    AuditReport warm = make_auditor(repo, bins, opts).run(&cache);
+
+    // Byte-identical artifacts: the warm report must not betray the cache.
+    ASSERT_EQ(cold.to_json().dump(), warm.to_json().dump())
+        << "round " << round;
+    ASSERT_EQ(cold.str(), warm.str()) << "round " << round;
+    // Only the hashed-as-dirty tasks ran; everything else replayed.
+    ASSERT_EQ(warm.rechecked_tasks, expected) << "round " << round;
+    std::size_t tasks =
+        warm.cache_hits + warm.cache_misses + warm.cache_invalidated;
+    ASSERT_EQ(warm.rechecked_tasks.size(),
+              warm.cache_misses + warm.cache_invalidated)
+        << "round " << round;
+    total_tasks += tasks;
+    total_hits += warm.cache_hits;
+  }
+  // Incrementality must actually pay: across 100 single-package mutations
+  // the overwhelming majority of tasks replay from the cache.
+  EXPECT_GT(total_hits * 2, total_tasks)
+      << total_hits << " hits of " << total_tasks << " tasks";
+}
+
+TEST(AuditCacheDifferential, SecondRunOnUnchangedRepoHitsEverything) {
+  std::vector<PkgModel> model = initial_model();
+  Repository repo = build_repo(model);
+  std::vector<AuditBinary> bins = model_binaries(model);
+  AuditOptions opts;
+  AuditCache cache;
+  AuditReport first = make_auditor(repo, bins, opts).run(&cache);
+  EXPECT_EQ(first.cache_hits, 0u);
+  EXPECT_EQ(first.cache_misses, first.rechecked_tasks.size());
+  AuditReport second = make_auditor(repo, bins, opts).run(&cache);
+  EXPECT_EQ(second.rechecked_tasks.size(), 0u);
+  EXPECT_EQ(second.cache_misses, 0u);
+  EXPECT_EQ(second.cache_invalidated, 0u);
+  EXPECT_EQ(second.cache_hits, first.cache_misses);
+  EXPECT_EQ(first.to_json().dump(), second.to_json().dump());
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 2: parallel determinism (the TSan stress — the Debug+TSan CI
+// job runs this binary, racing 8 workers through shared repo state and the
+// ASP term interner).
+
+TEST(AuditCacheParallel, RadiussJobs8MatchesJobs1) {
+  repo::Repository repo = workload::radiuss_repo();
+  auto bins = workload::synthetic_surface_binaries(
+      repo, workload::radiuss_abi_surface);
+
+  auto run_with_jobs = [&](std::size_t jobs) {
+    AuditOptions opts;
+    opts.jobs = jobs;
+    RepoAuditor auditor(repo, opts);
+    for (auto& [s, b] : bins) auditor.add_binary(s, b);
+    return auditor.run();
+  };
+  AuditReport serial = run_with_jobs(1);
+  AuditReport parallel = run_with_jobs(8);
+  EXPECT_EQ(parallel.workers_used, 8u);
+  EXPECT_EQ(serial.to_json().dump(), parallel.to_json().dump());
+  EXPECT_EQ(serial.str(), parallel.str());
+
+  // jobs=0 (one worker per hardware thread) is deterministic too.
+  AuditReport hw = run_with_jobs(0);
+  EXPECT_EQ(serial.to_json().dump(), hw.to_json().dump());
+}
+
+TEST(AuditCacheParallel, ParallelWarmRunReplaysSerialColdCache) {
+  repo::Repository repo = workload::radiuss_repo();
+  auto bins = workload::synthetic_surface_binaries(
+      repo, workload::radiuss_abi_surface);
+  AuditCache cache;
+  auto run_with = [&](std::size_t jobs, AuditCache* c) {
+    AuditOptions opts;
+    opts.jobs = jobs;
+    RepoAuditor auditor(repo, opts);
+    for (auto& [s, b] : bins) auditor.add_binary(s, b);
+    return auditor.run(c);
+  };
+  AuditReport cold = run_with(1, &cache);
+  AuditReport warm = run_with(8, &cache);
+  EXPECT_EQ(warm.cache_hits, cold.cache_misses);
+  EXPECT_EQ(warm.rechecked_tasks.size(), 0u);
+  EXPECT_EQ(cold.to_json().dump(), warm.to_json().dump());
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 3: cache-invalidation property tests.
+
+/// candidate can_splice('target@1.0'); target provides 'vgfx'.
+Repository splice_pair_repo(bool target_back_splice = false) {
+  Repository repo;
+  repo.add(PackageDef("candidate").version("1.0").can_splice("target@1.0"));
+  PackageDef target = PackageDef("target").version("1.0").provides("vgfx");
+  if (target_back_splice) target.can_splice("candidate@1.0");
+  repo.add(std::move(target));
+  repo.add(PackageDef("user").version("1.0").depends_on("vgfx"));
+  return repo;
+}
+
+std::vector<AuditBinary> splice_pair_binaries(
+    std::vector<std::string> target_exports, std::string target_code = "x") {
+  std::vector<AuditBinary> bins;
+  bins.push_back(AuditBinary{
+      concrete_node("candidate", "1.0"),
+      bin_with_exports("candidate", "1.0", {"gfx_init", "gfx_draw"})});
+  bins.push_back(AuditBinary{
+      concrete_node("target", "1.0"),
+      bin_with_exports("target", "1.0", std::move(target_exports),
+                       std::move(target_code))});
+  return bins;
+}
+
+bool rechecked(const AuditReport& r, const std::string& task) {
+  for (const std::string& t : r.rechecked_tasks) {
+    if (t == task) return true;
+  }
+  return false;
+}
+
+TEST(AuditCacheInvalidation, AbiSurfaceChangeInvalidatesSpliceEntry) {
+  Repository repo = splice_pair_repo();
+  AuditOptions opts;
+  opts.encoding_checks = false;
+  AuditCache cache;
+  make_auditor(repo, splice_pair_binaries({"gfx_init"}), opts).run(&cache);
+
+  // The target binary's *exported surface* changes: the candidate's splice
+  // entry is stale (its key hashes the target's surface fingerprint), while
+  // its constraint entry — which never reads binaries — replays.
+  AuditReport changed =
+      make_auditor(repo, splice_pair_binaries({"gfx_init", "gfx_blit"}), opts)
+          .run(&cache);
+  EXPECT_TRUE(rechecked(changed, "splice/candidate")) << changed.str();
+  EXPECT_FALSE(rechecked(changed, "constraint/candidate"));
+  EXPECT_GT(changed.cache_invalidated, 0u);
+  // The refuted claim surfaces on the re-check: gfx_blit is now missing.
+  EXPECT_EQ(changed.count(CheckId::SpliceRefuted), 1u) << changed.str();
+
+  // A rebuild that keeps the surface (only code bytes differ) is invisible
+  // to every splice check, so nothing re-runs.
+  AuditReport rebuilt =
+      make_auditor(repo,
+                   splice_pair_binaries({"gfx_init", "gfx_blit"}, "y"), opts)
+          .run(&cache);
+  EXPECT_EQ(rebuilt.rechecked_tasks.size(), 0u) << rebuilt.str();
+}
+
+TEST(AuditCacheInvalidation, NewProviderOfVirtualInvalidatesSpliceEntry) {
+  Repository repo = splice_pair_repo();
+  AuditOptions opts;
+  opts.encoding_checks = false;
+  AuditCache cache;
+  std::vector<AuditBinary> bins = splice_pair_binaries({"gfx_init"});
+  make_auditor(repo, bins, opts).run(&cache);
+
+  // A second provider of 'vgfx' appears.  The splice target provides that
+  // virtual, so the candidate's splice entry must be re-validated; the
+  // target's own splice entry (no can_splice directives) replays.
+  Repository repo2 = splice_pair_repo();
+  repo2.add(PackageDef("altgfx").version("1.0").provides("vgfx"));
+  AuditReport report = make_auditor(repo2, bins, opts).run(&cache);
+  EXPECT_TRUE(rechecked(report, "splice/candidate")) << report.str();
+  EXPECT_FALSE(rechecked(report, "splice/target"));
+  EXPECT_TRUE(rechecked(report, "provider//graph"));
+}
+
+TEST(AuditCacheInvalidation, SiblingCanSpliceOnTargetInvalidatesEntry) {
+  AuditOptions opts;
+  opts.encoding_checks = false;
+  AuditCache cache;
+  std::vector<AuditBinary> bins =
+      splice_pair_binaries({"gfx_init", "gfx_draw"});
+  AuditReport before =
+      make_auditor(splice_pair_repo(false), bins, opts).run(&cache);
+  // Symmetric surfaces without a reciprocal declaration: asymmetric.
+  EXPECT_EQ(before.count(CheckId::SpliceAsymmetric), 1u) << before.str();
+
+  // The *target* package gains its own can_splice back at the candidate.
+  // The candidate's splice entry hashes the target's full directive text,
+  // so it is re-checked — and the asymmetry finding disappears.
+  AuditReport after =
+      make_auditor(splice_pair_repo(true), bins, opts).run(&cache);
+  EXPECT_TRUE(rechecked(after, "splice/candidate")) << after.str();
+  EXPECT_EQ(after.count(CheckId::SpliceAsymmetric), 0u) << after.str();
+  EXPECT_FALSE(rechecked(after, "constraint/user"));
+}
+
+TEST(AuditCacheInvalidation, RetainDropsDeletedPackages) {
+  AuditOptions opts;
+  opts.encoding_checks = false;
+  AuditCache cache;
+  std::vector<AuditBinary> bins = splice_pair_binaries({"gfx_init"});
+  make_auditor(splice_pair_repo(), bins, opts).run(&cache);
+  EXPECT_TRUE(cache.contains("constraint/user"));
+
+  Repository smaller;
+  smaller.add(PackageDef("candidate").version("1.0").can_splice("target@1.0"));
+  smaller.add(PackageDef("target").version("1.0").provides("vgfx"));
+  make_auditor(smaller, bins, opts).run(&cache);
+  EXPECT_FALSE(cache.contains("constraint/user"));
+  EXPECT_TRUE(cache.contains("constraint/candidate"));
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 3 (cont.): corrupt caches degrade to a full audit.
+
+class AuditCacheRobustness : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("audit-cache-test-" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "-" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  void write_cache_file(const std::string& text) {
+    std::filesystem::create_directories(dir_);
+    std::ofstream out(dir_ / AuditCache::kFileName, std::ios::trunc);
+    out << text;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(AuditCacheRobustness, MissingFileIsColdStart) {
+  AuditCache cache = AuditCache::load(dir_);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST_F(AuditCacheRobustness, SaveLoadRoundTripsEntries) {
+  AuditOptions opts;
+  opts.encoding_checks = false;
+  AuditCache cache;
+  std::vector<AuditBinary> bins = splice_pair_binaries({"gfx_init"});
+  AuditReport cold = make_auditor(splice_pair_repo(), bins, opts).run(&cache);
+  ASSERT_TRUE(cache.save(dir_));
+
+  AuditCache loaded = AuditCache::load(dir_);
+  EXPECT_EQ(loaded.size(), cache.size());
+  AuditReport warm = make_auditor(splice_pair_repo(), bins, opts).run(&loaded);
+  EXPECT_EQ(warm.rechecked_tasks.size(), 0u) << warm.str();
+  EXPECT_EQ(cold.to_json().dump(), warm.to_json().dump());
+}
+
+TEST_F(AuditCacheRobustness, CorruptFileFallsBackToFullAudit) {
+  write_cache_file("this is not json {{{");
+  AuditCache cache = AuditCache::load(dir_);
+  EXPECT_EQ(cache.size(), 0u);
+
+  AuditOptions opts;
+  opts.encoding_checks = false;
+  std::vector<AuditBinary> bins = splice_pair_binaries({"gfx_init"});
+  AuditReport cold = make_auditor(splice_pair_repo(), bins, opts).run();
+  AuditReport warm = make_auditor(splice_pair_repo(), bins, opts).run(&cache);
+  EXPECT_EQ(warm.cache_hits, 0u);
+  EXPECT_EQ(cold.to_json().dump(), warm.to_json().dump());
+}
+
+TEST_F(AuditCacheRobustness, TruncatedFileFallsBackToFullAudit) {
+  // A syntactically valid cache cut off mid-document.
+  AuditOptions opts;
+  opts.encoding_checks = false;
+  AuditCache cache;
+  std::vector<AuditBinary> bins = splice_pair_binaries({"gfx_init"});
+  make_auditor(splice_pair_repo(), bins, opts).run(&cache);
+  std::string full = cache.to_json().dump_pretty();
+  write_cache_file(full.substr(0, full.size() / 2));
+
+  AuditCache loaded = AuditCache::load(dir_);
+  EXPECT_EQ(loaded.size(), 0u);
+  AuditReport warm = make_auditor(splice_pair_repo(), bins, opts).run(&loaded);
+  EXPECT_EQ(warm.cache_hits, 0u);
+  EXPECT_EQ(warm.rechecked_tasks.size(),
+            warm.cache_misses + warm.cache_invalidated);
+}
+
+TEST_F(AuditCacheRobustness, WrongSchemaFallsBackToFullAudit) {
+  write_cache_file(R"({"schema":"repo-audit-cache-v999","entries":{}})");
+  EXPECT_EQ(AuditCache::load(dir_).size(), 0u);
+}
+
+TEST_F(AuditCacheRobustness, MalformedEntriesAreSkippedIndividually) {
+  write_cache_file(R"({"schema":"repo-audit-cache-v1","entries":{)"
+                   R"("constraint/ok":{"key":"0123","programs":0,)"
+                   R"("findings":[]},)"
+                   R"("constraint/bad-key":{"programs":0,"findings":[]},)"
+                   R"("constraint/bad-finding":{"key":"ff","programs":0,)"
+                   R"("findings":[{"id":"no-such-check"}]}}})");
+  AuditCache cache = AuditCache::load(dir_);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.contains("constraint/ok"));
+  EXPECT_FALSE(cache.contains("constraint/bad-key"));
+  EXPECT_FALSE(cache.contains("constraint/bad-finding"));
+}
+
+}  // namespace
+}  // namespace splice::analysis

@@ -6,6 +6,7 @@
 // those three error-severity findings, nothing more.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <regex>
 #include <string>
 #include <vector>
@@ -146,6 +147,75 @@ TEST(AuditFixture, HumanRenderingCarriesLocations) {
             std::string::npos);
   EXPECT_NE(text.find("3 error(s), 0 warning(s), 1 info(s)"),
             std::string::npos);
+}
+
+/// The --quiet contract: findings_str() is every finding line and nothing
+/// else (no summary), summary_str() is the single trailing line, and str()
+/// is exactly their concatenation.
+TEST(AuditFixture, QuietRenderingIsFindingsOnly) {
+  Repository repo = fixture_repo();
+  AuditReport report = fixture_auditor(repo).run();
+
+  std::string findings = report.findings_str();
+  std::string summary = report.summary_str();
+  EXPECT_EQ(report.str(), findings + summary);
+  // One line per finding, each starting with its severity, none of them the
+  // summary line.
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(findings.begin(), findings.end(), '\n')),
+            report.findings.size());
+  EXPECT_EQ(findings.find("audited "), std::string::npos);
+  EXPECT_EQ(findings.find("error: when-unsatisfiable-version"), 0u);
+  // The summary is exactly one line and carries the counts.
+  EXPECT_EQ(summary.find("audited 4 package(s)"), 0u);
+  EXPECT_NE(summary.find("3 error(s), 0 warning(s), 1 info(s)\n"),
+            std::string::npos);
+  EXPECT_EQ(std::count(summary.begin(), summary.end(), '\n'), 1);
+
+  // An empty report renders an empty findings block.
+  AuditReport empty;
+  EXPECT_EQ(empty.findings_str(), "");
+  EXPECT_EQ(empty.str(), empty.summary_str());
+}
+
+TEST(Audit, CheckIdStringsRoundTrip) {
+  for (std::uint8_t raw = 0;
+       raw <= static_cast<std::uint8_t>(CheckId::EncodingWarning); ++raw) {
+    CheckId id = static_cast<CheckId>(raw);
+    CheckId back;
+    ASSERT_TRUE(check_id_from_str(check_id_str(id), back))
+        << check_id_str(id);
+    EXPECT_EQ(back, id);
+  }
+  CheckId out;
+  EXPECT_FALSE(check_id_from_str("no-such-check", out));
+  EXPECT_FALSE(check_id_from_str("", out));
+}
+
+TEST(Audit, FindingJsonRoundTrips) {
+  Repository repo = fixture_repo();
+  AuditReport report = fixture_auditor(repo).run();
+  ASSERT_GT(report.findings.size(), 0u);
+  for (const Finding& f : report.findings) {
+    Finding back;
+    ASSERT_TRUE(Finding::from_json(f.to_json(), back)) << f.str();
+    EXPECT_EQ(back.id, f.id);
+    EXPECT_EQ(back.severity, f.severity);
+    EXPECT_EQ(back.package, f.package);
+    EXPECT_EQ(back.directive, f.directive);
+    EXPECT_EQ(back.message, f.message);
+    EXPECT_EQ(back.loc.file, f.loc.file);
+    EXPECT_EQ(back.loc.line, f.loc.line);
+    EXPECT_EQ(back.loc.index, f.loc.index);
+    EXPECT_EQ(back.related, f.related);
+    EXPECT_EQ(back.to_json().dump(), f.to_json().dump());
+  }
+  Finding out;
+  EXPECT_FALSE(Finding::from_json(json::Value("not an object"), out));
+  EXPECT_FALSE(Finding::from_json(json::parse(R"({"id":"bogus-check",)"
+                                              R"("package":"p","directive":"",)"
+                                              R"("message":"m"})"),
+                                  out));
 }
 
 TEST(Audit, RadiussWithSyntheticSurfacesIsClean) {

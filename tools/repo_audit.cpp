@@ -11,18 +11,23 @@
 //   repo_audit --cache /path/to/cache   # audit against real cached binaries
 //   repo_audit --werror --json out.json # CI mode: fail on warnings, emit
 //                                       # the repo-audit-v1 artifact
+//   repo_audit --cache-dir .audit --jobs 8   # incremental + parallel: warm
+//                                       # runs replay unchanged packages
 //
 // Exit status: 0 clean (infos allowed), 1 errors found (or warnings with
 // --werror), 2 usage or audit failure.
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "src/analysis/audit.hpp"
+#include "src/analysis/audit_cache.hpp"
 #include "src/binary/buildcache.hpp"
 #include "src/support/error.hpp"
 #include "src/support/flight.hpp"
+#include "src/support/trace.hpp"
 #include "src/workload/radiuss.hpp"
 #include "src/workload/synthbin.hpp"
 
@@ -42,11 +47,19 @@ options:
   --no-splice      skip the splice-safety check group
   --no-encoding    skip the concretizer encoding cross-check
   --same-package   also report same-package version-splice suggestions
+  --jobs N         run per-package checks on N worker threads (0 = one per
+                   hardware thread; findings are byte-identical for any N)
+  --incremental    load/save the audit cache (default dir .splice-audit-cache)
+  --cache-dir DIR  where the repo-audit-cache-v1 file lives (implies
+                   --incremental); unchanged packages replay from the cache
   --json FILE      write the repo-audit-v1 JSON document to FILE
+  --metrics FILE   write the Prometheus metrics exposition (incl.
+                   audit.cache hit/miss/invalidated counters) to FILE
   --flight FILE    write the per-check-group flight recording
                    (splice-flight-v1 JSON) to FILE
   --slow-ms N      flag check groups slower than N ms in the recording
-  --quiet          print only the summary line
+  --quiet          print the findings only, one line each (no summary,
+                   no cache statistics)
   --werror         exit 1 on warnings too
   -h, --help       this message
 )";
@@ -56,7 +69,10 @@ options:
 int main(int argc, char** argv) {
   std::size_t replicas = 0;
   std::vector<std::string> cache_dirs;
+  bool incremental = false;
+  std::string audit_cache_dir = ".splice-audit-cache";
   std::string json_path;
+  std::string metrics_path;
   std::string flight_path;
   double slow_ms = 0;
   bool synth = true;
@@ -88,8 +104,17 @@ int main(int argc, char** argv) {
       opts.encoding_checks = false;
     } else if (arg == "--same-package") {
       opts.suggest_same_package = true;
+    } else if (arg == "--jobs") {
+      opts.jobs = std::stoul(value("--jobs"));
+    } else if (arg == "--incremental") {
+      incremental = true;
+    } else if (arg == "--cache-dir") {
+      audit_cache_dir = value("--cache-dir");
+      incremental = true;
     } else if (arg == "--json") {
       json_path = value("--json");
+    } else if (arg == "--metrics") {
+      metrics_path = value("--metrics");
     } else if (arg == "--flight") {
       flight_path = value("--flight");
     } else if (arg == "--slow-ms") {
@@ -124,13 +149,32 @@ int main(int argc, char** argv) {
       auditor.scan_buildcache(cache);
     }
 
-    splice::analysis::AuditReport report = auditor.run();
+    std::optional<splice::analysis::AuditCache> audit_cache;
+    if (incremental) {
+      audit_cache = splice::analysis::AuditCache::load(audit_cache_dir);
+    }
+    splice::analysis::AuditReport report =
+        auditor.run(audit_cache ? &*audit_cache : nullptr);
+    if (audit_cache && !audit_cache->save(audit_cache_dir)) {
+      std::cerr << "repo_audit: cannot write audit cache to '"
+                << audit_cache_dir << "'\n";
+      return 2;
+    }
+
+    // --quiet prints the findings and nothing else; default mode adds the
+    // summary line on stdout and, when incremental, the cache statistics on
+    // stderr (stdout stays byte-identical between cold and warm runs).
     if (quiet) {
-      std::string text = report.str();
-      std::size_t last = text.find_last_of('\n', text.size() - 2);
-      std::cout << (last == std::string::npos ? text : text.substr(last + 1));
+      std::cout << report.findings_str();
     } else {
       std::cout << report.str();
+      if (incremental) {
+        std::cerr << "audit cache: " << report.cache_hits << " hit(s), "
+                  << report.cache_misses << " miss(es), "
+                  << report.cache_invalidated << " invalidated, "
+                  << report.rechecked_tasks.size() << " task(s) re-checked, "
+                  << report.workers_used << " worker(s)\n";
+      }
     }
 
     if (!json_path.empty()) {
@@ -140,6 +184,15 @@ int main(int argc, char** argv) {
         return 2;
       }
       out << report.to_json().dump_pretty() << "\n";
+    }
+
+    if (!metrics_path.empty()) {
+      std::ofstream out(metrics_path);
+      if (!out) {
+        std::cerr << "repo_audit: cannot write '" << metrics_path << "'\n";
+        return 2;
+      }
+      out << splice::trace::Tracer::global().metrics().metrics_text();
     }
 
     // Per-check-group wall-time accounting: RepoAuditor::run() opened one

@@ -3,6 +3,8 @@
 // (schema "splice-stats-v1"), bench result files (schema "splice-bench-v1"),
 // explanation documents (schema "splice-explain-v1", from splice_explain),
 // repository audit reports (schema "repo-audit-v1", from repo_audit),
+// incremental audit caches (schema "repo-audit-cache-v1", from
+// repo_audit --incremental),
 // flight recordings (schema "splice-flight-v1", from the flight recorder /
 // splice_flight), and Prometheus text exposition (*.prom, or any input not
 // starting with '{'; from MetricsRegistry::metrics_text).  CI runs it over
@@ -305,6 +307,55 @@ void check_explain(const std::string& file, const Value& doc) {
   }
 }
 
+/// One audit finding object — the shape shared between `repo-audit-v1`
+/// ("findings" items) and `repo-audit-cache-v1` (cached per-task findings).
+/// Returns true when the finding carries severity "error".
+bool check_audit_finding(const std::string& file, const Value& f,
+                         const std::string& ctx) {
+  bool is_error = false;
+  if (!f.is_object()) {
+    fail(file, ctx + ": not an object");
+    return false;
+  }
+  for (const char* field : {"id", "package", "directive", "message"}) {
+    require_string(file, f, field, ctx);
+  }
+  const Value* sev = f.find("severity");
+  if (sev == nullptr || !sev->is_string()) {
+    fail(file, ctx + ": missing string \"severity\"");
+  } else {
+    const std::string& s = sev->as_string();
+    if (s != "error" && s != "warning" && s != "info") {
+      fail(file,
+           ctx + ": severity \"" + s + "\" not one of error/warning/info");
+    }
+    if (s == "error") is_error = true;
+  }
+  const Value* src = f.find("source");
+  if (src == nullptr || !src->is_object()) {
+    fail(file, ctx + ": no \"source\" object");
+  } else if (require_bool(file, *src, "known", ctx + "/source")) {
+    require_number(file, *src, "index", ctx + "/source");
+    if (src->find("known")->as_bool()) {
+      require_string(file, *src, "file", ctx + "/source");
+      require_number(file, *src, "line", ctx + "/source");
+    }
+  }
+  const Value* related = f.find("related");
+  if (related == nullptr || !related->is_array()) {
+    fail(file, ctx + ": no \"related\" array");
+  } else {
+    std::size_t j = 0;
+    for (const Value& r : related->as_array()) {
+      if (!r.is_string()) {
+        fail(file, ctx + "/related[" + std::to_string(j) + "]: not a string");
+      }
+      ++j;
+    }
+  }
+  return is_error;
+}
+
 /// {"schema": "repo-audit-v1", "repo": {...counts...},
 ///  "summary": {errors, warnings, infos, clean},
 ///  "findings": [{id, severity, package, directive, message, source,
@@ -341,46 +392,7 @@ void check_repo_audit(const std::string& file, const Value& doc) {
   std::size_t i = 0;
   for (const Value& f : findings->as_array()) {
     std::string ctx = "findings[" + std::to_string(i++) + "]";
-    if (!f.is_object()) {
-      fail(file, ctx + ": not an object");
-      continue;
-    }
-    for (const char* field : {"id", "package", "directive", "message"}) {
-      require_string(file, f, field, ctx);
-    }
-    const Value* sev = f.find("severity");
-    if (sev == nullptr || !sev->is_string()) {
-      fail(file, ctx + ": missing string \"severity\"");
-    } else {
-      const std::string& s = sev->as_string();
-      if (s != "error" && s != "warning" && s != "info") {
-        fail(file, ctx + ": severity \"" + s +
-                       "\" not one of error/warning/info");
-      }
-      if (s == "error") ++counted_errors;
-    }
-    const Value* src = f.find("source");
-    if (src == nullptr || !src->is_object()) {
-      fail(file, ctx + ": no \"source\" object");
-    } else if (require_bool(file, *src, "known", ctx + "/source")) {
-      require_number(file, *src, "index", ctx + "/source");
-      if (src->find("known")->as_bool()) {
-        require_string(file, *src, "file", ctx + "/source");
-        require_number(file, *src, "line", ctx + "/source");
-      }
-    }
-    const Value* related = f.find("related");
-    if (related == nullptr || !related->is_array()) {
-      fail(file, ctx + ": no \"related\" array");
-    } else {
-      std::size_t j = 0;
-      for (const Value& r : related->as_array()) {
-        if (!r.is_string()) {
-          fail(file, ctx + "/related[" + std::to_string(j) + "]: not a string");
-        }
-        ++j;
-      }
-    }
+    if (check_audit_finding(file, f, ctx)) ++counted_errors;
   }
   if (declared_errors >= 0 && declared_errors != counted_errors) {
     fail(file, "summary says " + std::to_string(declared_errors) +
@@ -390,6 +402,63 @@ void check_repo_audit(const std::string& file, const Value& doc) {
   if (errors == before) {
     std::printf("trace_check: %s: repo audit OK (%zu findings)\n", file.c_str(),
                 findings->as_array().size());
+  }
+}
+
+/// {"schema": "repo-audit-cache-v1",
+///  "entries": {"group/package": {key, programs, findings: [...]}}}
+/// Task ids are "group/name" (or "group//name" for repo-level tasks) with a
+/// known group; keys are 32-hex content hashes (AuditFingerprints).
+void check_audit_cache(const std::string& file, const Value& doc) {
+  int before = errors;
+  const Value* entries = doc.find("entries");
+  if (entries == nullptr || !entries->is_object()) {
+    fail(file, "no \"entries\" object");
+    return;
+  }
+  for (const auto& [task, entry] : entries->as_object()) {
+    std::string ctx = "entries/" + task;
+    std::size_t slash = task.find('/');
+    std::string group = slash == std::string::npos ? "" : task.substr(0, slash);
+    if (group != "constraint" && group != "provider" && group != "splice" &&
+        group != "encoding") {
+      fail(file, ctx + ": task id has no known check-group prefix");
+    }
+    if (slash == std::string::npos || slash + 1 >= task.size()) {
+      fail(file, ctx + ": task id has no name after the group");
+    }
+    if (!entry.is_object()) {
+      fail(file, ctx + ": not an object");
+      continue;
+    }
+    const Value* key = entry.find("key");
+    if (key == nullptr || !key->is_string()) {
+      fail(file, ctx + ": missing string \"key\"");
+    } else {
+      const std::string& k = key->as_string();
+      bool hex = k.size() == 32;
+      for (char c : k) {
+        hex = hex && ((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'));
+      }
+      if (!hex) {
+        fail(file, ctx + ": \"key\" is not a 32-hex content hash");
+      }
+    }
+    require_number(file, entry, "programs", ctx);
+    const Value* findings = entry.find("findings");
+    if (findings == nullptr || !findings->is_array()) {
+      fail(file, ctx + ": no \"findings\" array");
+      continue;
+    }
+    std::size_t i = 0;
+    for (const Value& f : findings->as_array()) {
+      check_audit_finding(file, f, ctx + "/findings[" + std::to_string(i++) +
+                                       "]");
+    }
+  }
+  if (errors == before) {
+    std::printf("trace_check: %s: audit cache OK (%zu entrie(s))\n",
+                file.c_str(), entries->as_object().size());
   }
 }
 
@@ -764,6 +833,8 @@ void check_file(const std::string& file) {
     check_explain(file, doc);
   } else if (name == "repo-audit-v1") {
     check_repo_audit(file, doc);
+  } else if (name == "repo-audit-cache-v1") {
+    check_audit_cache(file, doc);
   } else if (name == "splice-flight-v1") {
     check_flight(file, doc);
   } else {
