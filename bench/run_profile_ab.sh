@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# Interleaved A/B measurement of the solver cost profiler's disabled-overhead
+# contract (DESIGN.md §14): bench_asp_core from the tree BEFORE the profiler
+# landed versus the current tree with profiling compiled in but NOT enabled
+# (the shipped default: SolveOptions::profile=false, no SPLICE_PROFILE).
+# The residual cost is the per-clause Origin word and a null profile_ check
+# at the counter sites.
+#
+# Methodology (same as bench_logs/FLIGHT_OVERHEAD.md): both trees build
+# RelWithDebInfo; the two binaries run alternating — before, after, before,
+# after, … — for ROUNDS rounds in the same time window so machine noise hits
+# both sides equally.  Per benchmark the min across rounds is the comparison
+# estimator.  Results land in:
+#   bench_logs/BENCH_asp_core_profile_before.json  (pre-profiler tree)
+#   bench_logs/BENCH_asp_core_profile_after.json   (profiler in, disabled)
+# both schema splice-bench-v1, and the per-bench delta table prints at the
+# end.  The contract is an aggregate (sum of mins) delta <= 2%.
+#
+# Usage: bench/run_profile_ab.sh [rounds]
+#   ROUNDS      override round count (default 10)
+#   MIN_TIME    --benchmark_min_time per run (default 0.2)
+#   WORK        scratch directory (default <repo>/build-profile-ab)
+#   BEFORE_REF  git ref of the pre-profiler tree (default HEAD: run this
+#               script from the profiler working tree before committing, or
+#               set BEFORE_REF=<commit before the profiler PR> afterwards)
+set -euo pipefail
+
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+ROUNDS="${1:-${ROUNDS:-10}}"
+MIN_TIME="${MIN_TIME:-0.2}"
+WORK="${WORK:-$REPO/build-profile-ab}"
+BEFORE_REF="${BEFORE_REF:-HEAD}"
+OUT="$REPO/bench_logs"
+
+# "before" builds from a clean worktree of BEFORE_REF; "after" builds the
+# current working tree (profiler compiled in, nothing enables it).
+if [ ! -d "$WORK/before-src" ]; then
+  git -C "$REPO" worktree add --detach "$WORK/before-src" "$BEFORE_REF" \
+    >/dev/null
+fi
+cmake -B "$WORK/before" -S "$WORK/before-src" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build "$WORK/before" -j --target bench_asp_core >/dev/null
+cmake -B "$WORK/after" -S "$REPO" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build "$WORK/after" -j --target bench_asp_core >/dev/null
+
+rm -rf "$WORK/json"
+for r in $(seq 1 "$ROUNDS"); do
+  for side in before after; do
+    mkdir -p "$WORK/json/$side-$r"
+    echo "profile-ab: round $r/$ROUNDS ($side)" >&2
+    SPLICE_BENCH_JSON_DIR="$WORK/json/$side-$r" \
+      "$WORK/$side/bench/bench_asp_core" \
+      --benchmark_min_time="$MIN_TIME" >/dev/null 2>&1
+  done
+done
+
+python3 - "$WORK/json" "$OUT" "$ROUNDS" "$MIN_TIME" <<'EOF'
+import json, math, statistics, sys
+json_dir, out_dir, rounds, min_time = sys.argv[1], sys.argv[2], int(sys.argv[3]), sys.argv[4]
+
+def collect(side):
+    samples = {}
+    for r in range(1, rounds + 1):
+        with open(f"{json_dir}/{side}-{r}/BENCH_asp_core.json") as f:
+            doc = json.load(f)
+        for name, cell in doc["series"]["bench"].items():
+            samples.setdefault(name, []).append(cell["mean_seconds"])
+    return samples
+
+def aggregate(samples):
+    series = {}
+    for name, xs in sorted(samples.items()):
+        xs = sorted(xs)
+        n = len(xs)
+        series[name] = {
+            "n": n,
+            "mean_seconds": statistics.fmean(xs),
+            "stddev_seconds": statistics.stdev(xs) if n > 1 else 0.0,
+            "median_seconds": statistics.median(xs),
+            "p90_seconds": xs[min(n - 1, math.ceil(0.9 * n) - 1)],
+            "min_seconds": xs[0],
+            "max_seconds": xs[-1],
+        }
+    return series
+
+note = (f"{rounds} interleaved runs of bench_asp_core from the pre-profiler "
+        "tree ('before') and the profiler tree with profiling compiled in but "
+        "disabled ('after': SolveOptions::profile=false, the shipped default), "
+        "alternating in the same time window on the same machine "
+        f"(RelWithDebInfo, --benchmark_min_time={min_time}); each sample is "
+        "one run's per-iteration real time.  Compare min_seconds; the "
+        "disabled-overhead contract is an aggregate (sum of mins) delta <= 2%.")
+
+sides = {"before": collect("before"), "after": collect("after")}
+for stem, samples in sides.items():
+    doc = {"schema": "splice-bench-v1", "bench": f"asp_core_profile_{stem}",
+           "note": note, "series": {"bench": aggregate(samples)}}
+    path = f"{out_dir}/BENCH_asp_core_profile_{stem}.json"
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"profile-ab: wrote {path}", file=sys.stderr)
+
+before, after = sides["before"], sides["after"]
+print(f"\n{'benchmark':<34} {'before (ns)':>14} {'after (ns)':>14} {'delta':>8}")
+total_b = total_a = 0.0
+for name in sorted(before):
+    b, a = min(before[name]), min(after[name])
+    total_b += b; total_a += a
+    print(f"{name:<34} {b * 1e9:>14.0f} {a * 1e9:>14.0f} "
+          f"{(a - b) / b * 100:>+7.2f}%")
+agg = (total_a - total_b) / total_b * 100
+deltas = sorted((min(after[n]) - min(before[n])) / min(before[n]) * 100
+                for n in before)
+median = statistics.median(deltas)
+print(f"\naggregate (sum of mins): {agg:+.2f}%   median per-bench: {median:+.2f}%")
+sys.exit(0 if agg <= 2.0 else 1)
+EOF

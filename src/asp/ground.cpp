@@ -263,6 +263,10 @@ class Grounder {
   Grounder(const Program& program, const GroundOptions& opts)
       : program_(program), opts_(opts), store_(opts.use_indexes) {
     if (opts.record_provenance) prov_ = std::make_shared<Provenance>();
+    if (opts.profile) {
+      gprof_ = std::make_shared<GroundProfile>();
+      gprof_->per_rule.resize(program.rules().size());
+    }
   }
 
   GroundProgram run() {
@@ -291,6 +295,7 @@ class Grounder {
       }
       out.provenance = std::move(prov_);
     }
+    if (gprof_) out.profile = std::move(gprof_);
     span.attr("possible_atoms", out.stats.possible_atoms);
     span.attr("certain_atoms", out.stats.certain_atoms);
     span.attr("rules", out.stats.rules);
@@ -452,6 +457,23 @@ class Grounder {
 
   // -- fixpoint ------------------------------------------------------------
 
+  /// Point join_slot_ at a rule's candidate counter and start its clock.
+  /// Cheap no-op (one branch) when profiling is off.
+  std::chrono::steady_clock::time_point profile_begin(std::size_t rule_index) {
+    if (!gprof_) return {};
+    join_slot_ = &gprof_->per_rule[rule_index].join_candidates;
+    return std::chrono::steady_clock::now();
+  }
+
+  void profile_end(std::size_t rule_index,
+                   std::chrono::steady_clock::time_point t0) {
+    if (!gprof_) return;
+    join_slot_ = nullptr;
+    gprof_->per_rule[rule_index].seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  }
+
   void fixpoint() {
     std::vector<Term> delta = seeds_;
     bool first_round = true;
@@ -466,12 +488,16 @@ class Grounder {
           if (pr.pos.empty()) {
             if (first_round) {
               Bindings b;
+              auto t0 = profile_begin(pr.rule_index);
               instantiate(pr, b, SIZE_MAX, kNoCap, kNoCap, next_delta);
+              profile_end(pr.rule_index, t0);
             }
             continue;
           }
           Bindings b;
+          auto t0 = profile_begin(pr.rule_index);
           instantiate(pr, b, SIZE_MAX, kNoCap, kNoCap, next_delta);
+          profile_end(pr.rule_index, t0);
         }
       } else {
         // Semi-naive: bucket the delta by signature; a rule re-fires only
@@ -492,11 +518,13 @@ class Grounder {
           for (std::size_t pivot = 0; pivot < pr.pos.size(); ++pivot) {
             auto bucket = delta_by_sig.find(pr.pos_sigs[pivot]);
             if (bucket == delta_by_sig.end()) continue;
+            auto t0 = profile_begin(pr.rule_index);
             for (Term d : bucket->second) {
               Bindings b;
               if (!match(pr.pos[pivot]->atom, d, b)) continue;
               instantiate(pr, b, pivot, pre_cap, post_cap, next_delta);
             }
+            profile_end(pr.rule_index, t0);
           }
         }
       }
@@ -547,6 +575,7 @@ class Grounder {
                      K&& k) {
     Term inst = substitute(pattern, b);
     if (inst.is_ground()) {
+      if (join_slot_) ++*join_slot_;
       if (store_.contains(inst) && store_.stamp(inst) <= max_stamp) k(b);
       return;
     }
@@ -568,6 +597,7 @@ class Grounder {
     }
     if (candidates == nullptr) candidates = &store_.all(sig);
     std::size_t frozen = candidates->size();
+    if (join_slot_) *join_slot_ += frozen;
     std::size_t mark = b.size();
     for (std::size_t i = 0; i < frozen; ++i) {
       Term cand = (*candidates)[i];
@@ -619,6 +649,7 @@ class Grounder {
         Term head = substitute(r.head.atom, b);
         std::uint64_t key = instance_key(head, body);
         if (!seen_instances_.insert(key)) return;
+        if (gprof_) ++gprof_->per_rule[pr.rule_index].instantiations;
         if (store_.add(head, round_)) {
           next_delta.push_back(head);
           record_atom_origin(head, static_cast<std::uint32_t>(pr.rule_index),
@@ -631,6 +662,7 @@ class Grounder {
       case Head::Kind::None: {
         std::uint64_t key = instance_key(Term(), body);
         if (!seen_instances_.insert(key)) return;
+        if (gprof_) ++gprof_->per_rule[pr.rule_index].instantiations;
         instances_.push_back(Instance{&r, Term(), std::move(body)});
         record_instance_origin(inst_origin_, pr.rule_index, b);
         break;
@@ -641,6 +673,7 @@ class Grounder {
         h.field_u64(pr.rule_index);
         hash_body(h, body);
         if (!seen_instances_.insert(h.lo() ^ h.hi())) return;
+        if (gprof_) ++gprof_->per_rule[pr.rule_index].instantiations;
         choice_instances_.push_back(
             ChoiceInstance{&r, pr.rule_index, std::move(body)});
         record_instance_origin(choice_inst_origin_, pr.rule_index, b);
@@ -699,6 +732,7 @@ class Grounder {
     h.field_u64(0x7c);  // body | condition separator
     hash_body(h, cond);
     if (!seen_instances_.insert(h.lo() ^ h.hi())) return;
+    if (gprof_) ++gprof_->per_rule[pr.rule_index].instantiations;
     if (store_.add(atom, round_)) {
       next_delta.push_back(atom);
       record_atom_origin(atom, static_cast<std::uint32_t>(pr.rule_index), &b);
@@ -801,6 +835,13 @@ class Grounder {
       gr.body = std::move(body);
       out.rules.push_back(std::move(gr));
       if (prov_) prov_->rule_origin.push_back(inst_origin_[ii]);
+      if (gprof_) {
+        // Instances point into program_.rules(), so the source index is
+        // recoverable without provenance.
+        ++gprof_->per_rule[static_cast<std::size_t>(
+                               inst.rule - program_.rules().data())]
+              .emitted_rules;
+      }
     }
 
     // Attach ground elements to their owning choice instance by matching
@@ -842,12 +883,15 @@ class Grounder {
         }
       }
       out.choices.push_back(std::move(gc));
+      if (gprof_) ++gprof_->per_rule[ci.rule_index].emitted_choices;
     }
 
     emit_minimize(out);
   }
 
   void emit_minimize(GroundProgram& out) {
+    auto t0 = std::chrono::steady_clock::now();
+    if (gprof_) join_slot_ = &gprof_->minimize_join_candidates;
     // Ground each minimize element's condition, then group by
     // (weight, priority, tuple) so duplicate tuples contribute once.
     std::map<std::tuple<std::int64_t, std::int64_t, std::string>,
@@ -884,6 +928,12 @@ class Grounder {
       term.conditions = std::move(conds);
       out.minimize.push_back(std::move(term));
     }
+    if (gprof_) {
+      join_slot_ = nullptr;
+      gprof_->minimize_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+    }
   }
 
   const Program& program_;
@@ -900,6 +950,10 @@ class Grounder {
   std::vector<ChoiceInstance> choice_instances_;
   std::vector<ElemInstance> elem_instances_;
   std::shared_ptr<Provenance> prov_;  // null unless record_provenance
+  std::shared_ptr<GroundProfile> gprof_;  // null unless profile
+  // While non-null, match_literal adds its candidate-scan work here; the
+  // fixpoint points it at the active rule's counter (profile_begin/_end).
+  std::uint64_t* join_slot_ = nullptr;
   std::vector<Provenance::Origin> inst_origin_;         // || instances_
   std::vector<Provenance::Origin> choice_inst_origin_;  // || choice_instances_
   std::size_t iterations_ = 0;

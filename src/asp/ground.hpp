@@ -120,6 +120,23 @@ struct Provenance {
   std::size_t approx_bytes() const;
 };
 
+/// Per-source-rule grounding cost, recorded only when GroundOptions::profile
+/// is set.  Counter placement keeps conservation exact against GroundStats:
+/// sum(per_rule[*].emitted_rules) == GroundStats::rules and
+/// sum(per_rule[*].emitted_choices) == GroundStats::choices.
+struct GroundProfile {
+  struct RuleCost {
+    std::uint64_t instantiations = 0;    ///< body matches that survived dedup
+    std::uint64_t join_candidates = 0;   ///< candidate atoms scanned in joins
+    std::uint64_t emitted_rules = 0;     ///< ground rules emitted from here
+    std::uint64_t emitted_choices = 0;   ///< ground choices emitted from here
+    double seconds = 0;                  ///< wall time instantiating this rule
+  };
+  std::vector<RuleCost> per_rule;  ///< indexed by Program::rules() position
+  std::uint64_t minimize_join_candidates = 0;  ///< #minimize condition joins
+  double minimize_seconds = 0;
+};
+
 /// The propositional program handed to the translation/solving layer.
 class GroundProgram {
  public:
@@ -136,6 +153,8 @@ class GroundProgram {
   GroundStats stats;
   /// Null unless GroundOptions::record_provenance was set.
   std::shared_ptr<const Provenance> provenance;
+  /// Null unless GroundOptions::profile was set.
+  std::shared_ptr<const GroundProfile> profile;
 
  private:
   static constexpr AtomId kNoAtom = 0xffffffffu;
@@ -155,8 +174,13 @@ struct GroundOptions {
   /// Record derivation provenance (GroundProgram::provenance).  Off by
   /// default: the explanation path opts in; the solve hot path never pays.
   bool record_provenance = false;
+  /// Accumulate per-source-rule cost counters (GroundProgram::profile).
+  /// Off by default for the same reason.
+  bool profile = false;
 
-  static GroundOptions reference() { return {false, false, false, false}; }
+  static GroundOptions reference() {
+    return {false, false, false, false, false};
+  }
 };
 
 /// Ground `program`.  Throws AspError on programs outside the supported

@@ -37,6 +37,16 @@ json::Value SatStats::to_json() const {
 
 Solver::Solver() = default;
 
+void Solver::enable_profiling(bool on) {
+  profile_ = on ? std::make_unique<SatProfile>() : nullptr;
+}
+
+SatProfile::OriginCost& Solver::origin_cost(Origin o) {
+  if (o == kNoOrigin) return profile_->unattributed;
+  if (profile_->per_origin.size() <= o) profile_->per_origin.resize(o + 1);
+  return profile_->per_origin[o];
+}
+
 std::size_t Solver::num_clauses() const {
   std::size_t n = 0;
   for (const Clause& c : clauses_) {
@@ -68,7 +78,7 @@ Var Solver::new_var() {
   return v;
 }
 
-bool Solver::add_clause(std::vector<Lit> lits) {
+bool Solver::add_clause(std::vector<Lit> lits, Origin origin) {
   if (unsat_) return false;
   // Simplify against the level-0 assignment.
   std::sort(lits.begin(), lits.end());
@@ -94,15 +104,16 @@ bool Solver::add_clause(std::vector<Lit> lits) {
     }
     return true;
   }
-  attach_clause(std::move(out), false, /*watch=*/true);
+  attach_clause(std::move(out), false, /*watch=*/true, origin);
   return true;
 }
 
 bool Solver::add_pb_le(std::vector<std::pair<Lit, std::int64_t>> terms,
-                       std::int64_t bound) {
+                       std::int64_t bound, Origin origin) {
   if (unsat_) return false;
   PbConstraint pb;
   pb.bound = bound;
+  pb.origin = origin;
   for (auto& [l, w] : terms) {
     assert(w > 0);
     Value v = value(l);
@@ -141,12 +152,13 @@ bool Solver::add_pb_le(std::vector<std::pair<Lit, std::int64_t>> terms,
 }
 
 Solver::ClauseRef Solver::attach_clause(std::vector<Lit> lits, bool learned,
-                                        bool watch) {
+                                        bool watch, Origin origin) {
   assert(lits.size() >= 2 || !watch);
   auto ref = static_cast<ClauseRef>(clauses_.size());
   Clause c;
   c.lits = std::move(lits);
   c.learned = learned;
+  c.origin = origin;
   c.activity = var_inc_;
   c.dead = !watch;  // unwatched clauses exist only as analyze() inputs
   if (watch) {
@@ -180,6 +192,13 @@ Solver::ClauseRef Solver::propagate() {
   while (qhead_ < trail_.size()) {
     Lit p = trail_[qhead_++];
     ++stats_.propagations;
+    if (profile_) {
+      // Attribute the pop to the clause that implied p; decisions,
+      // assumptions and reason-less enqueues land in `unattributed`.
+      ClauseRef r = reason_[var_of(p)];
+      ++origin_cost(r == kNoReason ? kNoOrigin : clauses_[r].origin)
+            .propagations;
+    }
     Lit false_lit = negate(p);
     std::vector<ClauseRef>& wl = watches_[false_lit];
     std::size_t i = 0, j = 0;
@@ -242,11 +261,11 @@ Solver::ClauseRef Solver::propagate_pb(Lit p) {
         // Violation entirely from level-0 assignments: the instance is
         // unsatisfiable outright.
         unsat_ = true;
-        return attach_clause({p, negate(p)}, true, /*watch=*/false);
+        return attach_clause({p, negate(p)}, true, /*watch=*/false, pb.origin);
       }
       // All literals of the conflict clause are currently false; it is
       // entailed by the PB constraint and handed to analyze() unwatched.
-      return attach_clause(std::move(confl), true, /*watch=*/false);
+      return attach_clause(std::move(confl), true, /*watch=*/false, pb.origin);
     }
     // Strengthen: any unassigned term that would overflow must be false.
     std::int64_t slack = pb.bound - pb.sum;
@@ -257,7 +276,8 @@ Solver::ClauseRef Solver::propagate_pb(Lit p) {
           reason.insert(reason.begin(), negate(l));
           ClauseRef ref = kNoReason;
           if (reason.size() >= 2) {
-            ref = attach_clause(std::move(reason), true, /*watch=*/true);
+            ref = attach_clause(std::move(reason), true, /*watch=*/true,
+                                pb.origin);
           }
           enqueue(negate(l), ref);
         }
@@ -277,12 +297,23 @@ void Solver::analyze(ClauseRef confl, std::vector<Lit>& learnt,
   std::size_t idx = trail_.size();
   std::uint32_t cur_level = static_cast<std::uint32_t>(trail_lim_.size());
   std::vector<Var> to_clear;
+  ancestry_.clear();
 
   ClauseRef reason_ref = confl;
   while (true) {
     assert(reason_ref != kNoReason);
     Clause& c = clauses_[reason_ref];
     if (c.learned) c.activity += var_inc_;
+    if (profile_) {
+      // Every clause resolved on the 1UIP chain participates in the
+      // conflict; its origin also joins the learnt clause's ancestry.
+      ++origin_cost(c.origin).participations;
+      if (c.origin != kNoOrigin &&
+          std::find(ancestry_.begin(), ancestry_.end(), c.origin) ==
+              ancestry_.end()) {
+        ancestry_.push_back(c.origin);
+      }
+    }
     std::size_t start = p_valid ? 1 : 0;
     for (std::size_t k = start; k < c.lits.size(); ++k) {
       Lit q = c.lits[k];
@@ -464,6 +495,7 @@ Solver::Result Solver::search(const std::vector<Lit>& assumptions) {
     if (confl != kNoReason) {
       ++stats_.conflicts;
       ++conflicts_since_restart;
+      if (profile_) ++origin_cost(clauses_[confl].origin).conflicts;
       if (progress_ && stats_.conflicts % progress_interval_ == 0) {
         progress_(Progress{Progress::Kind::Conflicts, stats_, trail_.size()});
       }
@@ -474,6 +506,19 @@ Solver::Result Solver::search(const std::vector<Lit>& assumptions) {
       std::vector<Lit> learnt;
       std::uint32_t bt_level = 0;
       analyze(confl, learnt, bt_level);
+      // The learnt clause descends from every origin resolved on the 1UIP
+      // chain (ancestry_); it carries the first as its representative so
+      // propagation and conflict cost through it stays attributed.
+      Origin rep = kNoOrigin;
+      if (profile_) {
+        ++profile_->learned_total;
+        if (ancestry_.empty()) {
+          ++profile_->learned_without_origin;
+        } else {
+          rep = ancestry_.front();
+          for (Origin o : ancestry_) ++origin_cost(o).learned;
+        }
+      }
       backtrack(bt_level);
       if (learnt.size() == 1) {
         if (!enqueue(learnt[0], kNoReason)) {
@@ -481,7 +526,8 @@ Solver::Result Solver::search(const std::vector<Lit>& assumptions) {
           return Result::Unsat;
         }
       } else {
-        ClauseRef ref = attach_clause(std::move(learnt), true, /*watch=*/true);
+        ClauseRef ref =
+            attach_clause(std::move(learnt), true, /*watch=*/true, rep);
         if (!enqueue(clauses_[ref].lits[0], ref)) {
           unsat_ = true;
           return Result::Unsat;

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "src/support/json.hpp"
@@ -32,6 +33,13 @@ inline bool is_pos(Lit l) { return (l & 1) == 0; }
 inline Lit negate(Lit l) { return l ^ 1; }
 
 enum class Value : std::uint8_t { Undef, True, False };
+
+/// Compact clause-origin tag: an index into a translation-owned origin table
+/// (asp::ClauseOriginMap).  The solver never interprets origins — it only
+/// accumulates per-origin cost counters while profiling is enabled — so the
+/// meaning of an Origin value is entirely the caller's.
+using Origin = std::uint32_t;
+inline constexpr Origin kNoOrigin = 0xffffffffu;
 
 struct SatStats {
   std::uint64_t decisions = 0;
@@ -58,6 +66,26 @@ struct Progress {
 
 using ProgressFn = std::function<void(const Progress&)>;
 
+/// Per-origin cost accounting, populated only while profiling is enabled
+/// (Solver::enable_profiling).  Counter placement makes conservation exact:
+/// every propagation/conflict increments exactly one bucket, so
+///   sum(per_origin[*].propagations) + unattributed.propagations
+/// equals the SatStats::propagations accumulated while profiling (and the
+/// same for conflicts).  `unattributed` collects work with no reason clause:
+/// decisions, assumptions, and reason-less PB strengthening enqueues.
+struct SatProfile {
+  struct OriginCost {
+    std::uint64_t propagations = 0;    ///< trail pops implied by this origin
+    std::uint64_t conflicts = 0;       ///< conflicts on a clause of this origin
+    std::uint64_t participations = 0;  ///< 1UIP resolution-chain memberships
+    std::uint64_t learned = 0;         ///< learned clauses with this ancestor
+  };
+  std::vector<OriginCost> per_origin;  ///< indexed by Origin
+  OriginCost unattributed;
+  std::uint64_t learned_total = 0;  ///< learnt clauses, unit learnts included
+  std::uint64_t learned_without_origin = 0;  ///< empty resolution ancestry
+};
+
 class Solver {
  public:
   Solver();
@@ -67,12 +95,14 @@ class Solver {
 
   /// Add a clause (disjunction).  Returns false if the solver became
   /// trivially UNSAT (empty clause / conflicting units at level 0).
-  bool add_clause(std::vector<Lit> lits);
+  /// `origin` tags the clause for profiling; kNoOrigin leaves it untagged.
+  bool add_clause(std::vector<Lit> lits, Origin origin = kNoOrigin);
 
   /// Add a constraint sum{ weight[i] : lits[i] true } <= bound.
-  /// Weights must be positive.
+  /// Weights must be positive.  Conflict and strengthening clauses the
+  /// constraint derives during search inherit `origin`.
   bool add_pb_le(std::vector<std::pair<Lit, std::int64_t>> terms,
-                 std::int64_t bound);
+                 std::int64_t bound, Origin origin = kNoOrigin);
 
   enum class Result { Sat, Unsat };
   Result solve();
@@ -117,6 +147,14 @@ class Solver {
   /// True once the clause database is known unsatisfiable.
   bool in_conflict() const { return unsat_; }
 
+  /// Switch per-origin cost accounting on or off.  Enabling (re)starts the
+  /// counters from zero; disabling drops them.  The hot paths pay one
+  /// pointer test when profiling is off (the ≤2% overhead contract).
+  void enable_profiling(bool on);
+
+  /// The accumulated profile, or nullptr when profiling is off.
+  const SatProfile* profile() const { return profile_.get(); }
+
  private:
   using ClauseRef = std::uint32_t;
   static constexpr ClauseRef kNoReason = 0xffffffffu;
@@ -124,6 +162,8 @@ class Solver {
   struct Clause {
     std::vector<Lit> lits;
     double activity = 0;
+    Origin origin = kNoOrigin;  // profiling tag; learnt clauses inherit a
+                                // representative ancestor origin
     bool learned = false;
     bool dead = false;
   };
@@ -133,6 +173,7 @@ class Solver {
     std::int64_t bound = 0;
     std::int64_t sum = 0;        // weight of currently-true terms
     std::int64_t max_weight = 0;
+    Origin origin = kNoOrigin;
   };
 
   struct PbWatch {
@@ -158,8 +199,10 @@ class Solver {
   void decay_activity();
   Lit pick_branch();
   void reduce_db();
-  ClauseRef attach_clause(std::vector<Lit> lits, bool learned, bool watch);
+  ClauseRef attach_clause(std::vector<Lit> lits, bool learned, bool watch,
+                          Origin origin = kNoOrigin);
   std::vector<Lit> pb_conflict_clause(const PbConstraint& pb) const;
+  SatProfile::OriginCost& origin_cost(Origin o);
 
   // heap of variables ordered by activity
   void heap_insert(Var v);
@@ -196,6 +239,12 @@ class Solver {
   SatStats stats_;
   ProgressFn progress_;
   std::uint64_t progress_interval_ = 2048;
+
+  // Profiling state: null while off (the hot-path gate).  ancestry_ is
+  // analyze()'s scratch list of the distinct tagged origins resolved on the
+  // current 1UIP chain.
+  std::unique_ptr<SatProfile> profile_;
+  std::vector<Origin> ancestry_;
 };
 
 /// Deletion-based minimization of a failed-assumption core: repeatedly

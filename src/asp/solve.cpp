@@ -103,7 +103,8 @@ SolveResult solve_ground(const GroundProgram& gp, const SolveOptions& opts) {
   std::unique_ptr<Translation> tr;
   {
     trace::Span ts("translate", "asp");
-    tr = std::make_unique<Translation>(gp);
+    tr = std::make_unique<Translation>(gp, /*guard_constraints=*/false,
+                                       opts.profile);
   }
   auto t1 = std::chrono::steady_clock::now();
   result.stats.translate_seconds = std::chrono::duration<double>(t1 - t0).count();
@@ -175,9 +176,28 @@ SolveResult solve_ground(const GroundProgram& gp, const SolveOptions& opts) {
     result.stats.restarts += t.solver().stats().restarts;
   };
 
+  // Snapshot the three profiling layers into a self-contained payload (the
+  // translation and solver die with this call).
+  auto capture_profile = [&](Translation& t) {
+    if (!opts.profile) return;
+    auto pd = std::make_shared<ProfileData>();
+    pd->ground = gp.profile;
+    pd->provenance = gp.provenance;
+    if (t.origins() != nullptr) pd->origins = *t.origins();
+    if (t.solver().profile() != nullptr) pd->sat = *t.solver().profile();
+    pd->sat_stats = t.solver().stats();
+    pd->ground_stats = gp.stats;
+    pd->atom_terms.reserve(gp.num_atoms());
+    for (AtomId a = 0; a < gp.num_atoms(); ++a) {
+      pd->atom_terms.push_back(gp.atom_term(a));
+    }
+    result.profile = std::move(pd);
+  };
+
   if (solve_stable(*tr, {}, result.stats, emit) ==
       sat::Solver::Result::Unsat) {
     finish_stats(*tr);
+    capture_profile(*tr);
     auto t2 = std::chrono::steady_clock::now();
     result.stats.solve_seconds = std::chrono::duration<double>(t2 - t1).count();
     result.sat = false;
@@ -230,11 +250,12 @@ SolveResult solve_ground(const GroundProgram& gp, const SolveOptions& opts) {
         Lit guard = sat::mk_lit(tr->solver().new_var(), true);
         auto bounded = terms;
         bounded.emplace_back(guard, total_weight - (best_cost - 1));
-        if (!tr->solver().add_pb_le(std::move(bounded), total_weight)) {
+        if (!tr->solver().add_pb_le(std::move(bounded), total_weight,
+                                    tr->opt_bound_origin())) {
           break;  // database already contradicts any tighter bound
         }
         auto res = solve_stable(*tr, {guard}, result.stats, emit);
-        tr->solver().add_clause({sat::negate(guard)});
+        tr->solver().add_clause({sat::negate(guard)}, tr->opt_bound_origin());
         if (res == sat::Solver::Result::Unsat) break;
         best_cost = tr->eval_cost(prio);
         best = snapshot_model(*tr);
@@ -258,7 +279,8 @@ SolveResult solve_ground(const GroundProgram& gp, const SolveOptions& opts) {
       level_span.attr("cost", best_cost);
       // Pin this level's optimum permanently before descending.
       if (prio != priorities.back()) {
-        tr->solver().add_pb_le(std::move(terms), best_cost);
+        tr->solver().add_pb_le(std::move(terms), best_cost,
+                               tr->opt_bound_origin());
       }
     }
     best.costs = fixed_bounds;
@@ -269,6 +291,7 @@ SolveResult solve_ground(const GroundProgram& gp, const SolveOptions& opts) {
   }
 
   finish_stats(*tr);
+  capture_profile(*tr);
   auto t3 = std::chrono::steady_clock::now();
   result.stats.solve_seconds = std::chrono::duration<double>(t3 - t1).count();
   result.model = std::move(best);

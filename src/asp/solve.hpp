@@ -14,11 +14,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string_view>
 #include <unordered_set>
 #include <vector>
 
 #include "src/asp/ground.hpp"
+#include "src/asp/profile.hpp"
 #include "src/asp/program.hpp"
 #include "src/support/json.hpp"
 
@@ -88,6 +90,10 @@ struct SolveResult {
   bool sat = false;
   Model model;       // valid when sat
   SolveStats stats;
+  /// Raw profiling payload; null unless SolveOptions::profile was set.
+  /// Feed to aggregate_profile() with the source program to fold the cost
+  /// back onto directives.
+  std::shared_ptr<const ProfileData> profile;
 };
 
 struct SolveOptions {
@@ -96,6 +102,10 @@ struct SolveOptions {
   std::uint64_t max_models = 0;
   /// Skip optimization: return the first stable model.
   bool optimize = true;
+  /// Tag every SAT clause with its origin and accumulate per-origin /
+  /// per-source-rule cost into SolveResult::profile.  Pair with
+  /// GroundOptions::profile + record_provenance for directive attribution.
+  bool profile = false;
   /// Streamed search progress.  Independently of this callback, the same
   /// events are mirrored as instants into the global tracer when enabled.
   SolveProgressFn progress;

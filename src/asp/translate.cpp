@@ -7,8 +7,10 @@ namespace splice::asp {
 using sat::Lit;
 using sat::Var;
 
-Translation::Translation(const GroundProgram& gp, bool guard_constraints)
+Translation::Translation(const GroundProgram& gp, bool guard_constraints,
+                         bool profile)
     : gp_(gp), guard_constraints_(guard_constraints) {
+  if (profile) origins_ = std::make_unique<ClauseOriginMap>();
   build();
 }
 
@@ -16,10 +18,10 @@ Translation::Translation(const GroundProgram& gp, bool guard_constraints)
 void Translation::define_and(Var v, const std::vector<Lit>& lits) {
   std::vector<Lit> back{sat::mk_lit(v, true)};
   for (Lit l : lits) {
-    solver_->add_clause({sat::mk_lit(v, false), l});
+    solver_->add_clause({sat::mk_lit(v, false), l}, cur_origin_);
     back.push_back(sat::negate(l));
   }
-  solver_->add_clause(std::move(back));
+  solver_->add_clause(std::move(back), cur_origin_);
 }
 
 Lit Translation::new_guard(GuardTarget target) {
@@ -31,9 +33,17 @@ Lit Translation::new_guard(GuardTarget target) {
 
 void Translation::build() {
   solver_ = std::make_unique<sat::Solver>();
+  if (origins_) {
+    solver_->enable_profiling(true);
+    // Shared origins for clause families that never need per-instance
+    // resolution; minted up front so they exist even when unused.
+    cur_origin_ = tag(ClauseOriginMap::Kind::Internal);
+    loop_origin_ = tag(ClauseOriginMap::Kind::LoopNogood);
+    opt_origin_ = tag(ClauseOriginMap::Kind::OptBound);
+  }
   // Constant-true variable simplifies empty bodies/conditions.
   true_var_ = solver_->new_var();
-  solver_->add_clause({sat::mk_lit(true_var_, true)});
+  solver_->add_clause({sat::mk_lit(true_var_, true)}, cur_origin_);
 
   atom_var_.resize(gp_.num_atoms());
   for (AtomId a = 0; a < gp_.num_atoms(); ++a) atom_var_[a] = solver_->new_var();
@@ -41,16 +51,22 @@ void Translation::build() {
   supports_.assign(gp_.num_atoms(), {});
   choice_supports_.assign(gp_.num_atoms(), {});
   rules_by_head_.assign(gp_.num_atoms(), {});
+  const sat::Origin internal_origin = cur_origin_;
+  if (origins_) cur_origin_ = tag(ClauseOriginMap::Kind::Fact);
   std::vector<bool> is_fact(gp_.num_atoms(), false);
   for (AtomId a : gp_.facts) {
     is_fact[a] = true;
-    solver_->add_clause({atom_lit(a, true)});
+    solver_->add_clause({atom_lit(a, true)}, cur_origin_);
   }
 
   // Normal rules and constraints.
   body_lit_.resize(gp_.rules.size());
   for (std::size_t ri = 0; ri < gp_.rules.size(); ++ri) {
     const GRule& r = gp_.rules[ri];
+    if (origins_) {
+      cur_origin_ = tag(ClauseOriginMap::Kind::Rule,
+                        static_cast<std::uint32_t>(ri));
+    }
     if (!r.has_head) {
       // Integrity constraint: not all body literals may hold.  In guarded
       // mode the clause carries !g, so it binds only while g is assumed.
@@ -62,16 +78,16 @@ void Translation::build() {
       for (const GLit& l : r.body) clause.push_back(glit({l.atom, !l.positive}));
       if (clause.empty()) {
         // ":- ." style absurdity; force UNSAT.
-        solver_->add_clause({sat::mk_lit(true_var_, false)});
+        solver_->add_clause({sat::mk_lit(true_var_, false)}, internal_origin);
       } else {
-        solver_->add_clause(std::move(clause));
+        solver_->add_clause(std::move(clause), cur_origin_);
       }
       body_lit_[ri] = sat::mk_lit(true_var_, true);  // unused
       continue;
     }
     Lit b = make_body(r.body);
     body_lit_[ri] = b;
-    solver_->add_clause({sat::negate(b), atom_lit(r.head, true)});
+    solver_->add_clause({sat::negate(b), atom_lit(r.head, true)}, cur_origin_);
     supports_[r.head].push_back(b);
     rules_by_head_[r.head].push_back(ri);
   }
@@ -79,6 +95,10 @@ void Translation::build() {
   // Choice rules.
   for (std::size_t ci = 0; ci < gp_.choices.size(); ++ci) {
     const GChoice& c = gp_.choices[ci];
+    if (origins_) {
+      cur_origin_ = tag(ClauseOriginMap::Kind::Choice,
+                        static_cast<std::uint32_t>(ci));
+    }
     Lit b = make_body(c.body);
     std::vector<Lit> counts;
     counts.reserve(c.elements.size());
@@ -119,12 +139,12 @@ void Translation::build() {
           for (Lit cl : counts) terms.emplace_back(cl, 1);
           Lit g = new_guard({GuardTarget::Kind::ChoiceUpper, ci});
           terms.emplace_back(g, k - *c.upper);
-          solver_->add_pb_le(std::move(terms), k);
+          solver_->add_pb_le(std::move(terms), k, cur_origin_);
         }
       } else {
         std::vector<std::pair<Lit, std::int64_t>> terms;
         for (Lit cl : counts) terms.emplace_back(cl, 1);
-        solver_->add_pb_le(std::move(terms), *c.upper);
+        solver_->add_pb_le(std::move(terms), *c.upper, cur_origin_);
       }
     }
     if (c.lower && *c.lower > 0) {
@@ -136,7 +156,7 @@ void Translation::build() {
         }
         clause.push_back(sat::negate(b));
         for (Lit cl : counts) clause.push_back(cl);
-        solver_->add_clause(std::move(clause));
+        solver_->add_clause(std::move(clause), cur_origin_);
       } else {
         // sum(!count) + lower*body <= k; guarded adds lower*g on the left
         // and lower on the right, so dropping the guard slackens the bound
@@ -150,30 +170,38 @@ void Translation::build() {
           terms.emplace_back(g, *c.lower);
           bound = k + *c.lower;
         }
-        solver_->add_pb_le(std::move(terms), bound);
+        solver_->add_pb_le(std::move(terms), bound, cur_origin_);
       }
     }
   }
 
-  // Completion: every non-fact atom needs some support.
+  // Completion: every non-fact atom needs some support.  Per-atom origins:
+  // completion cost resolves through Provenance::atom_origin to the source
+  // rule that (first) derived the atom.
   for (AtomId a = 0; a < gp_.num_atoms(); ++a) {
     if (is_fact[a]) continue;
+    if (origins_) cur_origin_ = tag(ClauseOriginMap::Kind::Completion, a);
     std::vector<Lit> clause{atom_lit(a, false)};
     for (Lit s : supports_[a]) clause.push_back(s);
-    solver_->add_clause(std::move(clause));
+    solver_->add_clause(std::move(clause), cur_origin_);
   }
 
   // Minimize indicators: m true whenever any condition conjunction holds.
   min_var_.resize(gp_.minimize.size());
   for (std::size_t i = 0; i < gp_.minimize.size(); ++i) {
+    if (origins_) {
+      cur_origin_ = tag(ClauseOriginMap::Kind::Minimize,
+                        static_cast<std::uint32_t>(i));
+    }
     Var m = solver_->new_var();
     min_var_[i] = m;
     for (const auto& cond : gp_.minimize[i].conditions) {
       std::vector<Lit> clause{sat::mk_lit(m, true)};
       for (const GLit& l : cond) clause.push_back(glit({l.atom, !l.positive}));
-      solver_->add_clause(std::move(clause));
+      solver_->add_clause(std::move(clause), cur_origin_);
     }
   }
+  cur_origin_ = sat::kNoOrigin;
 
   compute_sccs();
 }
@@ -404,7 +432,7 @@ sat::Solver::Result solve_stable(Translation& tr,
     }
     for (auto& ng : nogoods) {
       ++stats.loop_nogoods;
-      tr.solver().add_clause(std::move(ng));
+      tr.solver().add_clause(std::move(ng), tr.loop_nogood_origin());
     }
     if (emit) {
       SolveEvent ev;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/asp/ground.hpp"
+#include "src/asp/profile.hpp"
 #include "src/asp/sat.hpp"
 #include "src/asp/solve.hpp"
 
@@ -44,7 +45,10 @@ struct GuardTarget {
 /// translations agree on stability.
 class Translation {
  public:
-  explicit Translation(const GroundProgram& gp, bool guard_constraints = false);
+  /// `profile` tags every emitted clause with a ClauseOriginMap origin and
+  /// switches the solver's per-origin accounting on (see src/asp/profile.hpp).
+  explicit Translation(const GroundProgram& gp, bool guard_constraints = false,
+                       bool profile = false);
 
   sat::Solver& solver() { return *solver_; }
 
@@ -84,6 +88,15 @@ class Translation {
   /// Returns the corresponding loop nogoods (empty when the model is stable).
   std::vector<std::vector<sat::Lit>> unfounded_nogoods() const;
 
+  /// The clause-origin table, or nullptr when not profiling.
+  const ClauseOriginMap* origins() const { return origins_.get(); }
+
+  /// Shared origins for clauses added after build(): loop nogoods from
+  /// stable-model checks, and optimization bound constraints/retirements.
+  /// kNoOrigin when not profiling.
+  sat::Origin loop_nogood_origin() const { return loop_origin_; }
+  sat::Origin opt_bound_origin() const { return opt_origin_; }
+
  private:
   bool lit_true(sat::Lit l) const {
     return solver_->model_value(sat::var_of(l)) == sat::is_pos(l);
@@ -95,11 +108,25 @@ class Translation {
   sat::Lit new_guard(GuardTarget target);
   void compute_sccs();
 
+  /// Mint an origin id for the construct currently being translated (build()
+  /// sets cur_origin_ to it); kNoOrigin when not profiling.
+  sat::Origin tag(ClauseOriginMap::Kind kind, std::uint32_t index = 0) {
+    return origins_ ? origins_->add(kind, index) : sat::kNoOrigin;
+  }
+
   const GroundProgram& gp_;
   bool guard_constraints_ = false;
   std::unique_ptr<sat::Solver> solver_;
   sat::Var true_var_ = 0;
   std::vector<sat::Var> atom_var_;
+
+  // Profiling: null/kNoOrigin when off.  cur_origin_ rides along build()'s
+  // clause emission so define_and/make_body inherit the enclosing
+  // construct's origin.
+  std::unique_ptr<ClauseOriginMap> origins_;
+  sat::Origin cur_origin_ = sat::kNoOrigin;
+  sat::Origin loop_origin_ = sat::kNoOrigin;
+  sat::Origin opt_origin_ = sat::kNoOrigin;
 
   /// Choice-rule support for an atom: the eligibility literal plus the
   /// positive atoms it depends on (choice body and element condition).  The

@@ -1,8 +1,10 @@
 #include "src/concretize/concretizer.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <mutex>
 #include <set>
+#include <string_view>
 
 #include "src/support/error.hpp"
 #include "src/support/flight.hpp"
@@ -608,6 +610,55 @@ asp::Program Concretizer::compile_program(
   return compiler.compile(requests);
 }
 
+namespace {
+void resolve_directive_locs(const repo::Repository& repo, asp::Profile& prof);
+}  // namespace
+
+ProfileReport Concretizer::profile(const std::vector<Request>& requests) const {
+  if (requests.empty()) throw Error("profile: no requests");
+  trace::Span span("profile", "concretize");
+  Program program = compile_program(requests);
+  asp::GroundOptions gopts;
+  gopts.record_provenance = true;
+  gopts.profile = true;
+  asp::GroundProgram gp = asp::ground(program, gopts);
+  asp::SolveOptions sopts;
+  sopts.profile = true;
+  asp::SolveResult solved = asp::solve_ground(gp, sopts);
+
+  ProfileReport report;
+  report.requests.reserve(requests.size());
+  for (const Request& r : requests) report.requests.push_back(r.root.str());
+  report.sat = solved.sat;
+  report.stats = solved.stats;
+  if (solved.profile != nullptr) {
+    report.profile = asp::aggregate_profile(*solved.profile, program);
+    resolve_directive_locs(repo_, report.profile);
+  }
+  return report;
+}
+
+json::Value ProfileReport::to_json() const {
+  json::Object o;
+  o["schema"] = "splice-profile-v1";
+  json::Array reqs;
+  reqs.reserve(requests.size());
+  for (const std::string& r : requests) reqs.emplace_back(r);
+  o["requests"] = std::move(reqs);
+  o["sat"] = sat;
+  o["stats"] = stats.to_json();
+  o["profile"] = profile.to_json();
+  return json::Value(std::move(o));
+}
+
+std::string ProfileReport::text(std::size_t top) const {
+  std::string out = "profile of:";
+  for (const std::string& r : requests) out += " " + r + ";";
+  out += sat ? " (sat)\n" : " (unsat)\n";
+  out += profile.summary(top);
+  return out;
+}
+
 std::shared_ptr<const Concretizer::CompileCache> Concretizer::ensure_cache()
     const {
   if (!compile_cache_) {
@@ -653,6 +704,65 @@ void Concretizer::add_reusable(const Spec& concrete) {
 }
 
 namespace {
+
+/// SPLICE_PROFILE=1 turns on always-on profiling of every concretization:
+/// per-origin/per-rule accounting rides the normal solve, headline totals
+/// land in the metrics registry as profile/* series, and the flight
+/// account's note carries the top-3 hottest directives (DESIGN.md §14).
+bool env_profile_enabled() {
+  static const bool on = [] {
+    const char* p = std::getenv("SPLICE_PROFILE");
+    return p != nullptr && *p != '\0' && std::string_view(p) != "0";
+  }();
+  return on;
+}
+
+/// Resolve directive cost rows to their declaration sites: reconstruct each
+/// package directive's note exactly as the compiler builds it and look the
+/// row names up, filling Row::file/line from repo::DirectiveLoc.  depends_on
+/// notes carry a trailing constraint clause, so they match by prefix.
+void resolve_directive_locs(const repo::Repository& repo, asp::Profile& prof) {
+  if (prof.directives.empty()) return;
+  std::map<std::string, repo::DirectiveLoc> exact;
+  std::vector<std::pair<std::string, repo::DirectiveLoc>> prefixes;
+  for (const std::string& name : repo.package_names()) {
+    const PackageDef& pkg = repo.get(name);
+    for (const auto& c : pkg.conflicts_list()) {
+      std::string note = name + ": conflicts with " + c.target.str();
+      if (c.when) note += " when " + c.when->str();
+      exact.emplace(std::move(note), c.loc);
+    }
+    for (const auto& s : pkg.splices()) {
+      std::string note = name + ": can_splice " + s.target.str();
+      if (s.when) note += " when " + s.when->str();
+      exact.emplace(std::move(note), s.loc);
+    }
+    for (const auto& d : pkg.dependencies()) {
+      prefixes.emplace_back(name + " depends_on " + d.target.str() + ": ",
+                            d.loc);
+    }
+  }
+  auto apply = [](asp::Profile::Row& row, const repo::DirectiveLoc& loc) {
+    if (!loc.known()) return;
+    row.file = loc.file;
+    row.line = loc.line;
+    row.col = 0;
+    row.loc_known = true;
+  };
+  for (asp::Profile::Row& row : prof.directives) {
+    auto it = exact.find(row.name);
+    if (it != exact.end()) {
+      apply(row, it->second);
+      continue;
+    }
+    for (const auto& [prefix, loc] : prefixes) {
+      if (row.name.compare(0, prefix.size(), prefix) == 0) {
+        apply(row, loc);
+        break;
+      }
+    }
+  }
+}
 
 /// Shared outcome of a (possibly multi-root) solve before per-root
 /// extraction.
@@ -700,17 +810,25 @@ static SolvedDag solve_requests(
     program = compiler.compile(requests);
     phase.attr("rules", program.rules().size());
   }
+  const bool profiling = env_profile_enabled();
   asp::GroundProgram gp;
   {
     trace::Span phase("ground", "concretize");
     flight::PhaseScope fphase(flight::Phase::Ground);
-    gp = asp::ground(program);
+    asp::GroundOptions gopts;
+    if (profiling) {
+      gopts.record_provenance = true;
+      gopts.profile = true;
+    }
+    gp = asp::ground(program, gopts);
   }
   asp::SolveResult solved;
   {
     trace::Span phase("solve", "concretize");
     flight::PhaseScope fphase(flight::Phase::Solve);
-    solved = asp::solve_ground(gp);
+    asp::SolveOptions sopts;
+    sopts.profile = profiling;
+    solved = asp::solve_ground(gp, sopts);
   }
   {
     const asp::SolveStats& st = solved.stats;
@@ -728,10 +846,41 @@ static SolvedDag solve_requests(
     flight::Recorder& rec = flight::Recorder::global();
     rec.add_rollup(flight_req.id(), roll);
   }
+  // Profile export: headline profile/* metrics plus the one-line "hot
+  // directives" digest that rides the flight account (and thus appears in
+  // slow-request dumps).
+  std::string profile_note;
+  if (profiling && solved.profile != nullptr) {
+    asp::Profile prof = asp::aggregate_profile(*solved.profile, program);
+    resolve_directive_locs(repo, prof);
+    trace::MetricsRegistry& m = trace::Tracer::global().metrics();
+    m.add("profile/solves");
+    m.add("profile/attributed_propagations",
+          static_cast<std::int64_t>(prof.sat_totals.propagations -
+                                    prof.unattributed.propagations));
+    m.add("profile/unattributed_propagations",
+          static_cast<std::int64_t>(prof.unattributed.propagations));
+    m.add("profile/attributed_conflicts",
+          static_cast<std::int64_t>(prof.sat_totals.conflicts -
+                                    prof.unattributed.conflicts));
+    m.add("profile/unattributed_conflicts",
+          static_cast<std::int64_t>(prof.unattributed.conflicts));
+    m.add("profile/learned_without_origin",
+          static_cast<std::int64_t>(prof.learned_without_origin));
+    m.set_gauge("profile/directives",
+                static_cast<double>(prof.directives.size()));
+    if (!prof.directives.empty()) {
+      m.set_gauge("profile/top_directive_score",
+                  prof.directives.front().score());
+    }
+    profile_note = prof.top_line(3);
+  }
   if (!solved.sat) {
     std::string what = "no concretization satisfies:";
     for (const Request& r : requests) what += " " + r.root.str() + ";";
-    flight_req.finish(flight::Outcome::Unsat, what);
+    std::string note = what;
+    if (!profile_note.empty()) note += " [" + profile_note + "]";
+    flight_req.finish(flight::Outcome::Unsat, note);
     throw UnsatisfiableError(what);
   }
   const asp::Model& model = solved.model;
@@ -872,6 +1021,9 @@ static SolvedDag solve_requests(
     }
     rec.add_solution(flight_req.id(), result.build_names.size(),
                      result.reused_hashes.size(), result.splices.size());
+  }
+  if (!profile_note.empty()) {
+    flight_req.finish(flight::Outcome::Ok, profile_note);
   }
   return result;
 }

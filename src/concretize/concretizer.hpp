@@ -33,6 +33,7 @@
 #include "src/concretize/explain.hpp"
 #include "src/repo/repository.hpp"
 #include "src/spec/spec.hpp"
+#include "src/support/json.hpp"
 
 namespace splice::concretize {
 
@@ -95,6 +96,24 @@ struct EnvironmentResult {
   bool used_splice() const { return !splices.empty(); }
 };
 
+/// Directive-level cost profile of one request set — the answer to "why is
+/// my concretization slow?": grounding and CDCL work attributed back to the
+/// package directives (and encoding predicates/buckets) that generated it.
+struct ProfileReport {
+  std::vector<std::string> requests;  ///< request texts, in input order
+  bool sat = false;
+  asp::SolveStats stats;
+  asp::Profile profile;
+
+  /// Full splice-profile-v1 document: schema/requests envelope plus the
+  /// cost tables of Profile::to_json().
+  json::Value to_json() const;
+  /// Human-readable report: request header + top-`top` cost tables.
+  std::string text(std::size_t top = 10) const;
+  /// Brendan-Gregg folded stacks for flamegraph.pl / speedscope.
+  std::string folded() const { return profile.folded(); }
+};
+
 class Concretizer {
  public:
   Concretizer(const repo::Repository& repo, ConcretizerOptions opts = {});
@@ -135,6 +154,13 @@ class Concretizer {
   /// Requires enable_splicing; reports sat = false when the request set has
   /// no solution (use explain_unsat then).
   SpliceDiagnosis explain_splice(const std::vector<Request>& requests) const;
+
+  /// Profile a request set: compile, ground with provenance + per-rule cost
+  /// accounting, solve with per-origin SAT accounting, and fold the combined
+  /// cost back onto package directives.  Always solves from scratch.  Valid
+  /// on unsatisfiable request sets too (sat = false; the grounding and
+  /// refutation cost is still attributed).
+  ProfileReport profile(const std::vector<Request>& requests) const;
 
   /// Analyzer whitelists matching this encoding: attr and the reuse fact
   /// predicates are intentionally multi-arity, attr is consumed by the model

@@ -1,0 +1,48 @@
+#include "src/support/chrome.hpp"
+
+#include <utility>
+
+namespace splice::chrome {
+
+namespace {
+
+json::Value event(std::string name, std::string category, const char* phase,
+                  double ts_us, std::int64_t tid, json::Object args) {
+  json::Object e;
+  e["name"] = std::move(name);
+  if (!category.empty()) e["cat"] = std::move(category);
+  e["ph"] = phase;
+  e["ts"] = ts_us;
+  e["pid"] = 1;
+  e["tid"] = tid;
+  if (!args.empty()) e["args"] = json::Value(std::move(args));
+  return json::Value(std::move(e));
+}
+
+}  // namespace
+
+json::Value complete_event(std::string name, std::string category,
+                           double ts_us, double dur_us, std::int64_t tid,
+                           json::Object args) {
+  json::Value v = event(std::move(name), std::move(category), "X", ts_us, tid,
+                        std::move(args));
+  v.as_object()["dur"] = dur_us;
+  return v;
+}
+
+json::Value instant_event(std::string name, std::string category,
+                          double ts_us, std::int64_t tid, json::Object args) {
+  json::Value v = event(std::move(name), std::move(category), "i", ts_us, tid,
+                        std::move(args));
+  v.as_object()["s"] = "t";  // thread-scoped
+  return v;
+}
+
+json::Value document(json::Array events) {
+  json::Object doc;
+  doc["displayTimeUnit"] = "ms";
+  doc["traceEvents"] = json::Value(std::move(events));
+  return json::Value(std::move(doc));
+}
+
+}  // namespace splice::chrome

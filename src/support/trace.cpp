@@ -1,6 +1,8 @@
 #include "src/support/trace.hpp"
 
 #include <algorithm>
+
+#include "src/support/chrome.hpp"
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -239,6 +241,8 @@ std::string MetricsRegistry::metrics_text(std::string_view prefix) const {
     HistSummary sum = summarize(std::move(samples));
     out += series_ref(s, "quantile=\"0.5\"") + " " + format_double(sum.p50) +
            "\n";
+    out += series_ref(s, "quantile=\"0.9\"") + " " + format_double(sum.p90) +
+           "\n";
     out += series_ref(s, "quantile=\"0.95\"") + " " + format_double(sum.p95) +
            "\n";
     out += series_ref(s, "quantile=\"0.99\"") + " " + format_double(sum.p99) +
@@ -354,29 +358,16 @@ std::vector<TraceEvent> Tracer::events() const {
 json::Value Tracer::chrome_trace() const {
   json::Array out;
   for (const TraceEvent& ev : events()) {
-    json::Object e;
-    e["name"] = ev.name;
-    if (!ev.category.empty()) e["cat"] = ev.category;
-    e["ph"] = ev.phase == TraceEvent::Phase::Complete ? "X" : "i";
-    e["ts"] = ev.ts_us;
-    if (ev.phase == TraceEvent::Phase::Complete) {
-      e["dur"] = ev.dur_us;
-    } else {
-      e["s"] = "t";  // thread-scoped instant
-    }
-    e["pid"] = 1;
-    e["tid"] = static_cast<std::int64_t>(ev.tid);
-    if (!ev.args.empty()) {
-      json::Object args;
-      for (const auto& [k, v] : ev.args) args[k] = v;
-      e["args"] = json::Value(std::move(args));
-    }
-    out.push_back(json::Value(std::move(e)));
+    json::Object args;
+    for (const auto& [k, v] : ev.args) args[k] = v;
+    auto tid = static_cast<std::int64_t>(ev.tid);
+    out.push_back(ev.phase == TraceEvent::Phase::Complete
+                      ? chrome::complete_event(ev.name, ev.category, ev.ts_us,
+                                               ev.dur_us, tid, std::move(args))
+                      : chrome::instant_event(ev.name, ev.category, ev.ts_us,
+                                              tid, std::move(args)));
   }
-  json::Object doc;
-  doc["displayTimeUnit"] = "ms";
-  doc["traceEvents"] = json::Value(std::move(out));
-  return json::Value(std::move(doc));
+  return chrome::document(std::move(out));
 }
 
 json::Value Tracer::stats_json() const {

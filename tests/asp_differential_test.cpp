@@ -257,6 +257,66 @@ TEST_P(DifferentialTest, OptimizedMatchesReference) {
   SolveResult r_opt = solve_ground(opt);
   SolveResult r_ref = solve_ground(ref);
   ASSERT_EQ(r_opt.sat, r_ref.sat) << "seed=" << seed;
+
+  // Profiler conservation invariants, on every generated program (sat and
+  // unsat alike): a profiled run of the same pipeline must partition the
+  // solver's and grounder's own totals exactly — no invented or dropped
+  // cost — and agree with the unprofiled run on the result.
+  {
+    GroundOptions gopts;
+    gopts.record_provenance = true;
+    gopts.profile = true;
+    GroundProgram gprof = ground(p, gopts);
+    SolveOptions sopts;
+    sopts.profile = true;
+    SolveResult r_prof = solve_ground(gprof, sopts);
+    EXPECT_EQ(r_prof.sat, r_opt.sat) << "seed=" << seed;
+    ASSERT_NE(r_prof.profile, nullptr) << "seed=" << seed;
+    const ProfileData& pd = *r_prof.profile;
+
+    std::uint64_t props = pd.sat.unattributed.propagations;
+    std::uint64_t confls = pd.sat.unattributed.conflicts;
+    std::uint64_t learned = 0;
+    for (const auto& c : pd.sat.per_origin) {
+      props += c.propagations;
+      confls += c.conflicts;
+      learned += c.learned;
+    }
+    EXPECT_EQ(props, pd.sat_stats.propagations) << "seed=" << seed;
+    EXPECT_EQ(confls, pd.sat_stats.conflicts) << "seed=" << seed;
+    // Every learned clause resolves to >= 1 tagged ancestor or lands in the
+    // explicit no-origin bucket.
+    EXPECT_LE(pd.sat.learned_without_origin, pd.sat.learned_total)
+        << "seed=" << seed;
+    EXPECT_GE(learned, pd.sat.learned_total - pd.sat.learned_without_origin)
+        << "seed=" << seed;
+
+    ASSERT_NE(pd.ground, nullptr) << "seed=" << seed;
+    std::uint64_t rules = 0;
+    std::uint64_t choices = 0;
+    for (const auto& rc : pd.ground->per_rule) {
+      rules += rc.emitted_rules;
+      choices += rc.emitted_choices;
+    }
+    EXPECT_EQ(rules, pd.ground_stats.rules) << "seed=" << seed;
+    EXPECT_EQ(choices, pd.ground_stats.choices) << "seed=" << seed;
+
+    // Aggregation re-partitions the same totals across directive, predicate
+    // and bucket rows.
+    Profile prof = aggregate_profile(pd, p);
+    std::uint64_t agg_props = 0;
+    std::uint64_t agg_confls = 0;
+    for (const Profile::Row& row : prof.directives) {
+      agg_props += row.sat.propagations;
+      agg_confls += row.sat.conflicts;
+    }
+    for (const Profile::Row& row : prof.buckets) {
+      agg_props += row.sat.propagations;
+      agg_confls += row.sat.conflicts;
+    }
+    EXPECT_EQ(agg_props, prof.sat_totals.propagations) << "seed=" << seed;
+    EXPECT_EQ(agg_confls, prof.sat_totals.conflicts) << "seed=" << seed;
+  }
   if (!r_opt.sat) return;
 
   VerifyResult v_opt = verify_model(opt, r_opt.model);

@@ -157,10 +157,12 @@ TEST(MetricsTest, PrometheusTextExposition) {
   EXPECT_NE(text.find("# TYPE splice_load gauge\n"), std::string::npos);
   EXPECT_NE(text.find("splice_load 0.75\n"), std::string::npos);
 
-  // Histograms expose p50/p95/p99 summaries with the post-'/' part as a
-  // key label, plus _sum and _count.
+  // Histograms expose all four quantiles (p50/p90/p95/p99) with the
+  // post-'/' part as a key label, plus _sum and _count.
   EXPECT_NE(text.find("# TYPE splice_request summary\n"), std::string::npos);
   EXPECT_NE(text.find("splice_request{key=\"seconds\",quantile=\"0.5\"} 50\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("splice_request{key=\"seconds\",quantile=\"0.9\"} 90\n"),
             std::string::npos);
   EXPECT_NE(text.find("splice_request{key=\"seconds\",quantile=\"0.95\"} 95\n"),
             std::string::npos);

@@ -53,8 +53,10 @@ options:
   --cache-dir DIR  where the repo-audit-cache-v1 file lives (implies
                    --incremental); unchanged packages replay from the cache
   --json FILE      write the repo-audit-v1 JSON document to FILE
-  --metrics FILE   write the Prometheus metrics exposition (incl.
+  --metrics-out FILE
+                   write the Prometheus metrics exposition (incl.
                    audit.cache hit/miss/invalidated counters) to FILE
+                   (--metrics is accepted as an alias)
   --flight FILE    write the per-check-group flight recording
                    (splice-flight-v1 JSON) to FILE
   --slow-ms N      flag check groups slower than N ms in the recording
@@ -113,8 +115,8 @@ int main(int argc, char** argv) {
       incremental = true;
     } else if (arg == "--json") {
       json_path = value("--json");
-    } else if (arg == "--metrics") {
-      metrics_path = value("--metrics");
+    } else if (arg == "--metrics-out" || arg == "--metrics") {
+      metrics_path = value("--metrics-out");
     } else if (arg == "--flight") {
       flight_path = value("--flight");
     } else if (arg == "--slow-ms") {

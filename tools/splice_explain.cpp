@@ -41,6 +41,8 @@ void usage(std::FILE* out) {
                "\n"
                "options:\n"
                "  --json FILE    write the splice-explain-v1 JSON document\n"
+               "  --metrics-out FILE\n"
+               "                 write the Prometheus metrics exposition\n"
                "  --flight FILE  write the per-probe flight recording "
                "(splice-flight-v1)\n"
                "  --slow-ms N    flag probes slower than N ms in the "
@@ -75,6 +77,7 @@ bool write_json(const std::string& path, const splice::json::Value& doc) {
 
 int main(int argc, char** argv) {
   std::string json_path;
+  std::string metrics_path;
   std::string flight_path;
   double slow_ms = 0;
   bool enable_splicing = false;
@@ -100,6 +103,8 @@ int main(int argc, char** argv) {
       return 0;
     } else if (arg == "--json") {
       json_path = value("--json");
+    } else if (arg == "--metrics-out") {
+      metrics_path = value("--metrics-out");
     } else if (arg == "--flight") {
       flight_path = value("--flight");
     } else if (arg == "--slow-ms") {
@@ -213,6 +218,19 @@ int main(int argc, char** argv) {
         return 1;
       }
       std::printf("\nsplice_explain: wrote %s\n", json_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+      std::FILE* f = std::fopen(metrics_path.c_str(), "w");
+      std::string text = trace::Tracer::global().metrics().metrics_text();
+      bool ok = f != nullptr &&
+                std::fwrite(text.data(), 1, text.size(), f) == text.size();
+      if (f != nullptr) ok = std::fclose(f) == 0 && ok;
+      if (!ok) {
+        std::fprintf(stderr, "splice_explain: cannot write %s\n",
+                     metrics_path.c_str());
+        return 1;
+      }
+      std::printf("splice_explain: wrote %s\n", metrics_path.c_str());
     }
     if (!flight_path.empty()) {
       if (!flight::Recorder::global().write_dump(flight_path, "manual")) {

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "src/concretize/concretizer.hpp"
+#include "src/support/chrome.hpp"
 #include "src/support/error.hpp"
 #include "src/support/flight.hpp"
 #include "src/support/json.hpp"
@@ -240,17 +241,12 @@ int cmd_chrome(const std::string& file, const std::string& out_path) {
     for (const Value& r : reqs->as_array()) {
       double begin = num(r, "begin_us");
       double end = num(r, "end_us");
-      splice::json::Object e;
-      e["name"] = "request " + std::to_string(
-                      static_cast<long long>(num(r, "id"))) +
-                  ": " + str(r, "request");
-      e["cat"] = "flight";
-      e["ph"] = "X";
-      e["ts"] = begin;
-      e["dur"] = end > begin ? end - begin : 0.0;
-      e["pid"] = 1;
-      e["tid"] = static_cast<std::int64_t>(num(r, "id"));
-      out.push_back(Value(std::move(e)));
+      out.push_back(splice::chrome::complete_event(
+          "request " +
+              std::to_string(static_cast<long long>(num(r, "id"))) + ": " +
+              str(r, "request"),
+          "flight", begin, end > begin ? end - begin : 0.0,
+          static_cast<std::int64_t>(num(r, "id"))));
     }
   }
   const Value* events = doc->find("events");
@@ -273,44 +269,26 @@ int cmd_chrome(const std::string& file, const std::string& out_path) {
         if (stack.empty()) continue;  // begin fell off the ring
         Open o = stack.back();
         stack.pop_back();
-        splice::json::Object e;
-        e["name"] = o.phase;
-        e["cat"] = "flight";
-        e["ph"] = "X";
-        e["ts"] = o.t_us;
-        e["dur"] = t - o.t_us;
-        e["pid"] = 1;
-        e["tid"] = tid;
-        out.push_back(Value(std::move(e)));
+        out.push_back(splice::chrome::complete_event(o.phase, "flight", o.t_us,
+                                                     t - o.t_us, tid));
         continue;
       }
-      splice::json::Object e;
-      e["name"] = kind;
-      e["cat"] = "flight";
-      e["ph"] = "i";
-      e["ts"] = t;
-      e["s"] = "t";
-      e["pid"] = 1;
-      e["tid"] = tid;
       splice::json::Object args;
       args["req"] = static_cast<std::int64_t>(num(ev, "req"));
       args["a"] = static_cast<std::int64_t>(num(ev, "a"));
       args["b"] = static_cast<std::int64_t>(num(ev, "b"));
       std::string detail = str(ev, "detail");
       if (!detail.empty()) args["detail"] = detail;
-      e["args"] = Value(std::move(args));
-      out.push_back(Value(std::move(e)));
+      out.push_back(
+          splice::chrome::instant_event(kind, "flight", t, tid, std::move(args)));
     }
   }
-  splice::json::Object chrome;
-  chrome["displayTimeUnit"] = "ms";
-  chrome["traceEvents"] = Value(std::move(out));
   std::ofstream os(out_path);
   if (!os) {
     std::fprintf(stderr, "splice_flight: cannot write %s\n", out_path.c_str());
     return 1;
   }
-  os << Value(std::move(chrome)).dump_pretty() << "\n";
+  os << splice::chrome::document(std::move(out)).dump_pretty() << "\n";
   std::printf("splice_flight: wrote chrome trace %s\n", out_path.c_str());
   return 0;
 }

@@ -2,6 +2,7 @@
 // Chrome trace-event files (splice_trace / SPLICE_TRACE), stats files
 // (schema "splice-stats-v1"), bench result files (schema "splice-bench-v1"),
 // explanation documents (schema "splice-explain-v1", from splice_explain),
+// solver cost profiles (schema "splice-profile-v1", from splice_profile),
 // repository audit reports (schema "repo-audit-v1", from repo_audit),
 // incremental audit caches (schema "repo-audit-cache-v1", from
 // repo_audit --incremental),
@@ -304,6 +305,164 @@ void check_explain(const std::string& file, const Value& doc) {
   }
   if (errors == before) {
     std::printf("trace_check: %s: explain (%s) OK\n", file.c_str(), m.c_str());
+  }
+}
+
+/// One cost-table row of a `splice-profile-v1` document:
+/// {"name": str, "source": {"known": bool, [file, line, col, rule_index]},
+///  "sat": {...counters...}, "ground": {...counters...}, "score": num}.
+/// Accumulates the row's propagation/conflict counters for the caller's
+/// conservation check.
+void check_profile_row(const std::string& file, const Value& row,
+                       const std::string& ctx, double* propagations,
+                       double* conflicts) {
+  if (!row.is_object()) {
+    fail(file, ctx + ": not an object");
+    return;
+  }
+  require_string(file, row, "name", ctx);
+  require_number(file, row, "score", ctx);
+  const Value* src = row.find("source");
+  if (src == nullptr || !src->is_object()) {
+    fail(file, ctx + ": no \"source\" object");
+  } else if (require_bool(file, *src, "known", ctx + "/source") &&
+             src->find("known")->as_bool()) {
+    require_number(file, *src, "line", ctx + "/source");
+    require_number(file, *src, "col", ctx + "/source");
+  }
+  const Value* s = row.find("sat");
+  if (s == nullptr || !s->is_object()) {
+    fail(file, ctx + ": no \"sat\" object");
+  } else {
+    for (const char* field :
+         {"propagations", "conflicts", "participations", "learned"}) {
+      require_number(file, *s, field, ctx + "/sat");
+    }
+    if (propagations != nullptr && s->find("propagations") != nullptr &&
+        s->find("propagations")->is_number()) {
+      *propagations += s->find("propagations")->as_double();
+    }
+    if (conflicts != nullptr && s->find("conflicts") != nullptr &&
+        s->find("conflicts")->is_number()) {
+      *conflicts += s->find("conflicts")->as_double();
+    }
+  }
+  const Value* g = row.find("ground");
+  if (g == nullptr || !g->is_object()) {
+    fail(file, ctx + ": no \"ground\" object");
+  } else {
+    for (const char* field :
+         {"instantiations", "join_candidates", "emitted", "seconds"}) {
+      require_number(file, *g, field, ctx + "/ground");
+    }
+  }
+}
+
+/// {"schema": "splice-profile-v1", "requests": [str], "sat": bool,
+///  "stats": {...SolveStats...},
+///  "profile": {"totals": {...}, "directives": [row], "predicates": [row],
+///              "buckets": [row]}}
+/// Beyond shape, re-checks the profiler's conservation contract: directive
+/// plus bucket rows must partition the solver's propagation/conflict totals.
+void check_profile(const std::string& file, const Value& doc) {
+  int before = errors;
+  const Value* reqs = doc.find("requests");
+  if (reqs == nullptr || !reqs->is_array() || reqs->as_array().empty()) {
+    fail(file, "no non-empty \"requests\" array");
+  } else {
+    std::size_t i = 0;
+    for (const Value& r : reqs->as_array()) {
+      if (!r.is_string()) {
+        fail(file, "requests[" + std::to_string(i) + "]: not a string");
+      }
+      ++i;
+    }
+  }
+  require_bool(file, doc, "sat", "document");
+  const Value* stats = doc.find("stats");
+  if (stats == nullptr || !stats->is_object()) {
+    fail(file, "no \"stats\" object");
+  } else {
+    for (const char* field : {"ground_seconds", "solve_seconds", "conflicts",
+                              "decisions", "propagations"}) {
+      require_number(file, *stats, field, "stats");
+    }
+  }
+  const Value* prof = doc.find("profile");
+  if (prof == nullptr || !prof->is_object()) {
+    fail(file, "no \"profile\" object");
+    return;
+  }
+  const Value* totals = prof->find("totals");
+  double total_props = -1;
+  double total_confls = -1;
+  if (totals == nullptr || !totals->is_object()) {
+    fail(file, "profile: no \"totals\" object");
+  } else {
+    const Value* sat = totals->find("sat");
+    if (sat == nullptr || !sat->is_object()) {
+      fail(file, "profile/totals: no \"sat\" object");
+    } else {
+      for (const char* field : {"decisions", "conflicts", "propagations",
+                                "restarts", "learned"}) {
+        require_number(file, *sat, field, "profile/totals/sat");
+      }
+      if (sat->find("propagations") != nullptr &&
+          sat->find("propagations")->is_number()) {
+        total_props = sat->find("propagations")->as_double();
+      }
+      if (sat->find("conflicts") != nullptr &&
+          sat->find("conflicts")->is_number()) {
+        total_confls = sat->find("conflicts")->as_double();
+      }
+    }
+    const Value* ground = totals->find("ground");
+    if (ground == nullptr || !ground->is_object()) {
+      fail(file, "profile/totals: no \"ground\" object");
+    } else {
+      for (const char* field : {"rules", "choices", "seconds"}) {
+        require_number(file, *ground, field, "profile/totals/ground");
+      }
+    }
+    require_number(file, *totals, "learned_total", "profile/totals");
+    require_number(file, *totals, "learned_without_origin", "profile/totals");
+  }
+  // Directive + bucket rows partition the SAT totals (buckets include
+  // "encoding-internal", the predicate-table rollup, and "unattributed");
+  // the predicates table is informational (already counted via the rollup).
+  double props = 0;
+  double confls = 0;
+  for (const char* table : {"directives", "predicates", "buckets"}) {
+    const Value* rows = prof->find(table);
+    if (rows == nullptr || !rows->is_array()) {
+      fail(file, std::string("profile: no \"") + table + "\" array");
+      continue;
+    }
+    bool counted = std::string(table) != "predicates";
+    std::size_t i = 0;
+    for (const Value& row : rows->as_array()) {
+      check_profile_row(file, row,
+                        std::string(table) + "[" + std::to_string(i++) + "]",
+                        counted ? &props : nullptr,
+                        counted ? &confls : nullptr);
+    }
+  }
+  if (total_props >= 0 && props != total_props) {
+    fail(file, "conservation: directives+buckets propagations " +
+                   std::to_string(props) + " != totals " +
+                   std::to_string(total_props));
+  }
+  if (total_confls >= 0 && confls != total_confls) {
+    fail(file, "conservation: directives+buckets conflicts " +
+                   std::to_string(confls) + " != totals " +
+                   std::to_string(total_confls));
+  }
+  if (errors == before) {
+    std::size_t n = 0;
+    const Value* dirs = prof->find("directives");
+    if (dirs != nullptr && dirs->is_array()) n = dirs->as_array().size();
+    std::printf("trace_check: %s: profile OK (%zu directive row(s))\n",
+                file.c_str(), n);
   }
 }
 
@@ -831,6 +990,8 @@ void check_file(const std::string& file) {
     check_bench(file, doc);
   } else if (name == "splice-explain-v1") {
     check_explain(file, doc);
+  } else if (name == "splice-profile-v1") {
+    check_profile(file, doc);
   } else if (name == "repo-audit-v1") {
     check_repo_audit(file, doc);
   } else if (name == "repo-audit-cache-v1") {
