@@ -66,6 +66,16 @@ class Samples {
     data_[series][label].push_back(seconds);
   }
 
+  /// Mark a series as higher-is-better (e.g. throughput in requests/sec):
+  /// every cell of the series gets "direction": "higher" and the given unit
+  /// in the JSON, so bench_diff knows a *drop* is the regression.  The
+  /// sample values then carry that unit, not seconds (the stat field names
+  /// stay *_seconds for schema stability).
+  void mark_higher_is_better(const std::string& series,
+                             const std::string& unit) {
+    higher_[series] = unit;
+  }
+
   struct Stat {
     double mean = 0, stddev = 0, min = 0, max = 0;
     double median = 0, p90 = 0;  // nearest-rank, as in MetricsRegistry
@@ -132,6 +142,7 @@ class Samples {
   json::Value to_json() const {
     json::Object out;
     for (const auto& [name, labels] : data_) {
+      auto hit = higher_.find(name);
       json::Object per_series;
       for (const auto& [label, v] : labels) {
         Stat s = stat(name, label);
@@ -143,6 +154,10 @@ class Samples {
         cell["p90_seconds"] = s.p90;
         cell["min_seconds"] = s.min;
         cell["max_seconds"] = s.max;
+        if (hit != higher_.end()) {
+          cell["direction"] = "higher";
+          cell["unit"] = hit->second;
+        }
         per_series[label] = json::Value(std::move(cell));
       }
       out[name] = json::Value(std::move(per_series));
@@ -152,6 +167,7 @@ class Samples {
 
  private:
   std::map<std::string, std::map<std::string, std::vector<double>>> data_;
+  std::map<std::string, std::string> higher_;  // series -> unit
 };
 
 /// Time one call through a tracer span (category "bench").  When tracing is

@@ -5,7 +5,6 @@
 #include <functional>
 #include <set>
 #include <sstream>
-#include <thread>
 
 #include "src/abi/discovery.hpp"
 #include "src/analysis/audit_cache.hpp"
@@ -730,9 +729,8 @@ void RepoAuditor::run_tasks(std::vector<Task>& tasks, AuditCache* cache,
     pending.push_back(i);
   }
 
-  std::size_t jobs = opts_.jobs == 0
-                         ? std::max(1u, std::thread::hardware_concurrency())
-                         : opts_.jobs;
+  // jobs == 0 auto-detects inside parallel_workers/parallel_for_each.
+  std::size_t jobs = opts_.jobs;
   out.workers_used =
       std::max(out.workers_used, parallel_workers(pending.size(), jobs));
   parallel_for_each(pending.size(), jobs, [&](std::size_t k) {

@@ -6,6 +6,7 @@
 #include <set>
 #include <string_view>
 
+#include "src/concretize/reach.hpp"
 #include "src/support/error.hpp"
 #include "src/support/flight.hpp"
 #include "src/support/trace.hpp"
@@ -170,8 +171,9 @@ class Concretizer::Compiler {
  public:
   Compiler(const repo::Repository& repo, const ConcretizerOptions& opts,
            const std::map<std::string, Spec>& reusable,
-           std::shared_ptr<const Concretizer::CompileCache> cache = nullptr)
-      : repo_(repo), opts_(opts), reusable_(reusable) {
+           std::shared_ptr<const Concretizer::CompileCache> cache = nullptr,
+           const std::set<std::string>* keep = nullptr)
+      : repo_(repo), opts_(opts), reusable_(reusable), keep_(keep) {
     if (cache) {
       program_ = cache->program;
       candidates_ = cache->candidates;
@@ -186,11 +188,14 @@ class Concretizer::Compiler {
   }
 
   /// Run the request-independent passes and snapshot the result for reuse
-  /// across concretizations.
+  /// across concretizations.  With `keep`, only the reusable entries whose
+  /// hash is in the set contribute facts (the reachability-pruned slice,
+  /// DESIGN.md §15); the os/target choice space still reflects every entry.
   static std::shared_ptr<const Concretizer::CompileCache> build_cache(
       const repo::Repository& repo, const ConcretizerOptions& opts,
-      const std::map<std::string, Spec>& reusable) {
-    Compiler c(repo, opts, reusable);
+      const std::map<std::string, Spec>& reusable,
+      const std::set<std::string>* keep = nullptr) {
+    Compiler c(repo, opts, reusable, nullptr, keep);
     c.compile_packages();
     c.compile_reusable();
     auto cache = std::make_shared<Concretizer::CompileCache>();
@@ -232,7 +237,10 @@ class Concretizer::Compiler {
         candidates_[name].insert(v.version.str());
       }
     }
+    // Only kept entries can impose a version (or back a can_splice body), so
+    // only their versions need range_allows coverage.
     for (const auto& [hash, s] : reusable_) {
+      if (keep_ != nullptr && keep_->count(hash) == 0) continue;
       for (const SpecNode& n : s.nodes()) {
         if (auto v = n.concrete_version()) candidates_[n.name].insert(v->str());
       }
@@ -487,6 +495,13 @@ class Concretizer::Compiler {
                            : "imposed_constraint";
     for (const auto& [hash, s] : reusable_) {
       const SpecNode& n = s.root();
+      // os/target choice space always derives from the FULL reusable map:
+      // pruning must not change the allowed_os/allowed_target facts, or the
+      // pruned and unpruned programs could disagree on satisfiability in
+      // repos whose when-specs pin an os only caches mention (DESIGN.md §15).
+      oses_.insert(*n.os);
+      targets_.insert(*n.target);
+      if (keep_ != nullptr && keep_->count(hash) == 0) continue;
       Term h = str_(hash);
       Term p = str_(n.name);
       program_.add_fact(Term::fun("installed_hash", {p, h}));
@@ -507,9 +522,6 @@ class Concretizer::Compiler {
         program_.add_fact(
             Term::fun(pred, {h, str_("hash"), str_(d.name), str_(d.hash)}));
       }
-      // Track os/target values seen in caches so the solver may select them.
-      oses_.insert(*n.os);
-      targets_.insert(*n.target);
     }
   }
 
@@ -589,6 +601,8 @@ class Concretizer::Compiler {
   const repo::Repository& repo_;
   const ConcretizerOptions& opts_;
   const std::map<std::string, Spec>& reusable_;
+  /// Reachability slice: when set, entries outside it emit no facts.
+  const std::set<std::string>* keep_ = nullptr;
 
   Program program_;
   std::map<std::string, std::set<std::string>> candidates_;
@@ -606,7 +620,7 @@ class Concretizer::Compiler {
 
 asp::Program Concretizer::compile_program(
     const std::vector<Request>& requests) const {
-  Compiler compiler(repo_, opts_, reusable_, ensure_cache());
+  Compiler compiler(repo_, opts_, reusable_, ensure_cache(requests));
   return compiler.compile(requests);
 }
 
@@ -659,12 +673,60 @@ std::string ProfileReport::text(std::size_t top) const {
   return out;
 }
 
-std::shared_ptr<const Concretizer::CompileCache> Concretizer::ensure_cache()
-    const {
-  if (!compile_cache_) {
-    compile_cache_ = Compiler::build_cache(repo_, opts_, reusable_);
+std::shared_ptr<const Concretizer::CompileCache>
+Concretizer::full_cache_locked() const {
+  std::scoped_lock lock(cache_mu_);
+  if (!full_cache_) {
+    full_cache_ = Compiler::build_cache(repo_, opts_, reusable_);
+    ++cache_builds_;
   }
-  return compile_cache_;
+  return full_cache_;
+}
+
+std::shared_ptr<const Concretizer::CompileCache> Concretizer::ensure_cache(
+    const std::vector<Request>& requests) const {
+  if (!opts_.prune_reuse || reusable_.empty() || requests.empty()) {
+    return full_cache_locked();
+  }
+  trace::Span span("prune", "concretize");
+  reach::Slice slice =
+      reach::slice_reusable(repo_, reusable_, reusable_edges_, requests);
+  span.attr("kept", slice.keep.size());
+  span.attr("total", slice.total);
+  trace::MetricsRegistry& m = trace::Tracer::global().metrics();
+  m.add("concretize/prune_kept", static_cast<std::int64_t>(slice.keep.size()));
+  m.add("concretize/prune_dropped",
+        static_cast<std::int64_t>(slice.total - slice.keep.size()));
+  if (slice.keep.size() == slice.total) {
+    // Nothing pruned: share the unpruned program instead of storing an
+    // identical slice under a fingerprint.
+    return full_cache_locked();
+  }
+
+  // Cold slice builds run under the lock: concurrent batch workers hitting
+  // the same fingerprint wait for one compile instead of duplicating it.
+  static constexpr std::size_t kMaxSliceCaches = 64;
+  std::scoped_lock lock(cache_mu_);
+  if (auto it = slice_caches_.find(slice.fingerprint);
+      it != slice_caches_.end()) {
+    m.add("concretize/slice_cache_hits");
+    return it->second;
+  }
+  auto cache = Compiler::build_cache(repo_, opts_, reusable_, &slice.keep);
+  ++cache_builds_;
+  m.add("concretize/slice_cache_builds");
+  slice_caches_.emplace(slice.fingerprint, cache);
+  slice_order_.push_back(slice.fingerprint);
+  if (slice_order_.size() > kMaxSliceCaches) {
+    slice_caches_.erase(slice_order_.front());
+    slice_order_.erase(slice_order_.begin());
+  }
+  return cache;
+}
+
+std::size_t Concretizer::compile_cache_builds() const {
+  std::scoped_lock lock(cache_mu_);
+  return cache_builds_;
 }
 
 asp::AnalyzeOptions Concretizer::lint_options() {
@@ -691,16 +753,32 @@ Concretizer::Concretizer(const repo::Repository& repo, ConcretizerOptions opts)
   }
 }
 
-void Concretizer::add_reusable(const Spec& concrete) {
+void Concretizer::register_reusable(const Spec& concrete) {
   if (!concrete.is_concrete()) {
     throw Error("add_reusable: spec is not concrete: " + concrete.str());
   }
   for (std::size_t i = 0; i < concrete.nodes().size(); ++i) {
-    const std::string& hash = concrete.nodes()[i].hash;
-    if (reusable_.count(hash) > 0) continue;
-    reusable_.emplace(hash, concrete.subdag(i));
-    compile_cache_.reset();  // fact base changed; rebuild on next solve
+    const SpecNode& node = concrete.nodes()[i];
+    // Record the DAG's package edges even for known hashes: the closure
+    // walk must see every edge a cache draws beyond the repo directives.
+    for (const spec::DepEdge& e : node.deps) {
+      reusable_edges_[node.name].insert(concrete.nodes()[e.child].name);
+    }
+    if (reusable_.count(node.hash) > 0) continue;
+    reusable_.emplace(node.hash, concrete.subdag(i));
   }
+}
+
+void Concretizer::invalidate_caches() {
+  std::scoped_lock lock(cache_mu_);
+  full_cache_.reset();
+  slice_caches_.clear();
+  slice_order_.clear();
+}
+
+void Concretizer::add_reusable(const Spec& concrete) {
+  register_reusable(concrete);
+  invalidate_caches();
 }
 
 namespace {
@@ -772,6 +850,7 @@ struct SolvedDag {
   std::vector<std::string> reused_hashes;
   std::vector<std::string> build_names;
   std::vector<SpliceDecision> splices;
+  std::vector<std::pair<std::int64_t, std::int64_t>> objectives;
   asp::SolveStats stats;
 };
 
@@ -889,6 +968,7 @@ static SolvedDag solve_requests(
   flight::PhaseScope flight_extract(flight::Phase::Extract);
   SolvedDag result;
   result.stats = solved.stats;
+  result.objectives = model.costs;
 
   auto arg_str = [](Term t, std::size_t i) {
     return std::string(t.args()[i].name());
@@ -1028,24 +1108,25 @@ static SolvedDag solve_requests(
   return result;
 }
 
-ConcretizeResult Concretizer::concretize(const Request& request) {
-  SolvedDag solved =
-      solve_requests(repo_, opts_, reusable_, ensure_cache(), {request});
+ConcretizeResult Concretizer::concretize(const Request& request) const {
+  SolvedDag solved = solve_requests(repo_, opts_, reusable_,
+                                    ensure_cache({request}), {request});
   ConcretizeResult result;
   result.spec = solved.combined.subdag(
       solved.index_of.at(request.root.root().name));
   result.reused_hashes = std::move(solved.reused_hashes);
   result.build_names = std::move(solved.build_names);
   result.splices = std::move(solved.splices);
+  result.objectives = std::move(solved.objectives);
   result.stats = solved.stats;
   return result;
 }
 
 EnvironmentResult Concretizer::concretize_together(
-    const std::vector<Request>& requests) {
+    const std::vector<Request>& requests) const {
   if (requests.empty()) throw Error("concretize_together: no requests");
   SolvedDag solved =
-      solve_requests(repo_, opts_, reusable_, ensure_cache(), requests);
+      solve_requests(repo_, opts_, reusable_, ensure_cache(requests), requests);
   EnvironmentResult result;
   result.roots.reserve(requests.size());
   for (const Request& r : requests) {
@@ -1055,6 +1136,7 @@ EnvironmentResult Concretizer::concretize_together(
   result.reused_hashes = std::move(solved.reused_hashes);
   result.build_names = std::move(solved.build_names);
   result.splices = std::move(solved.splices);
+  result.objectives = std::move(solved.objectives);
   result.stats = solved.stats;
   return result;
 }

@@ -23,10 +23,14 @@
 //               toggle, mirroring the paper's experimental axes.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <set>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "src/asp/asp.hpp"
@@ -48,6 +52,12 @@ struct ConcretizerOptions {
   bool enable_splicing = false;
   std::string default_os = "linux";
   std::string default_target = "x86_64";
+  /// Prune reusable-entry facts to the request's virtual-expanded package
+  /// closure before compiling (DESIGN.md §15): against a 20k-node public
+  /// buildcache a request compiles a few hundred reuse facts instead of all
+  /// of them, with identical optimal models.  Off (--no-prune) compiles
+  /// every registered entry regardless of reachability.
+  bool prune_reuse = true;
 };
 
 /// A concretization request: the abstract spec plus optional extra
@@ -76,6 +86,9 @@ struct ConcretizeResult {
   std::vector<std::string> reused_hashes;       ///< nodes reused verbatim
   std::vector<std::string> build_names;         ///< nodes needing builds
   std::vector<SpliceDecision> splices;
+  /// Optimal objective vector: (priority, cost) pairs, highest priority
+  /// first — the pruned-vs-unpruned differential compares these.
+  std::vector<std::pair<std::int64_t, std::int64_t>> objectives;
   asp::SolveStats stats;
 
   bool used_splice() const { return !splices.empty(); }
@@ -91,6 +104,7 @@ struct EnvironmentResult {
   std::vector<std::string> reused_hashes;
   std::vector<std::string> build_names;
   std::vector<SpliceDecision> splices;
+  std::vector<std::pair<std::int64_t, std::int64_t>> objectives;
   asp::SolveStats stats;
 
   bool used_splice() const { return !splices.empty(); }
@@ -118,23 +132,50 @@ class Concretizer {
  public:
   Concretizer(const repo::Repository& repo, ConcretizerOptions opts = {});
 
+  /// Movable (factory functions return by value); the mutex itself is not
+  /// moved, only the cache state it guards.  Not thread-safe against
+  /// concurrent use of `other`, like any move.
+  Concretizer(Concretizer&& other) noexcept
+      : repo_(other.repo_),
+        opts_(std::move(other.opts_)),
+        reusable_(std::move(other.reusable_)),
+        reusable_edges_(std::move(other.reusable_edges_)),
+        full_cache_(std::move(other.full_cache_)),
+        slice_caches_(std::move(other.slice_caches_)),
+        slice_order_(std::move(other.slice_order_)),
+        cache_builds_(other.cache_builds_) {}
+  Concretizer& operator=(Concretizer&&) = delete;
+
   /// Register a reusable concrete spec: every node of its DAG becomes an
   /// independently reusable entry (as Spack indexes buildcaches).
   void add_reusable(const spec::Spec& concrete);
 
-  /// Convenience: register every spec of a container of Spec pointers.
+  /// Bulk registration: register every spec of a container (of Spec values
+  /// or of pointers to Spec) with a single compile-cache invalidation for
+  /// the whole batch instead of one per spec.
   template <typename Container>
   void add_reusable_all(const Container& specs) {
-    for (const auto* s : specs) add_reusable(*s);
+    for (const auto& s : specs) {
+      if constexpr (std::is_convertible_v<decltype(s), const spec::Spec&>) {
+        register_reusable(s);
+      } else {
+        register_reusable(*s);
+      }
+    }
+    invalidate_caches();
   }
 
   /// Solve a request.  Throws UnsatisfiableError when no solution exists.
-  ConcretizeResult concretize(const Request& request);
+  /// Thread-safe: concurrent concretize() calls share the compile caches
+  /// under a lock and solve on private grounder/solver instances
+  /// (ConcretizerPool fans batches out over exactly this contract).
+  ConcretizeResult concretize(const Request& request) const;
 
   /// Solve several requests together with unified dependencies (the Spack
   /// environment model): every package has a single configuration across
   /// all roots.  Throws UnsatisfiableError when no unified solution exists.
-  EnvironmentResult concretize_together(const std::vector<Request>& requests);
+  EnvironmentResult concretize_together(
+      const std::vector<Request>& requests) const;
 
   /// Compile the request set to its full ASP program (facts, specialized
   /// rules and the static logic fragments) without solving — the input to
@@ -171,6 +212,10 @@ class Concretizer {
   std::size_t num_reusable() const { return reusable_.size(); }
   const ConcretizerOptions& options() const { return opts_; }
 
+  /// How many compile caches (full or pruned slices) were built so far —
+  /// the bulk-registration and slice-sharing regression tests' oracle.
+  std::size_t compile_cache_builds() const;
+
  public:
   /// Internal: compiles package/reusable/request facts and rules (exposed
   /// for the file-local solve path; not part of the stable API).
@@ -184,13 +229,36 @@ class Concretizer {
   struct CompileCache;
 
  private:
-  std::shared_ptr<const CompileCache> ensure_cache() const;
+  /// The compile cache serving this request set: the full cache when
+  /// pruning is off (or nothing would be pruned), otherwise the slice cache
+  /// keyed by the pruned-slice fingerprint — requests with the same closure
+  /// share one compiled program.  Thread-safe; cold builds run under the
+  /// lock, which also deduplicates concurrent cold starts.
+  std::shared_ptr<const CompileCache> ensure_cache(
+      const std::vector<Request>& requests) const;
+  std::shared_ptr<const CompileCache> full_cache_locked() const;
+  void register_reusable(const spec::Spec& concrete);
+  void invalidate_caches();
 
   const repo::Repository& repo_;
   ConcretizerOptions opts_;
   /// hash -> concrete sub-DAG (one entry per reusable node).
   std::map<std::string, spec::Spec> reusable_;
-  mutable std::shared_ptr<const CompileCache> compile_cache_;
+  /// package -> dependency package names observed across registered cache
+  /// DAGs: closure edges hand-built caches may draw beyond the repo's own
+  /// directives (reach::package_closure folds them in).
+  std::map<std::string, std::set<std::string>> reusable_edges_;
+
+  /// Cache state, guarded by cache_mu_ for concurrent concretize() calls.
+  /// Slice caches are FIFO-bounded; any add_reusable invalidates everything
+  /// (allowed_os/allowed_target derive from the full map, so a slice keyed
+  /// only by kept hashes cannot outlive a registration).
+  mutable std::mutex cache_mu_;
+  mutable std::shared_ptr<const CompileCache> full_cache_;
+  mutable std::map<std::string, std::shared_ptr<const CompileCache>>
+      slice_caches_;
+  mutable std::vector<std::string> slice_order_;  ///< FIFO eviction order
+  mutable std::size_t cache_builds_ = 0;
 };
 
 }  // namespace splice::concretize

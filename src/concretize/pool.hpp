@@ -1,0 +1,73 @@
+// Parallel batch concretization (DESIGN.md §15).
+//
+// A ConcretizerPool fans N independent requests out over
+// splice::parallel_for_each workers against ONE shared Concretizer: the
+// compile caches (full and reachability-pruned slices) are shared under the
+// Concretizer's lock, while grounding and CDCL search run on per-request
+// solver instances, so workers never contend past the cache lookup.
+//
+// Determinism contract: results come back in input order, slot-per-index —
+// result[i] always belongs to requests[i] whatever order the workers
+// finished in, and each result is byte-identical to a serial
+// Concretizer::concretize(requests[i]) (workers share no solver state).
+//
+// Failure isolation: a request that throws splice::Error (including
+// UnsatisfiableError) fails only its own slot (ok = false, the message in
+// `error`); any other exception type is a bug and propagates out of
+// concretize_batch after the workers join.
+//
+// Observability: every request records its own flight-recorder account
+// (unique ids under concurrency) exactly as serial solves do, and the batch
+// publishes pool/* metrics — requests, batches, per-request latency
+// histogram, worker count, live queue depth, and throughput.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/concretize/concretizer.hpp"
+
+namespace splice::concretize {
+
+struct PoolOptions {
+  /// Worker threads per batch; 0 = one per hardware thread.
+  std::size_t jobs = 0;
+};
+
+/// One request's outcome, in input order.
+struct BatchItem {
+  bool ok = false;
+  ConcretizeResult result;  ///< valid when ok
+  std::string error;        ///< Error::what() when !ok
+  double seconds = 0.0;     ///< wall time of this request's solve
+};
+
+/// Whole-batch accounting.
+struct BatchStats {
+  std::size_t requests = 0;
+  std::size_t succeeded = 0;
+  std::size_t failed = 0;
+  std::size_t workers = 0;       ///< workers actually used
+  double seconds = 0.0;          ///< batch wall time
+  double throughput_rps = 0.0;   ///< requests / seconds
+};
+
+class ConcretizerPool {
+ public:
+  explicit ConcretizerPool(const Concretizer& concretizer,
+                           PoolOptions opts = {})
+      : concretizer_(concretizer), opts_(opts) {}
+
+  /// Concretize every request, `opts.jobs` at a time; see the file comment
+  /// for the determinism and failure-isolation contracts.
+  std::vector<BatchItem> concretize_batch(const std::vector<Request>& requests,
+                                          BatchStats* stats = nullptr) const;
+
+  const PoolOptions& options() const { return opts_; }
+
+ private:
+  const Concretizer& concretizer_;
+  PoolOptions opts_;
+};
+
+}  // namespace splice::concretize

@@ -1,0 +1,110 @@
+#include "src/concretize/reach.hpp"
+
+#include "src/support/hash.hpp"
+
+namespace splice::concretize::reach {
+
+using spec::Spec;
+using spec::SpecNode;
+
+std::set<std::string> package_closure(
+    const repo::Repository& repo, const std::vector<std::string>& roots,
+    const std::map<std::string, std::set<std::string>>& extra_edges) {
+  std::set<std::string> packages;
+  std::set<std::string> virtuals;
+  std::vector<std::string> work(roots);
+  while (!work.empty()) {
+    std::string cur = std::move(work.back());
+    work.pop_back();
+    if (repo.is_virtual(cur)) {
+      if (!virtuals.insert(cur).second) continue;
+      // Every provider is reachable: which one the solver picks is part of
+      // the solution space, not of the request.
+      for (const std::string& p : repo.providers(cur)) work.push_back(p);
+      continue;
+    }
+    if (!packages.insert(cur).second) continue;
+    if (const repo::PackageDef* def = repo.find(cur)) {
+      for (const repo::DependencyDecl& dep : def->dependencies()) {
+        work.push_back(dep.target.root().name);
+      }
+    }
+    if (auto it = extra_edges.find(cur); it != extra_edges.end()) {
+      for (const std::string& child : it->second) work.push_back(child);
+    }
+  }
+  return packages;
+}
+
+Slice slice_reusable(
+    const repo::Repository& repo,
+    const std::map<std::string, Spec>& reusable,
+    const std::map<std::string, std::set<std::string>>& cache_edges,
+    const std::vector<Request>& requests) {
+  Slice out;
+  out.total = reusable.size();
+
+  // Closure roots: every package the request set names (the root plus any
+  // ^dependency constraints — a constrained package is reachable by
+  // definition, and its constraint rows below need its entries considered).
+  std::vector<std::string> roots;
+  std::map<std::string, std::vector<const SpecNode*>> constraints;
+  for (const Request& r : requests) {
+    for (const SpecNode& n : r.root.nodes()) {
+      roots.push_back(n.name);
+      constraints[n.name].push_back(&n);
+    }
+  }
+  out.closure = package_closure(repo, roots, cache_edges);
+
+  // Stage 1: entries in the closure that intersect every request constraint
+  // on their package.  An entry failing a constraint can never be imposed —
+  // its imposed version/variant/os/target facts would violate the request's
+  // hard constraint — and (stage 2 aside) can therefore appear in no model.
+  // Forbidden packages are NOT filtered here: their entries stay compilable
+  // as splice-away targets (the Fig. 7 mpich case rides stage 2 anyway).
+  for (const auto& [hash, s] : reusable) {
+    const SpecNode& root = s.root();
+    if (out.closure.count(root.name) == 0) continue;
+    bool ok = true;
+    if (auto it = constraints.find(root.name); it != constraints.end()) {
+      for (const SpecNode* want : it->second) {
+        if (!node_intersects(root, *want)) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok) out.keep.insert(hash);
+  }
+
+  // Stage 2: transitive closure over the kept entries' sub-DAGs.  Imposing
+  // a parent forces attr("hash") on each link child, which in turn imposes
+  // the child entry; dropping the child's facts would leave those forced
+  // nodes unconstrained and invent models the full program rejects.  Every
+  // sub-DAG node is itself a registered entry (add_reusable registers each
+  // node), so closing over node hashes suffices.
+  std::vector<std::string> work(out.keep.begin(), out.keep.end());
+  while (!work.empty()) {
+    std::string h = std::move(work.back());
+    work.pop_back();
+    auto it = reusable.find(h);
+    if (it == reusable.end()) continue;
+    for (const SpecNode& n : it->second.nodes()) {
+      if (n.hash != h && out.keep.insert(n.hash).second) {
+        work.push_back(n.hash);
+      }
+    }
+  }
+
+  // Content-addressed cache key: the kept-hash set fully determines the
+  // reusable facts of the compiled program (entry hashes are content
+  // hashes of their sub-DAGs), so equal fingerprints may share a compile.
+  Hasher h;
+  h.field("reuse-slice");
+  for (const std::string& hash : out.keep) h.field(hash);
+  out.fingerprint = h.hex();
+  return out;
+}
+
+}  // namespace splice::concretize::reach

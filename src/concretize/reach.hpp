@@ -1,0 +1,71 @@
+// Reachability pruning for reuse-candidate compilation (DESIGN.md §15).
+//
+// Against a public buildcache the fact compiler used to emit installed_hash
+// and hash_attr/imposed_constraint rows for every one of ~20k reusable
+// entries, although a request can only ever reuse entries whose package lies
+// in the virtual-expanded transitive dependency closure of its root.  This
+// module computes that closure over the repository's directive edges (with
+// virtuals expanded to their providers) plus any extra edges observed in the
+// registered cache DAGs, then slices the reusable map down to the entries a
+// request could actually select:
+//
+//   keep(entry)  iff  package(entry) ∈ closure(request roots)
+//                 and entry intersects every request constraint on its
+//                     package (vacuously true when the request does not
+//                     name the package),
+//   closed transitively over the kept entries' sub-DAG child hashes (an
+//   imposed parent forces its children's hashes, so their facts must stay).
+//
+// The slice is deliberately an over-approximation: entries that survive but
+// cannot appear in a model only cost facts, never correctness.  The
+// soundness argument — why the pruned program has exactly the full
+// program's models minus those selecting dropped entries — lives in
+// DESIGN.md §15; tests/concretizer_prune_test.cpp holds the differential.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/concretize/concretizer.hpp"
+#include "src/repo/repository.hpp"
+#include "src/spec/spec.hpp"
+
+namespace splice::concretize::reach {
+
+/// The virtual-expanded transitive package closure of `roots` over the
+/// repository's dependency directives: virtuals expand to their full
+/// provider lists (a provider choice is part of the solution space, so
+/// every provider is reachable).  `extra_edges` adds package -> dependency
+/// edges seen outside the directives — the edges of registered cache DAGs,
+/// which hand-built caches may draw beyond what the repo declares.
+std::set<std::string> package_closure(
+    const repo::Repository& repo, const std::vector<std::string>& roots,
+    const std::map<std::string, std::set<std::string>>& extra_edges);
+
+/// The pruned reuse slice for one request set.
+struct Slice {
+  /// Hashes of the reusable entries whose facts must be compiled.
+  std::set<std::string> keep;
+  /// Stable fingerprint of the kept-hash set: the compile-cache key shared
+  /// by every request with the same closure (slices are content-addressed,
+  /// so distinct requests reaching the same entries share one program).
+  std::string fingerprint;
+  /// Entries considered (the full reusable map size).
+  std::size_t total = 0;
+  /// The package closure the slice was cut against (diagnostics/tests).
+  std::set<std::string> closure;
+};
+
+/// Slice `reusable` down to the entries the request set could select; see
+/// the file comment for the keep rule and DESIGN.md §15 for why this
+/// preserves optimal models.  `cache_edges` are the package -> dependency
+/// edges observed across all registered cache DAGs.
+Slice slice_reusable(
+    const repo::Repository& repo,
+    const std::map<std::string, spec::Spec>& reusable,
+    const std::map<std::string, std::set<std::string>>& cache_edges,
+    const std::vector<Request>& requests);
+
+}  // namespace splice::concretize::reach

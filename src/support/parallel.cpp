@@ -10,6 +10,10 @@ namespace splice {
 
 std::size_t parallel_workers(std::size_t n, std::size_t jobs) {
   if (n == 0) return 0;
+  if (jobs == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    jobs = hw == 0 ? 1 : hw;
+  }
   if (jobs <= 1) return 1;
   return jobs < n ? jobs : n;
 }

@@ -12,6 +12,9 @@
 // rethrown on the calling thread after all workers join; remaining indexes
 // may or may not run (workers stop picking up new work once an exception is
 // recorded).
+//
+// jobs == 0 means "one worker per hardware thread" (auto-detect via
+// std::thread::hardware_concurrency, clamped to at least 1).
 #pragma once
 
 #include <cstddef>
@@ -20,7 +23,8 @@
 namespace splice {
 
 /// Number of workers that would actually be used for `n` tasks at the
-/// requested job count (clamped to [1, n]).
+/// requested job count (clamped to [1, n]); jobs == 0 auto-detects one
+/// worker per hardware thread.
 std::size_t parallel_workers(std::size_t n, std::size_t jobs);
 
 void parallel_for_each(std::size_t n, std::size_t jobs,

@@ -1,0 +1,158 @@
+// ConcretizerPool (DESIGN.md §15): deterministic slot ordering across
+// worker counts, per-slot failure isolation, batch stats, pool metrics,
+// and a concurrency stress the TSan matrix job runs with full checking.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/concretize/pool.hpp"
+#include "src/support/trace.hpp"
+#include "src/workload/caches.hpp"
+#include "src/workload/radiuss.hpp"
+
+namespace splice::concretize {
+namespace {
+
+ConcretizerOptions splice_opts() {
+  ConcretizerOptions o;
+  o.encoding = ReuseEncoding::Indirect;
+  o.enable_splicing = true;
+  return o;
+}
+
+/// Shared fixture state: one warm concretizer over the local RADIUSS cache
+/// (building it per test would dominate the suite's runtime).
+class PoolTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    repo_ = new repo::Repository(workload::radiuss_repo(0));
+    concretizer_ = new Concretizer(*repo_, splice_opts());
+    concretizer_->add_reusable_all(workload::local_cache_specs(*repo_));
+  }
+  static void TearDownTestSuite() {
+    delete concretizer_;
+    delete repo_;
+    concretizer_ = nullptr;
+    repo_ = nullptr;
+  }
+
+  static std::vector<Request> radiuss_batch() {
+    std::vector<Request> out;
+    for (const std::string& root : workload::radiuss_roots()) {
+      out.emplace_back(workload::depends_on_mpi(root) ? root + " ^mpiabi"
+                                                      : root);
+    }
+    return out;
+  }
+
+  static repo::Repository* repo_;
+  static Concretizer* concretizer_;
+};
+
+repo::Repository* PoolTest::repo_ = nullptr;
+Concretizer* PoolTest::concretizer_ = nullptr;
+
+TEST_F(PoolTest, EmptyBatch) {
+  ConcretizerPool pool(*concretizer_, PoolOptions{4});
+  BatchStats stats;
+  std::vector<BatchItem> items = pool.concretize_batch({}, &stats);
+  EXPECT_TRUE(items.empty());
+  EXPECT_EQ(stats.requests, 0u);
+  EXPECT_EQ(stats.succeeded, 0u);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST_F(PoolTest, SlotOrderMatchesRequestsAcrossWorkerCounts) {
+  std::vector<Request> batch = radiuss_batch();
+  ConcretizerPool serial(*concretizer_, PoolOptions{1});
+  ConcretizerPool wide(*concretizer_, PoolOptions{8});
+  std::vector<BatchItem> a = serial.concretize_batch(batch);
+  std::vector<BatchItem> b = wide.concretize_batch(batch);
+  ASSERT_EQ(a.size(), batch.size());
+  ASSERT_EQ(b.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    SCOPED_TRACE(batch[i].root.str());
+    ASSERT_TRUE(a[i].ok) << a[i].error;
+    ASSERT_TRUE(b[i].ok) << b[i].error;
+    // result[i] answers requests[i], independent of scheduling.
+    EXPECT_EQ(a[i].result.spec.root().name, batch[i].root.root().name);
+    EXPECT_EQ(a[i].result.spec.dag_hash(), b[i].result.spec.dag_hash());
+    EXPECT_EQ(a[i].result.objectives, b[i].result.objectives);
+    EXPECT_GE(a[i].seconds, 0.0);
+  }
+}
+
+TEST_F(PoolTest, UnsatisfiableRequestFailsOnlyItsSlot) {
+  std::vector<Request> batch;
+  batch.emplace_back("caliper");
+  Request impossible("hypre");
+  impossible.forbidden.push_back("hypre");  // root forbids itself
+  batch.push_back(std::move(impossible));
+  batch.emplace_back("zlib");
+
+  ConcretizerPool pool(*concretizer_, PoolOptions{4});
+  BatchStats stats;
+  std::vector<BatchItem> items = pool.concretize_batch(batch, &stats);
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_TRUE(items[0].ok) << items[0].error;
+  EXPECT_FALSE(items[1].ok);
+  EXPECT_FALSE(items[1].error.empty());
+  EXPECT_TRUE(items[2].ok) << items[2].error;
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.succeeded, 2u);
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_GT(stats.seconds, 0.0);
+}
+
+TEST_F(PoolTest, StatsAndMetrics) {
+  trace::MetricsRegistry& m = trace::Tracer::global().metrics();
+  std::int64_t batches_before = m.counter("pool/batches");
+  std::int64_t requests_before = m.counter("pool/requests");
+  std::size_t observed_before = m.histogram("pool/request_seconds").count;
+
+  std::vector<Request> batch = radiuss_batch();
+  ConcretizerPool pool(*concretizer_, PoolOptions{2});
+  BatchStats stats;
+  std::vector<BatchItem> items = pool.concretize_batch(batch, &stats);
+  ASSERT_EQ(items.size(), batch.size());
+
+  EXPECT_EQ(stats.requests, batch.size());
+  EXPECT_EQ(stats.succeeded + stats.failed, batch.size());
+  EXPECT_GT(stats.workers, 0u);
+  EXPECT_GT(stats.throughput_rps, 0.0);
+
+  EXPECT_EQ(m.counter("pool/batches"), batches_before + 1);
+  EXPECT_EQ(m.counter("pool/requests"),
+            requests_before + static_cast<std::int64_t>(batch.size()));
+  EXPECT_EQ(m.histogram("pool/request_seconds").count,
+            observed_before + batch.size());
+  EXPECT_EQ(m.gauge("pool/queue_depth"), 0.0);
+}
+
+// The TSan matrix job turns this into the shared-cache race check: many
+// workers hammering one concretizer whose compile caches start cold.
+TEST_F(PoolTest, ConcurrentColdCacheStress) {
+  repo::Repository repo = workload::radiuss_repo(0);
+  Concretizer cold(repo, splice_opts());
+  cold.add_reusable_all(workload::local_cache_specs(repo));
+  std::vector<Request> batch;
+  for (int round = 0; round < 3; ++round) {
+    for (const std::string& root : workload::radiuss_roots()) {
+      batch.emplace_back(workload::depends_on_mpi(root) ? root + " ^mpiabi"
+                                                        : root);
+    }
+  }
+  ConcretizerPool pool(cold, PoolOptions{8});
+  std::vector<BatchItem> items = pool.concretize_batch(batch);
+  ASSERT_EQ(items.size(), batch.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_TRUE(items[i].ok) << batch[i].root.str() << ": " << items[i].error;
+  }
+  // Identical requests share slices: far fewer compiled programs than
+  // requests, even with all workers racing on a cold cache.
+  EXPECT_LE(cold.compile_cache_builds(), workload::radiuss_roots().size());
+}
+
+}  // namespace
+}  // namespace splice::concretize

@@ -1,9 +1,14 @@
-// Unit tests for src/support: hashing and string utilities.
+// Unit tests for src/support: hashing, string utilities, and the
+// parallel_for_each work-distribution helper.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <stdexcept>
+#include <vector>
 
 #include "src/support/hash.hpp"
+#include "src/support/parallel.hpp"
 #include "src/support/strings.hpp"
 
 namespace splice {
@@ -121,6 +126,82 @@ TEST(Strings, ReplaceAll) {
   EXPECT_EQ(replace_all("x", "", "y"), "x");
   // Replacement containing the needle must not loop.
   EXPECT_EQ(replace_all("ab", "a", "aa"), "aab");
+}
+
+TEST(Parallel, ZeroItemsRunsNothing) {
+  std::atomic<int> calls{0};
+  parallel_for_each(0, 4, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+  EXPECT_EQ(parallel_workers(0, 4), 0u);
+}
+
+TEST(Parallel, EveryIndexExactlyOnce) {
+  for (std::size_t jobs : {std::size_t{1}, std::size_t{3}, std::size_t{16}}) {
+    std::vector<std::atomic<int>> hits(100);
+    parallel_for_each(hits.size(), jobs, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " jobs " << jobs;
+    }
+  }
+}
+
+TEST(Parallel, JobsZeroAutoDetectsHardwareThreads) {
+  // The exact count is machine-dependent; the contract is "at least one,
+  // never more than n", and the work still runs exactly once per index.
+  std::size_t w = parallel_workers(64, 0);
+  EXPECT_GE(w, 1u);
+  EXPECT_LE(w, 64u);
+  EXPECT_EQ(parallel_workers(2, 0), parallel_workers(2, 0));
+  std::atomic<int> calls{0};
+  parallel_for_each(8, 0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 8);
+}
+
+TEST(Parallel, WorkerClampToTaskCount) {
+  EXPECT_EQ(parallel_workers(3, 8), 3u);
+  EXPECT_EQ(parallel_workers(8, 3), 3u);
+  EXPECT_EQ(parallel_workers(8, 1), 1u);
+  EXPECT_EQ(parallel_workers(1, 8), 1u);
+}
+
+TEST(Parallel, ExceptionPropagatesInline) {
+  EXPECT_THROW(
+      parallel_for_each(4, 1,
+                        [&](std::size_t i) {
+                          if (i == 2) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(Parallel, ExceptionPropagatesAcrossWorkers) {
+  std::atomic<int> calls{0};
+  try {
+    parallel_for_each(64, 4, [&](std::size_t i) {
+      ++calls;
+      if (i == 10) throw std::runtime_error("boom");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+  // Workers stop picking up new work after the failure; what ran, ran once.
+  EXPECT_GE(calls.load(), 1);
+  EXPECT_LE(calls.load(), 64);
+}
+
+// The TSan matrix job runs this with full race checking: heavy shared
+// read-modify-write traffic through the atomic counter distribution.
+TEST(Parallel, StressManyTasksManyWorkers) {
+  constexpr std::size_t kTasks = 5000;
+  std::vector<std::atomic<int>> hits(kTasks);
+  std::atomic<long> sum{0};
+  parallel_for_each(kTasks, 8, [&](std::size_t i) {
+    ++hits[i];
+    sum += static_cast<long>(i);
+  });
+  for (std::size_t i = 0; i < kTasks; ++i) ASSERT_EQ(hits[i].load(), 1);
+  EXPECT_EQ(sum.load(),
+            static_cast<long>(kTasks) * (static_cast<long>(kTasks) - 1) / 2);
 }
 
 }  // namespace

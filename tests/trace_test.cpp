@@ -400,4 +400,90 @@ TEST(PipelineTraceTest, PhaseDurationsSumToConcretizeSpan) {
   tracer.clear();
 }
 
+// Hammer one MetricsRegistry from many threads — counters, gauges,
+// histogram observations, and concurrent readers of the exports — and
+// require exact totals afterwards.  TSan runs this with full checking; a
+// torn histogram vector or lost update fails the count/sum checks.
+TEST(MetricsTest, ConcurrentObserversDoNotCorruptState) {
+  MetricsRegistry m;
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&m, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        m.add("mt/counter");
+        m.observe("mt/hist", static_cast<double>(i % 10));
+        m.set_gauge("mt/gauge", static_cast<double>(t));
+        if (i % 100 == 0) {
+          (void)m.metrics_text();
+          (void)m.histogram("mt/hist");
+          (void)m.to_json().dump();
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(m.counter("mt/counter"), kThreads * kOpsPerThread);
+  MetricsRegistry::HistSummary h = m.histogram("mt/hist");
+  EXPECT_EQ(h.count, static_cast<std::size_t>(kThreads * kOpsPerThread));
+  EXPECT_EQ(h.min, 0.0);
+  EXPECT_EQ(h.max, 9.0);
+  double g = m.gauge("mt/gauge");
+  EXPECT_GE(g, 0.0);
+  EXPECT_LE(g, kThreads - 1);
+}
+
+// Concurrent concretize() calls through one shared Concretizer and the
+// global Tracer/MetricsRegistry with tracing on — the ConcretizerPool
+// configuration.  Every histogram observation must land; span events from
+// different workers must interleave without corruption.
+TEST(PipelineTraceTest, ConcurrentConcretizeSharedTracer) {
+  Tracer& tracer = Tracer::global();
+  tracer.clear();
+  tracer.set_enabled(true);
+
+  repo::Repository repo = workload::radiuss_repo();
+  concretize::ConcretizerOptions opts;
+  opts.encoding = concretize::ReuseEncoding::Indirect;
+  opts.enable_splicing = true;
+  concretize::Concretizer c(repo, opts);
+  c.add_reusable_all(workload::local_cache_specs(repo));
+
+  constexpr int kThreads = 4;
+  const std::vector<std::string> roots = {"caliper", "zlib", "hypre ^mpiabi",
+                                          "conduit ^mpiabi"};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        concretize::ConcretizeResult r =
+            c.concretize(concretize::Request(roots[t % roots.size()]));
+        if (!r.spec.is_concrete()) ++failures;
+      } catch (...) {
+        ++failures;
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  tracer.set_enabled(false);
+  EXPECT_EQ(failures.load(), 0);
+
+  // The exports must still parse and balance after concurrent writes.
+  json::Value doc = json::parse(tracer.chrome_trace().dump());
+  ASSERT_NE(doc.find("traceEvents"), nullptr);
+  json::Value stats = json::parse(tracer.stats_json().dump());
+  EXPECT_EQ(stats.find("schema")->as_string(), "splice-stats-v1");
+  const json::Value* spans = stats.find("spans");
+  ASSERT_NE(spans, nullptr);
+  const json::Value* conc = spans->find("concretize/concretize");
+  ASSERT_NE(conc, nullptr);
+  EXPECT_EQ(conc->find("count")->as_int(), kThreads);
+  tracer.clear();
+}
+
 }  // namespace

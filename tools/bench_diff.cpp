@@ -5,10 +5,13 @@
 //
 // Every (series, label) cell present in both files is compared on the chosen
 // metric (default: median_seconds — robust to one-off scheduler noise on the
-// shared CI runners).  Cells where CURRENT is more than PCT percent slower
+// shared CI runners).  Cells where CURRENT is more than PCT percent worse
 // than BASELINE (default 15) are regressions; the exit status is the number
-// of regressed cells, so CI can gate on it directly.  Cells present in only
-// one file are reported but never fail the run — bench scale knobs
+// of regressed cells, so CI can gate on it directly.  "Worse" honours the
+// per-cell "direction" field: lower-is-better cells (the default; values
+// are seconds) regress when CURRENT rises, higher-is-better cells (e.g.
+// throughput in requests/sec) regress when CURRENT falls.  Cells present in
+// only one file are reported but never fail the run — bench scale knobs
 // (SPLICE_BENCH_FIG7_MAX etc.) legitimately change the cell set.
 #include <cmath>
 #include <cstdio>
@@ -44,6 +47,7 @@ struct Cell {
   std::string label;
   double base = 0;
   double cur = 0;
+  bool higher_is_better = false;
 };
 
 int run(const std::string& metric, double tolerance_pct,
@@ -52,15 +56,34 @@ int run(const std::string& metric, double tolerance_pct,
   Value cur = load(cur_path);
   std::string key = metric + "_seconds";
 
-  auto cell_value = [&](const Value& doc, const std::string& series,
-                        const std::string& label) -> const Value* {
+  auto cell_of = [](const Value& doc, const std::string& series,
+                    const std::string& label) -> const Value* {
     const Value* s = doc.find("series");
     if (s == nullptr) return nullptr;
     const Value* per_series = s->find(series);
     if (per_series == nullptr) return nullptr;
-    const Value* cell = per_series->find(label);
-    if (cell == nullptr) return nullptr;
-    return cell->find(key);
+    return per_series->find(label);
+  };
+  auto cell_value = [&](const Value& doc, const std::string& series,
+                        const std::string& label) -> const Value* {
+    const Value* cell = cell_of(doc, series, label);
+    return cell == nullptr ? nullptr : cell->find(key);
+  };
+  // The direction comes from whichever file declares it (the baseline may
+  // predate a bench's direction annotation); disagreement means the bench
+  // changed meaning and the comparison would be nonsense.
+  auto cell_higher = [&](const std::string& series,
+                         const std::string& label) -> bool {
+    bool any = false;
+    for (const Value* doc : {&base, &cur}) {
+      const Value* cell = cell_of(*doc, series, label);
+      const Value* dir = cell == nullptr ? nullptr : cell->find("direction");
+      if (dir != nullptr && dir->is_string() &&
+          dir->as_string() == "higher") {
+        any = true;
+      }
+    }
+    return any;
   };
 
   std::vector<Cell> common;
@@ -82,7 +105,8 @@ int run(const std::string& metric, double tolerance_pct,
         only_base.push_back(sname + "/" + label);
         continue;
       }
-      common.push_back({sname, label, b->as_double(), c->as_double()});
+      common.push_back({sname, label, b->as_double(), c->as_double(),
+                        cell_higher(sname, label)});
     }
   }
   for (const auto& [sname, labels] : cur_series->as_object()) {
@@ -102,12 +126,16 @@ int run(const std::string& metric, double tolerance_pct,
   for (const Cell& c : common) {
     double delta =
         c.base > 0 ? (c.cur - c.base) / c.base * 100.0 : 0.0;
-    worst = std::max(worst, delta);
-    best = std::min(best, delta);
-    bool regressed = delta > tolerance_pct;
+    // Normalize to "adverse percent": positive always means worse, whatever
+    // the cell's direction.
+    double adverse = c.higher_is_better ? -delta : delta;
+    worst = std::max(worst, adverse);
+    best = std::min(best, adverse);
+    bool regressed = adverse > tolerance_pct;
     if (regressed) ++regressions;
-    std::printf("%-44s %11.6fs %11.6fs %+8.1f%%%s\n",
+    std::printf("%-44s %12.6f %12.6f %+8.1f%%%s%s\n",
                 (c.series + "/" + c.label).c_str(), c.base, c.cur, delta,
+                c.higher_is_better ? "  (higher is better)" : "",
                 regressed ? "  REGRESSED" : "");
   }
   for (const std::string& name : only_base) {
@@ -117,7 +145,7 @@ int run(const std::string& metric, double tolerance_pct,
     std::printf("%-44s (current only)\n", name.c_str());
   }
   std::printf(
-      "\n%zu cells compared, %d regression(s) beyond +%.0f%% on %s "
+      "\n%zu cells compared, %d regression(s) beyond +%.0f%% adverse on %s "
       "(worst %+.1f%%, best %+.1f%%)\n",
       common.size(), regressions, tolerance_pct, key.c_str(), worst, best);
   if (common.empty()) {

@@ -1,0 +1,279 @@
+// splice_batch: concretize a batch of spec requests concurrently via
+// ConcretizerPool and emit the splice-batch-v1 JSON report.
+//
+// The throughput walkthrough from README.md:
+//
+//   tools/splice_batch --splice --jobs 8 --json batch.json
+//       "visit ^mpiabi" "laghos ^mpiabi" ...   (one command line)
+//
+// Requests come from the command line and/or --file (one request per line;
+// '#' starts a comment).  Within a request, tokens starting with '!' name
+// forbidden packages ("visit ^mpiabi !mpich"); the rest is the abstract
+// spec.  Results keep input order regardless of worker interleaving.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/concretize/pool.hpp"
+#include "src/support/error.hpp"
+#include "src/support/json.hpp"
+#include "src/support/trace.hpp"
+#include "src/workload/caches.hpp"
+#include "src/workload/radiuss.hpp"
+
+namespace {
+
+void usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: splice_batch [options] [request ...]\n"
+               "\n"
+               "Concretize each request against the synthetic RADIUSS "
+               "workload on a\nworker pool, then write the splice-batch-v1 "
+               "JSON report.  A request is\na root spec plus optional "
+               "!package forbidden markers, e.g.\n"
+               "\"visit ^mpiabi !mpich\".\n"
+               "\n"
+               "options:\n"
+               "  --file FILE    read requests from FILE too (one per line; "
+               "# comments)\n"
+               "  --jobs N       worker threads (default 0 = one per "
+               "hardware thread)\n"
+               "  --json FILE    splice-batch-v1 output "
+               "(default: batch.json)\n"
+               "  --metrics FILE also write the Prometheus metrics "
+               "exposition\n"
+               "  --splice       enable splicing (indirect encoding)\n"
+               "  --direct       old-spack direct encoding, splicing off\n"
+               "  --public N     reuse against a synthetic public cache of "
+               "~N node specs\n"
+               "                 (default: the local RADIUSS cache)\n"
+               "  --replicas N   add N mpiabi replica packages (RQ4 shape)\n"
+               "  --no-cache     no reusable specs at all\n"
+               "  --no-prune     compile every reusable entry (disable "
+               "reachability pruning)\n"
+               "  --help         this text\n"
+               "\n"
+               "default requests: every RADIUSS root\n");
+}
+
+splice::concretize::Request parse_request(const std::string& text) {
+  std::string spec_text;
+  std::vector<std::string> forbidden;
+  std::string token;
+  auto flush = [&] {
+    if (token.empty()) return;
+    if (token[0] == '!') {
+      if (token.size() > 1) forbidden.push_back(token.substr(1));
+    } else {
+      if (!spec_text.empty()) spec_text += ' ';
+      spec_text += token;
+    }
+    token.clear();
+  };
+  for (char c : text) {
+    if (c == ' ' || c == '\t') {
+      flush();
+    } else {
+      token.push_back(c);
+    }
+  }
+  flush();
+  if (spec_text.empty()) throw splice::Error("empty request: " + text);
+  splice::concretize::Request request(spec_text);
+  request.forbidden = std::move(forbidden);
+  return request;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "batch.json";
+  std::string metrics_path;
+  std::string file_path;
+  bool enable_splicing = false;
+  bool direct = false;
+  bool no_cache = false;
+  bool no_prune = false;
+  std::size_t jobs = 0;
+  std::size_t public_nodes = 0;
+  std::size_t replicas = 0;
+  std::vector<std::string> request_texts;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "splice_batch: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      return 0;
+    } else if (arg == "--json") {
+      json_path = value("--json");
+    } else if (arg == "--metrics") {
+      metrics_path = value("--metrics");
+    } else if (arg == "--file") {
+      file_path = value("--file");
+    } else if (arg == "--jobs") {
+      jobs = std::strtoull(value("--jobs"), nullptr, 10);
+    } else if (arg == "--splice") {
+      enable_splicing = true;
+    } else if (arg == "--direct") {
+      direct = true;
+    } else if (arg == "--no-cache") {
+      no_cache = true;
+    } else if (arg == "--no-prune") {
+      no_prune = true;
+    } else if (arg == "--public") {
+      public_nodes = std::strtoull(value("--public"), nullptr, 10);
+    } else if (arg == "--replicas") {
+      replicas = std::strtoull(value("--replicas"), nullptr, 10);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "splice_batch: unknown option %s\n", arg.c_str());
+      usage(stderr);
+      return 2;
+    } else {
+      request_texts.push_back(arg);
+    }
+  }
+  if (direct && enable_splicing) {
+    std::fprintf(stderr, "splice_batch: --direct and --splice conflict\n");
+    return 2;
+  }
+  if (!file_path.empty()) {
+    std::ifstream in(file_path);
+    if (!in) {
+      std::fprintf(stderr, "splice_batch: cannot read %s\n",
+                   file_path.c_str());
+      return 2;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      std::size_t hash = line.find('#');
+      if (hash != std::string::npos) line.erase(hash);
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      request_texts.push_back(line);
+    }
+  }
+
+  using namespace splice;
+
+  concretize::ConcretizerOptions opts;
+  opts.encoding = direct ? concretize::ReuseEncoding::Direct
+                         : concretize::ReuseEncoding::Indirect;
+  opts.enable_splicing = enable_splicing;
+  opts.prune_reuse = !no_prune;
+
+  repo::Repository repo = workload::radiuss_repo(replicas);
+  if (request_texts.empty()) {
+    for (const std::string& root : workload::radiuss_roots()) {
+      request_texts.push_back(enable_splicing && workload::depends_on_mpi(root)
+                                  ? root + " ^mpiabi"
+                                  : root);
+    }
+  }
+
+  std::vector<concretize::Request> requests;
+  requests.reserve(request_texts.size());
+  try {
+    for (const std::string& text : request_texts) {
+      requests.push_back(parse_request(text));
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "splice_batch: %s\n", e.what());
+    return 2;
+  }
+
+  std::vector<spec::Spec> cache;
+  if (!no_cache) {
+    cache = public_nodes > 0 ? workload::public_cache_specs(repo, public_nodes)
+                             : workload::local_cache_specs(repo);
+  }
+  concretize::Concretizer concretizer(repo, opts);
+  concretizer.add_reusable_all(cache);
+
+  std::printf(
+      "splice_batch: %zu request(s), jobs=%zu, encoding=%s, splicing=%s, "
+      "pruning=%s, cache=%zu node specs\n",
+      requests.size(), jobs, direct ? "direct" : "indirect",
+      enable_splicing ? "on" : "off", no_prune ? "off" : "on",
+      workload::distinct_nodes(cache));
+
+  concretize::PoolOptions pool_opts;
+  pool_opts.jobs = jobs;
+  concretize::ConcretizerPool pool(concretizer, pool_opts);
+  concretize::BatchStats stats;
+  std::vector<concretize::BatchItem> items =
+      pool.concretize_batch(requests, &stats);
+
+  json::Array results;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const concretize::BatchItem& item = items[i];
+    json::Object row;
+    row["request"] = request_texts[i];
+    row["ok"] = item.ok;
+    row["seconds"] = item.seconds;
+    if (item.ok) {
+      row["nodes"] = static_cast<std::int64_t>(item.result.spec.nodes().size());
+      row["builds"] =
+          static_cast<std::int64_t>(item.result.build_names.size());
+      row["reused"] =
+          static_cast<std::int64_t>(item.result.reused_hashes.size());
+      row["splices"] = static_cast<std::int64_t>(item.result.splices.size());
+      std::printf("  %-32s %zu nodes, %zu built, %zu reused, %zu spliced "
+                  "(%.3fs)\n",
+                  request_texts[i].c_str(), item.result.spec.nodes().size(),
+                  item.result.build_names.size(),
+                  item.result.reused_hashes.size(),
+                  item.result.splices.size(), item.seconds);
+    } else {
+      row["error"] = item.error;
+      std::printf("  %-32s FAILED: %s\n", request_texts[i].c_str(),
+                  item.error.c_str());
+    }
+    results.push_back(json::Value(std::move(row)));
+  }
+
+  json::Object doc;
+  doc["schema"] = "splice-batch-v1";
+  doc["jobs"] = static_cast<std::int64_t>(jobs);
+  doc["workers"] = static_cast<std::int64_t>(stats.workers);
+  doc["requests"] = static_cast<std::int64_t>(stats.requests);
+  doc["succeeded"] = static_cast<std::int64_t>(stats.succeeded);
+  doc["failed"] = static_cast<std::int64_t>(stats.failed);
+  doc["seconds"] = stats.seconds;
+  doc["throughput_rps"] = stats.throughput_rps;
+  doc["results"] = std::move(results);
+
+  {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "splice_batch: cannot write %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+    out << json::Value(std::move(doc)).dump_pretty() << '\n';
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::fprintf(stderr, "splice_batch: cannot write %s\n",
+                   metrics_path.c_str());
+      return 1;
+    }
+    out << trace::Tracer::global().metrics().metrics_text();
+  }
+
+  std::printf(
+      "splice_batch: %zu/%zu ok on %zu worker(s) in %.3fs (%.2f req/s); "
+      "wrote %s\n",
+      stats.succeeded, stats.requests, stats.workers, stats.seconds,
+      stats.throughput_rps, json_path.c_str());
+  return stats.failed == 0 ? 0 : 1;
+}

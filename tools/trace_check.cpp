@@ -166,6 +166,18 @@ void check_bench(const std::string& file, const Value& doc) {
             "min_seconds", "max_seconds"}) {
         require_number(file, cell, field, ctx);
       }
+      // Optional per-cell comparison direction (bench_diff inverts its
+      // regression verdict for "higher"), with the value unit alongside.
+      if (const Value* dir = cell.find("direction"); dir != nullptr) {
+        if (!dir->is_string() || (dir->as_string() != "lower" &&
+                                  dir->as_string() != "higher")) {
+          fail(file, ctx + ": \"direction\" must be \"lower\" or \"higher\"");
+        }
+        if (const Value* unit = cell.find("unit");
+            unit == nullptr || !unit->is_string()) {
+          fail(file, ctx + ": a directed cell needs a string \"unit\"");
+        }
+      }
     }
   }
   if (errors == before) {
@@ -192,6 +204,79 @@ bool require_string(const std::string& file, const Value& obj, const char* key,
     return false;
   }
   return true;
+}
+
+/// {"schema": "splice-batch-v1", "jobs": N, "workers": N, "requests": N,
+///  "succeeded": N, "failed": N, "seconds": s, "throughput_rps": r,
+///  "results": [{"request": str, "ok": bool, "seconds": s, ...}]}
+/// Contract: results keep input order and partition into succeeded ok rows
+/// (with nodes/builds/reused/splices counts) and failed rows (with the
+/// error message); the envelope counters must match the rows.
+void check_batch(const std::string& file, const Value& doc) {
+  int before = errors;
+  for (const char* field : {"jobs", "workers", "requests", "succeeded",
+                            "failed"}) {
+    const Value* v = doc.find(field);
+    if (v == nullptr || !v->is_int() || v->as_int() < 0) {
+      fail(file, std::string("missing non-negative integer \"") + field +
+                     "\"");
+    }
+  }
+  require_number(file, doc, "seconds", "batch");
+  require_number(file, doc, "throughput_rps", "batch");
+  const Value* results = doc.find("results");
+  if (results == nullptr || !results->is_array()) {
+    fail(file, "no \"results\" array");
+    return;
+  }
+  std::int64_t ok_rows = 0;
+  std::int64_t failed_rows = 0;
+  std::size_t i = 0;
+  for (const Value& row : results->as_array()) {
+    std::string ctx = "results[" + std::to_string(i++) + "]";
+    if (!row.is_object()) {
+      fail(file, ctx + ": not an object");
+      continue;
+    }
+    require_string(file, row, "request", ctx);
+    require_number(file, row, "seconds", ctx);
+    if (!require_bool(file, row, "ok", ctx)) continue;
+    if (row.find("ok")->as_bool()) {
+      ++ok_rows;
+      for (const char* field : {"nodes", "builds", "reused", "splices"}) {
+        const Value* v = row.find(field);
+        if (v == nullptr || !v->is_int() || v->as_int() < 0) {
+          fail(file, ctx + ": missing non-negative integer \"" +
+                         std::string(field) + "\"");
+        }
+      }
+    } else {
+      ++failed_rows;
+      const Value* err = row.find("error");
+      if (err == nullptr || !err->is_string() || err->as_string().empty()) {
+        fail(file, ctx + ": failed row needs a non-empty \"error\"");
+      }
+    }
+  }
+  auto check_count = [&](const char* field, std::int64_t want) {
+    const Value* v = doc.find(field);
+    if (v != nullptr && v->is_int() && v->as_int() != want) {
+      fail(file, std::string("\"") + field + "\" (" +
+                     std::to_string(v->as_int()) + ") does not match the " +
+                     std::to_string(want) + " matching result row(s)");
+    }
+  };
+  check_count("requests",
+              static_cast<std::int64_t>(results->as_array().size()));
+  check_count("succeeded", ok_rows);
+  check_count("failed", failed_rows);
+  if (errors == before) {
+    std::printf("trace_check: %s: batch report OK (%zu result(s), "
+                "%lld ok, %lld failed)\n",
+                file.c_str(), results->as_array().size(),
+                static_cast<long long>(ok_rows),
+                static_cast<long long>(failed_rows));
+  }
 }
 
 /// {"schema": "splice-explain-v1", "mode": "unsat"|"splice",
@@ -988,6 +1073,8 @@ void check_file(const std::string& file) {
     check_stats(file, doc);
   } else if (name == "splice-bench-v1") {
     check_bench(file, doc);
+  } else if (name == "splice-batch-v1") {
+    check_batch(file, doc);
   } else if (name == "splice-explain-v1") {
     check_explain(file, doc);
   } else if (name == "splice-profile-v1") {
